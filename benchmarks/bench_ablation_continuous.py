@@ -1,0 +1,104 @@
+"""Ablation: one-shot group querying vs continuous aggregation (SDIMS mode).
+
+The paper's design decision (Section 1): "we focus on efficiently
+supporting one-shot queries (as opposed to repeated continuous queries)".
+This ablation quantifies the trade-off the paper argues qualitatively, by
+running the same read/write mixes against:
+
+* Moara (adaptive one-shot queries over group trees), and
+* the SDIMS-style continuous aggregator (every write propagates partials
+  toward the root; reads are O(1) at the root).
+
+Expected shape: continuous aggregation wins when reads dominate writes
+(each read costs ~2 messages); one-shot querying wins under write-heavy
+churn (Moara suppresses propagation until somebody asks).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import MoaraCluster
+from repro.core.aggregation import get_function
+from repro.sdims import ContinuousAggregationSystem
+
+from conftest import full_scale, run_once
+
+NUM_NODES = 256 if not full_scale() else 1024
+TOTAL_EVENTS = 120 if not full_scale() else 500
+MIXES = [(0, 6), (1, 5), (3, 3), (5, 1), (6, 0)]  # (reads, writes) sixths
+
+
+def _moara_cost(num_reads: int, num_writes: int) -> float:
+    cluster = MoaraCluster(NUM_NODES, seed=200)
+    for node_id in cluster.node_ids:
+        cluster.set_attribute(node_id, "load", 1.0)
+    cluster.query("SELECT SUM(load)")  # install the global tree
+    cluster.stats.reset()
+    rng = random.Random(201)
+    events = ["r"] * num_reads + ["w"] * num_writes
+    rng.shuffle(events)
+    for event in events:
+        if event == "r":
+            cluster.query("SELECT SUM(load)")
+        else:
+            node = rng.choice(cluster.node_ids)
+            value = cluster.nodes[node].attributes["load"]
+            cluster.set_attribute(node, "load", value + 1.0)
+            cluster.run_until_idle()
+    return cluster.stats.messages_per_node(NUM_NODES)
+
+
+def _continuous_cost(num_reads: int, num_writes: int) -> float:
+    system = ContinuousAggregationSystem(NUM_NODES, seed=200)
+    system.install("load", get_function("sum"))
+    for node_id in system.node_ids:
+        system.set_value(node_id, "load", 1.0)
+    system.settle()
+    system.stats.reset()
+    rng = random.Random(201)
+    events = ["r"] * num_reads + ["w"] * num_writes
+    rng.shuffle(events)
+    for event in events:
+        if event == "r":
+            system.read("load")
+        else:
+            node = rng.choice(system.node_ids)
+            system.set_value(node, "load", rng.uniform(1.0, 100.0))
+            system.settle()
+    return system.stats.total_messages / NUM_NODES
+
+
+def _experiment() -> list[tuple[str, float, float]]:
+    rows = []
+    for read_sixths, write_sixths in MIXES:
+        reads = TOTAL_EVENTS * read_sixths // 6
+        writes = TOTAL_EVENTS - reads
+        rows.append(
+            (
+                f"{reads}:{writes}",
+                _moara_cost(reads, writes),
+                _continuous_cost(reads, writes),
+            )
+        )
+    return rows
+
+
+def test_ablation_oneshot_vs_continuous(benchmark, emit) -> None:
+    rows = run_once(benchmark, _experiment)
+    lines = [
+        f"Ablation -- messages/node: one-shot querying vs continuous "
+        f"aggregation (N={NUM_NODES}, {TOTAL_EVENTS} events)",
+        f"{'read:write':>12s}{'Moara one-shot':>16s}{'continuous':>14s}",
+    ]
+    for label, moara, continuous in rows:
+        lines.append(f"{label:>12s}{moara:>16.2f}{continuous:>14.2f}")
+    emit("ablation_continuous", lines)
+
+    by_label = {label: (m, c) for label, m, c in rows}
+    # Write-only: continuous pays per write, one-shot pays ~nothing.
+    write_only = rows[0][0]
+    assert by_label[write_only][0] < by_label[write_only][1]
+    # Read-only: continuous answers from the root; one-shot pays per read.
+    read_only = rows[-1][0]
+    assert by_label[read_only][1] < by_label[read_only][0]

@@ -1,0 +1,75 @@
+"""Ablation: how fast do group trees converge to their pruned form?
+
+Pruning information propagates one tree level per query (a query only
+reaches nodes that earlier queries registered), so a fresh predicate's
+per-query cost decays geometrically over roughly `tree height` queries.
+This ablation measures that decay for different overlay depths -- the
+hidden cost behind Moara's "first query is a broadcast" behaviour, and a
+property the paper does not evaluate explicitly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import MoaraCluster
+from repro.core.moara_node import MoaraConfig
+from repro.pastry.idspace import IdSpace
+
+from conftest import full_scale, run_once
+
+QUERY = "SELECT COUNT(*) WHERE A = 1"
+NUM_NODES = 512 if not full_scale() else 2048
+GROUP = 16
+ROUNDS = 16
+
+SPACES = [
+    ("b=4 (hex digits)", IdSpace(bits=64, digit_bits=4)),
+    ("b=2", IdSpace(bits=32, digit_bits=2)),
+    ("b=1 (binary)", IdSpace(bits=32, digit_bits=1)),
+]
+
+
+def _experiment() -> list[tuple[str, int, list[int]]]:
+    rows = []
+    for label, space in SPACES:
+        cluster = MoaraCluster(
+            NUM_NODES, seed=210, config=MoaraConfig(threshold=2), space=space
+        )
+        members = random.Random(211).sample(cluster.node_ids, GROUP)
+        cluster.set_group("A", members, 1, 0)
+        height = cluster.overlay.tree(cluster.overlay.space.hash_name("A")).height()
+        costs = [cluster.query(QUERY).message_cost for _ in range(ROUNDS)]
+        rows.append((label, height, costs))
+    return rows
+
+
+def test_ablation_convergence_rounds(benchmark, emit) -> None:
+    rows = run_once(benchmark, _experiment)
+    lines = [
+        f"Ablation -- per-query message cost while a fresh tree converges "
+        f"(N={NUM_NODES}, group={GROUP})",
+        f"{'round':>6s}" + "".join(f"{label:>20s}" for label, _h, _c in rows),
+    ]
+    for i in range(ROUNDS):
+        line = f"{i:>6d}"
+        for _label, _height, costs in rows:
+            line += f"{costs[i]:>20d}"
+        lines.append(line)
+    lines.append("")
+    lines.append(
+        "tree heights: "
+        + ", ".join(f"{label}: {height}" for label, height, _ in rows)
+    )
+    emit("ablation_convergence", lines)
+
+    for label, height, costs in rows:
+        # First query floods the system; steady state is group-sized.
+        assert costs[0] >= 2 * NUM_NODES
+        assert costs[-1] < NUM_NODES // 4
+        # Converged within ~height + a small constant rounds.
+        steady = costs[-1]
+        converged_at = next(
+            i for i, cost in enumerate(costs) if cost <= steady * 1.2
+        )
+        assert converged_at <= height + 4, (label, converged_at, height)

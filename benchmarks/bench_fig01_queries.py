@@ -1,0 +1,57 @@
+"""Figure 1: the virtualized-enterprise query catalogue.
+
+Figure 1 is a table of management tasks, not a measurement, but it defines
+the workload Moara must serve.  This benchmark runs every Figure 1 query
+against a 300-node synthetic enterprise and reports per-query latency and
+message cost on warm trees -- the operational regime of a dashboard that
+re-runs these queries periodically.
+"""
+
+from __future__ import annotations
+
+from repro.core import MoaraCluster
+from repro.sim import LANLatencyModel
+from repro.workloads import DatacenterInventory
+
+from conftest import full_scale, run_once
+
+NUM_NODES = 300 if not full_scale() else 1000
+
+
+def _experiment() -> list[tuple[str, object, float, int]]:
+    cluster = MoaraCluster(
+        NUM_NODES, seed=190, latency_model=LANLatencyModel(seed=190)
+    )
+    DatacenterInventory(seed=190).populate(cluster)
+    rows = []
+    queries = DatacenterInventory.figure1_queries()
+    for task, text in queries:  # cold pass warms every tree involved
+        cluster.query(text)
+    for task, text in queries:
+        result = cluster.query(text)
+        value = result.value
+        rendered = f"{len(value)} rows" if isinstance(value, list) else value
+        rows.append((task, rendered, result.latency, result.message_cost))
+    return rows
+
+
+def test_fig01_enterprise_queries(benchmark, emit) -> None:
+    rows = run_once(benchmark, _experiment)
+    lines = [
+        f"Figure 1 -- enterprise management queries on warm trees "
+        f"(N={NUM_NODES}, LAN model)",
+        f"{'task':<58s}{'answer':>14s}{'ms':>8s}{'msgs':>7s}",
+    ]
+    for task, value, latency, msgs in rows:
+        rendered = f"{value:.1f}" if isinstance(value, float) else str(value)
+        lines.append(
+            f"{task[:58]:<58s}{rendered:>14s}{latency * 1000:>8.1f}{msgs:>7d}"
+        )
+    emit("fig01_enterprise_queries", lines)
+
+    assert len(rows) == 10  # the full Figure 1 table
+    for task, _value, latency, msgs in rows:
+        # Every management query answers within a fraction of a second and
+        # without a full broadcast once trees are warm.
+        assert latency < 1.0, task
+        assert msgs < 4 * NUM_NODES, task

@@ -1,0 +1,102 @@
+"""Figure 9: bandwidth vs query:churn ratio for the three policies.
+
+Paper setup: 10,000 nodes, churn bursts of m=2,000, 500 total events, ratios
+0:500 ... 500:0; metric = average messages per node.  Expected shape:
+Global flat-zero at pure churn and linear in query count; Always-Update
+expensive under churn, cheap under queries; Moara tracks the lower envelope.
+
+Quick mode scales the overlay and event counts down (shape is preserved);
+MOARA_BENCH_FULL=1 restores the paper's parameters.
+"""
+
+from __future__ import annotations
+
+from repro.core import MoaraCluster
+from repro.core.adapt import AdaptationConfig, MaintenancePolicy
+from repro.core.moara_node import MoaraConfig
+from repro.workloads import EventMix, run_query_churn_workload
+
+from conftest import full_scale, run_once
+
+QUERY = "(A, sum, A = 1)"
+
+if full_scale():
+    NUM_NODES, TOTAL_EVENTS, BURST = 10_000, 500, 2_000
+else:
+    NUM_NODES, TOTAL_EVENTS, BURST = 400, 100, 80
+
+RATIOS = [0, 1, 2, 3, 4, 5]  # sixths of TOTAL_EVENTS that are queries
+
+POLICIES = [
+    ("Global", MaintenancePolicy.NEVER_UPDATE),
+    ("Moara (Always-Update)", MaintenancePolicy.ALWAYS_UPDATE),
+    ("Moara", MaintenancePolicy.ADAPTIVE),
+]
+
+
+def _run_cell(policy: MaintenancePolicy, num_queries: int, num_churn: int) -> float:
+    config = MoaraConfig(adaptation=AdaptationConfig(policy=policy))
+    cluster = MoaraCluster(NUM_NODES, seed=90, config=config)
+    cluster.set_group("A", cluster.node_ids[: NUM_NODES // 5], 1, 0)
+    # Install tree state before the measurement window (the figure measures
+    # maintenance of existing trees under the event mix).
+    cluster.query(QUERY)
+    cluster.stats.reset()
+    mix = EventMix(num_queries=num_queries, num_churn=num_churn, seed=91)
+    run_query_churn_workload(cluster, QUERY, "A", mix, burst_size=BURST, seed=92)
+    return cluster.stats.messages_per_node(NUM_NODES)
+
+
+def _experiment() -> dict[str, list[tuple[str, float]]]:
+    series: dict[str, list[tuple[str, float]]] = {}
+    for name, policy in POLICIES:
+        rows = []
+        for sixth in RATIOS:
+            num_queries = TOTAL_EVENTS * sixth // 5
+            num_churn = TOTAL_EVENTS - num_queries
+            label = f"{num_queries}:{num_churn}"
+            rows.append((label, _run_cell(policy, num_queries, num_churn)))
+        series[name] = rows
+    return series
+
+
+def test_fig09_bandwidth_vs_query_churn_ratio(benchmark, emit) -> None:
+    series = run_once(benchmark, _experiment)
+
+    labels = [label for label, _ in series["Global"]]
+    lines = [
+        f"Figure 9 -- messages per node vs query:churn ratio "
+        f"(N={NUM_NODES}, burst={BURST}, events={TOTAL_EVENTS})",
+        f"{'query:churn':>14s}"
+        + "".join(f"{name:>24s}" for name, _ in POLICIES),
+    ]
+    for i, label in enumerate(labels):
+        row = f"{label:>14s}"
+        for name, _ in POLICIES:
+            row += f"{series[name][i][1]:>24.1f}"
+        lines.append(row)
+    emit("fig09_maintenance", lines)
+
+    by_name = {name: dict(rows) for name, rows in series.items()}
+    pure_churn = labels[0]
+    pure_query = labels[-1]
+    # Paper shape assertions:
+    # 1. Under pure churn, Global is cheapest and Always-Update pays most.
+    assert by_name["Global"][pure_churn] <= by_name["Moara"][pure_churn] + 1.0
+    assert (
+        by_name["Moara (Always-Update)"][pure_churn]
+        > by_name["Moara"][pure_churn]
+    )
+    # 2. Under pure querying, Global pays ~2 msgs/node/query; Moara matches
+    #    Always-Update and beats Global by a wide margin.
+    assert by_name["Global"][pure_query] > 2 * by_name["Moara"][pure_query]
+    # 3. Moara stays within a small factor of the lower envelope everywhere.
+    for label in labels:
+        envelope = min(
+            by_name["Global"][label],
+            by_name["Moara (Always-Update)"][label],
+        )
+        assert by_name["Moara"][label] <= max(envelope * 1.5, envelope + 2.0), (
+            label,
+            by_name,
+        )

@@ -1,0 +1,80 @@
+"""Figure 10: sensitivity to the (k_UPDATE, k_NO_UPDATE) windows.
+
+Paper setup: 500 Moara nodes, the Figure 9 event mixes, five representative
+window pairs.  Expected shape: all pairs land in a narrow band; large
+k_UPDATE with small k_NO_UPDATE is slightly worse at high query rates
+(nodes linger in UPDATE and keep updating parents); sensitivity overall is
+small.
+"""
+
+from __future__ import annotations
+
+from repro.core import MoaraCluster
+from repro.core.adapt import AdaptationConfig
+from repro.core.moara_node import MoaraConfig
+from repro.workloads import EventMix, run_query_churn_workload
+
+from conftest import full_scale, run_once
+
+QUERY = "(A, sum, A = 1)"
+
+if full_scale():
+    NUM_NODES, TOTAL_EVENTS, BURST = 500, 500, 100
+else:
+    NUM_NODES, TOTAL_EVENTS, BURST = 256, 100, 50
+
+K_PAIRS = [(1, 1), (1, 3), (2, 1), (3, 1), (3, 3)]
+RATIOS = [0, 1, 2, 3, 4, 5]
+
+
+def _run_cell(k_pair: tuple[int, int], num_queries: int, num_churn: int) -> float:
+    k_update, k_no_update = k_pair
+    config = MoaraConfig(
+        adaptation=AdaptationConfig(k_update=k_update, k_no_update=k_no_update)
+    )
+    cluster = MoaraCluster(NUM_NODES, seed=100, config=config)
+    cluster.set_group("A", cluster.node_ids[: NUM_NODES // 5], 1, 0)
+    cluster.query(QUERY)
+    cluster.stats.reset()
+    mix = EventMix(num_queries=num_queries, num_churn=num_churn, seed=101)
+    run_query_churn_workload(cluster, QUERY, "A", mix, burst_size=BURST, seed=102)
+    return cluster.stats.messages_per_node(NUM_NODES)
+
+
+def _experiment() -> dict[tuple[int, int], list[tuple[str, float]]]:
+    series: dict[tuple[int, int], list[tuple[str, float]]] = {}
+    for pair in K_PAIRS:
+        rows = []
+        for sixth in RATIOS:
+            num_queries = TOTAL_EVENTS * sixth // 5
+            num_churn = TOTAL_EVENTS - num_queries
+            rows.append((f"{num_queries}:{num_churn}", _run_cell(pair, num_queries, num_churn)))
+        series[pair] = rows
+    return series
+
+
+def test_fig10_k_window_sensitivity(benchmark, emit) -> None:
+    series = run_once(benchmark, _experiment)
+    labels = [label for label, _ in series[K_PAIRS[0]]]
+    lines = [
+        f"Figure 10 -- messages per node for (k_UPDATE, k_NO_UPDATE) pairs "
+        f"(N={NUM_NODES}, burst={BURST}, events={TOTAL_EVENTS})",
+        f"{'query:churn':>14s}" + "".join(f"{str(p):>12s}" for p in K_PAIRS),
+    ]
+    for i, label in enumerate(labels):
+        row = f"{label:>14s}"
+        for pair in K_PAIRS:
+            row += f"{series[pair][i][1]:>12.1f}"
+        lines.append(row)
+    emit("fig10_sensitivity", lines)
+
+    # Paper shape: sensitivity is small -- for every ratio the spread
+    # across k-pairs stays within a modest factor of the best.
+    for i, label in enumerate(labels):
+        values = [series[pair][i][1] for pair in K_PAIRS]
+        best, worst = min(values), max(values)
+        assert worst <= best * 1.6 + 5.0, (label, values)
+    # At the query-heavy end the default (1, 3) is not worse than the
+    # aggressive large-k_UPDATE pairs.
+    last = len(labels) - 1
+    assert series[(1, 3)][last][1] <= series[(3, 1)][last][1] * 1.1

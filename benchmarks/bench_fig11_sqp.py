@@ -1,0 +1,168 @@
+"""Figure 11: the separate query plane's costs.
+
+(a) Average query cost vs overlay size for (group size, threshold) pairs.
+    Paper shape: threshold=1 grows ~logarithmically with N; threshold>1
+    flattens to a constant independent of N.
+(b) Query cost (as % of threshold=1) and update-cost increase (% over
+    threshold=1) vs group size at a fixed overlay.  Paper shape: >50%
+    query savings for small groups; savings marginal beyond threshold=2;
+    update costs grow with threshold and group size.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import MoaraCluster
+from repro.core import messages as mt
+from repro.core.moara_node import MoaraConfig
+
+from conftest import full_scale, run_once
+
+QUERY = "SELECT COUNT(*) WHERE A = 1"
+
+if full_scale():
+    SYSTEM_SIZES = [64, 256, 1024, 4096, 16384]
+    GROUP_SIZES_A = [8, 32, 128]
+    FIXED_N = 8192
+    GROUP_SIZES_B = [8, 32, 128, 512, 2048]
+else:
+    SYSTEM_SIZES = [64, 256, 1024, 4096]
+    GROUP_SIZES_A = [8, 32, 128]
+    FIXED_N = 2048
+    GROUP_SIZES_B = [8, 32, 128, 512]
+
+THRESHOLDS_A = [1, 2, 4]
+THRESHOLDS_B = [2, 4, 16]
+
+
+def _build(num_nodes: int, threshold: int, group: int) -> MoaraCluster:
+    cluster = MoaraCluster(
+        num_nodes, seed=110, config=MoaraConfig(threshold=threshold)
+    )
+    members = random.Random(111).sample(cluster.node_ids, group)
+    cluster.set_group("A", members, 1, 0)
+    return cluster
+
+
+def _steady_costs(cluster: MoaraCluster, samples: int = 5) -> tuple[float, int]:
+    """(average steady-state query cost, total update cost to reach it).
+
+    Query cost counts query+response messages; update cost counts the
+    STATUS_UPDATE messages nodes sent while converging (the paper counts
+    the updates triggered by first queries as update cost).
+    """
+    last = None
+    for _ in range(40):  # converge: one tree level per query
+        cost = cluster.query(QUERY).message_cost
+        if cost == last:
+            break
+        last = cost
+    update_cost = cluster.stats.by_type.get(mt.STATUS_UPDATE, 0)
+    before = cluster.stats.snapshot()
+    for _ in range(samples):
+        cluster.query(QUERY)
+    delta = cluster.stats.delta_since(before)
+    query_cost = (
+        delta.messages_of(
+            mt.QUERY, mt.QUERY_RESPONSE, mt.FRONTEND_QUERY, mt.FRONTEND_RESPONSE
+        )
+        / samples
+    )
+    return query_cost, update_cost
+
+
+def _experiment_a() -> dict[tuple[int, int], list[tuple[int, float]]]:
+    series: dict[tuple[int, int], list[tuple[int, float]]] = {}
+    for group in GROUP_SIZES_A:
+        for threshold in THRESHOLDS_A:
+            rows = []
+            for num_nodes in SYSTEM_SIZES:
+                if group >= num_nodes:
+                    continue
+                cluster = _build(num_nodes, threshold, group)
+                query_cost, _ = _steady_costs(cluster)
+                rows.append((num_nodes, query_cost))
+            series[(group, threshold)] = rows
+    return series
+
+
+def _experiment_b() -> dict[int, list[tuple[int, float, float]]]:
+    """threshold -> [(group, query-cost % of t=1, update-cost % over t=1)]."""
+    baseline: dict[int, tuple[float, int]] = {}
+    for group in GROUP_SIZES_B:
+        cluster = _build(FIXED_N, 1, group)
+        baseline[group] = _steady_costs(cluster)
+    series: dict[int, list[tuple[int, float, float]]] = {}
+    for threshold in THRESHOLDS_B:
+        rows = []
+        for group in GROUP_SIZES_B:
+            cluster = _build(FIXED_N, threshold, group)
+            query_cost, update_cost = _steady_costs(cluster)
+            base_q, base_u = baseline[group]
+            query_pct = 100.0 * query_cost / base_q
+            update_pct = 100.0 * (update_cost - base_u) / max(base_u, 1)
+            rows.append((group, query_pct, update_pct))
+        series[threshold] = rows
+    return series
+
+
+def test_fig11a_query_cost_vs_system_size(benchmark, emit) -> None:
+    series = run_once(benchmark, _experiment_a)
+    lines = [
+        "Figure 11(a) -- avg query cost vs overlay size, lines are "
+        "(group size, threshold)",
+        f"{'N':>8s}"
+        + "".join(f"{str(key):>12s}" for key in sorted(series)),
+    ]
+    for i, num_nodes in enumerate(SYSTEM_SIZES):
+        row = f"{num_nodes:>8d}"
+        for key in sorted(series):
+            rows = dict(series[key])
+            row += f"{rows.get(num_nodes, float('nan')):>12.1f}"
+        lines.append(row)
+    emit("fig11a_sqp_scaling", lines)
+
+    for group in GROUP_SIZES_A:
+        t1 = dict(series[(group, 1)])
+        t2 = dict(series[(group, 2)])
+        sizes = sorted(set(t1) & set(t2))
+        if len(sizes) < 2:
+            continue
+        small_n, large_n = sizes[0], sizes[-1]
+        # threshold=1 grows with N...
+        assert t1[large_n] > t1[small_n], (group, t1)
+        # ... while threshold=2 stays essentially flat (within additive
+        # noise) and beats threshold=1 at the largest overlay.
+        assert t2[large_n] <= t2[small_n] * 1.5 + 6.0, (group, t2)
+        assert t2[large_n] < t1[large_n], (group, t1, t2)
+
+
+def test_fig11b_cost_vs_group_size(benchmark, emit) -> None:
+    series = run_once(benchmark, _experiment_b)
+    lines = [
+        f"Figure 11(b) -- separate-query-plane costs at N={FIXED_N} "
+        "(qc: query cost as % of t=1; uc: update-cost increase % over t=1)",
+        f"{'group':>8s}"
+        + "".join(
+            f"{f'qc t={t}':>10s}{f'uc t={t}':>10s}" for t in THRESHOLDS_B
+        ),
+    ]
+    for i, group in enumerate(GROUP_SIZES_B):
+        row = f"{group:>8d}"
+        for threshold in THRESHOLDS_B:
+            _g, q_pct, u_pct = series[threshold][i]
+            row += f"{q_pct:>10.0f}{u_pct:>10.0f}"
+        lines.append(row)
+    emit("fig11b_sqp_tradeoff", lines)
+
+    # Paper shape: for small groups the SQP saves a large fraction of the
+    # query cost...
+    smallest = 0
+    for threshold in THRESHOLDS_B:
+        assert series[threshold][smallest][1] < 75.0, series[threshold]
+    # ... and the savings beyond threshold=2 are marginal.
+    for i in range(len(GROUP_SIZES_B)):
+        q2 = series[2][i][1]
+        q16 = series[16][i][1]
+        assert q2 - q16 < 30.0, (GROUP_SIZES_B[i], q2, q16)

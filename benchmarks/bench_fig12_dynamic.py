@@ -1,0 +1,94 @@
+"""Figure 12(b): query latency under group churn.
+
+Paper setup: a 100-node group in a 500-node Emulab deployment; every
+`interval` seconds, `churn` members leave and `churn` outsiders join;
+queries at 1/s; interval in {5, 45} s and churn in {40..200}.  Expected
+shape: latency stays low and nearly flat in the churn rate -- even full
+group replacement every 5 s costs only a small latency increase over the
+static group.
+"""
+
+from __future__ import annotations
+
+from repro.core import MoaraCluster
+from repro.sim import LANLatencyModel
+from repro.workloads import GroupChurnDriver
+
+from conftest import full_scale, run_once
+
+NUM_NODES = 500
+GROUP_SIZE = 100
+CHURN_LEVELS = [40, 80, 120, 160, 200]
+INTERVALS = [5.0, 45.0]
+QUERIES = 40 if not full_scale() else 100
+QUERY = "SELECT COUNT(*) WHERE A = true"
+
+
+def _mean_latency_under_churn(interval: float, churn: int) -> float:
+    cluster = MoaraCluster(
+        NUM_NODES, seed=130, latency_model=LANLatencyModel(seed=130)
+    )
+    driver = GroupChurnDriver(
+        cluster, "A", group_size=GROUP_SIZE,
+        churn=min(churn, GROUP_SIZE), interval=interval, seed=131,
+    )
+    # Warm the tree, then start churn and query once per second.
+    for _ in range(8):
+        cluster.query(QUERY)
+    driver.start()
+    latencies = []
+    for _ in range(QUERIES):
+        cluster.run(seconds=1.0)
+        latencies.append(cluster.query(QUERY).latency)
+    driver.stop()
+    return sum(latencies) / len(latencies)
+
+
+def _static_latency() -> float:
+    cluster = MoaraCluster(
+        NUM_NODES, seed=130, latency_model=LANLatencyModel(seed=130)
+    )
+    cluster.set_group("A", cluster.node_ids[:GROUP_SIZE])
+    for _ in range(8):
+        cluster.query(QUERY)
+    latencies = [cluster.query(QUERY).latency for _ in range(QUERIES)]
+    return sum(latencies) / len(latencies)
+
+
+def _experiment() -> tuple[float, dict[float, list[tuple[int, float]]]]:
+    static = _static_latency()
+    series = {
+        interval: [
+            (churn, _mean_latency_under_churn(interval, churn))
+            for churn in CHURN_LEVELS
+        ]
+        for interval in INTERVALS
+    }
+    return static, series
+
+
+def test_fig12b_latency_under_group_churn(benchmark, emit) -> None:
+    static, series = run_once(benchmark, _experiment)
+    lines = [
+        f"Figure 12(b) -- avg query latency (ms) vs churn nodes "
+        f"({GROUP_SIZE}-node group in N={NUM_NODES})",
+        f"static group baseline: {static * 1000:.1f} ms",
+        f"{'churn':>8s}"
+        + "".join(f"{f'interval {int(i)}s':>16s}" for i in INTERVALS),
+    ]
+    for i, churn in enumerate(CHURN_LEVELS):
+        row = f"{churn:>8d}"
+        for interval in INTERVALS:
+            row += f"{series[interval][i][1] * 1000:>16.1f}"
+        lines.append(row)
+    emit("fig12b_dynamic_groups", lines)
+
+    # Paper shape: latency is not significantly affected by group churn.
+    for interval in INTERVALS:
+        for churn, latency in series[interval]:
+            assert latency < static * 3.0, (interval, churn, latency, static)
+    # The 9x churn-rate increase (interval 45 -> 5) costs only a small
+    # average-latency increase.
+    worst_fast = max(latency for _, latency in series[5.0])
+    worst_slow = max(latency for _, latency in series[45.0])
+    assert worst_fast < worst_slow * 2.5 + 0.05

@@ -1,0 +1,85 @@
+"""Figure 12(a): latency and bandwidth for static groups vs SDIMS.
+
+Paper setup: 500 Moara instances on a 50-machine Emulab LAN; static groups
+of 32..500 nodes; 100 count-queries per configuration; compared against the
+single-global-tree "SDIMS approach".  Expected shape: latency and messages
+scale with group size; the 32-node group saves ~4x latency and ~10x
+bandwidth vs SDIMS.
+
+The Emulab testbed is replaced by the LAN latency model (fan-out
+serialization + per-message service time, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import MoaraCluster
+from repro.sdims import SDIMSCluster
+from repro.sim import LANLatencyModel
+
+from conftest import full_scale, run_once
+
+NUM_NODES = 500
+GROUP_SIZES = [32, 64, 128, 256, 500]
+QUERIES = 30 if not full_scale() else 100
+QUERY = "SELECT COUNT(*) WHERE A = 1"
+
+
+def _measure(cluster, expected: int) -> tuple[float, float]:
+    """(mean latency seconds, mean messages) over the steady state."""
+    last = None
+    for _ in range(30):  # warm to steady state
+        cost = cluster.query(QUERY).message_cost
+        if cost == last:
+            break
+        last = cost
+    latencies, messages = [], []
+    for _ in range(QUERIES):
+        result = cluster.query(QUERY)
+        assert result.value == expected
+        latencies.append(result.latency)
+        messages.append(result.message_cost)
+    return sum(latencies) / len(latencies), sum(messages) / len(messages)
+
+
+def _experiment() -> list[tuple[str, float, float]]:
+    rows = []
+    for group in GROUP_SIZES:
+        cluster = MoaraCluster(
+            NUM_NODES, seed=120, latency_model=LANLatencyModel(seed=120)
+        )
+        members = random.Random(121).sample(cluster.node_ids, group)
+        cluster.set_group("A", members, 1, 0)
+        latency, msgs = _measure(cluster, group)
+        rows.append((f"group{group}", latency, msgs))
+    sdims = SDIMSCluster(
+        NUM_NODES, seed=120, latency_model=LANLatencyModel(seed=120)
+    )
+    members = random.Random(121).sample(sdims.node_ids, 32)
+    sdims.set_group("A", members, 1, 0)
+    latency, msgs = _measure(sdims, 32)
+    rows.append(("SDIMS", latency, msgs))
+    return rows
+
+
+def test_fig12a_static_groups_vs_sdims(benchmark, emit) -> None:
+    rows = run_once(benchmark, _experiment)
+    lines = [
+        f"Figure 12(a) -- static groups on the LAN model "
+        f"(N={NUM_NODES}, {QUERIES} queries each)",
+        f"{'config':>10s}{'latency ms':>14s}{'msgs/query':>14s}",
+    ]
+    for name, latency, msgs in rows:
+        lines.append(f"{name:>10s}{latency * 1000:>14.1f}{msgs:>14.1f}")
+    emit("fig12a_static_groups", lines)
+
+    by_name = {name: (latency, msgs) for name, latency, msgs in rows}
+    # Latency and bandwidth scale with group size.
+    for smaller, larger in zip(GROUP_SIZES, GROUP_SIZES[1:]):
+        assert by_name[f"group{smaller}"][1] < by_name[f"group{larger}"][1]
+    # The small group wins big against the global SDIMS tree:
+    sdims_latency, sdims_msgs = by_name["SDIMS"]
+    g32_latency, g32_msgs = by_name["group32"]
+    assert sdims_msgs / g32_msgs >= 5.0, (sdims_msgs, g32_msgs)
+    assert sdims_latency / g32_latency >= 2.0, (sdims_latency, g32_latency)

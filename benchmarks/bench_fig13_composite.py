@@ -1,0 +1,115 @@
+"""Figure 13(b): composite-query latency vs number of groups.
+
+Paper setup: 500-node Emulab deployment; basic groups of 50 random nodes;
+three query types -- intersections S1 ∩ ... ∩ Sn, unions S1 ∪ ... ∪ Sn,
+and complex T1 ∩ T2 ∩ T3 with each Ti a union of n groups -- measured with
+and without the size-probe phase.  Expected shape: intersections flat in n
+(only one group queried); unions grow with n (all groups queried); complex
+tracks unions plus slightly higher probe cost; everything completes within
+a fraction of a second.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import MoaraCluster
+from repro.sim import LANLatencyModel
+
+from conftest import full_scale, run_once
+
+NUM_NODES = 500
+GROUP_SIZE = 50
+GROUP_COUNTS = [2, 4, 6, 8, 10]
+QUERIES = 20 if not full_scale() else 100
+
+
+def _build() -> MoaraCluster:
+    cluster = MoaraCluster(
+        NUM_NODES, seed=150, latency_model=LANLatencyModel(seed=150)
+    )
+    rng = random.Random(151)
+    # Enough distinct base groups for the largest complex query (3 * 10).
+    for i in range(30):
+        members = rng.sample(cluster.node_ids, GROUP_SIZE)
+        cluster.set_group(f"S{i}", members)
+    return cluster
+
+
+def _measure(cluster: MoaraCluster, text: str) -> tuple[float, float]:
+    """(mean total latency, mean latency excluding size probes) in seconds."""
+    cluster.query(text)  # warm the trees involved
+    totals, no_probes = [], []
+    for _ in range(QUERIES):
+        result = cluster.query(text)
+        totals.append(result.latency)
+        no_probes.append(result.latency - result.probe_latency)
+    return sum(totals) / len(totals), sum(no_probes) / len(no_probes)
+
+
+def _experiment() -> dict[str, list[tuple[int, float, float]]]:
+    cluster = _build()
+    series: dict[str, list[tuple[int, float, float]]] = {
+        "intersection": [],
+        "union": [],
+        "complex": [],
+    }
+    for n in GROUP_COUNTS:
+        inter = " AND ".join(f"S{i} = true" for i in range(n))
+        union = " OR ".join(f"S{i} = true" for i in range(n))
+        tis = []
+        for t in range(3):
+            tis.append(
+                "("
+                + " OR ".join(f"S{10 * t + i} = true" for i in range(n))
+                + ")"
+            )
+        complex_q = " AND ".join(tis)
+        series["intersection"].append(
+            (n, *_measure(cluster, f"SELECT COUNT(*) WHERE {inter}"))
+        )
+        series["union"].append(
+            (n, *_measure(cluster, f"SELECT COUNT(*) WHERE {union}"))
+        )
+        series["complex"].append(
+            (n, *_measure(cluster, f"SELECT COUNT(*) WHERE {complex_q}"))
+        )
+    return series
+
+
+def test_fig13b_composite_query_latency(benchmark, emit) -> None:
+    series = run_once(benchmark, _experiment)
+    lines = [
+        f"Figure 13(b) -- composite-query latency (ms) vs #groups "
+        f"(N={NUM_NODES}, {GROUP_SIZE}-node groups; 'no SP' excludes size probes)",
+        f"{'#groups':>8s}"
+        + "".join(
+            f"{kind:>14s}{kind[:5] + ' no SP':>14s}"
+            for kind in ("intersection", "union", "complex")
+        ),
+    ]
+    for i, n in enumerate(GROUP_COUNTS):
+        row = f"{n:>8d}"
+        for kind in ("intersection", "union", "complex"):
+            _n, total, no_probe = series[kind][i]
+            row += f"{total * 1000:>14.1f}{no_probe * 1000:>14.1f}"
+        lines.append(row)
+    emit("fig13b_composite", lines)
+
+    # Paper shape assertions:
+    # 1. Everything completes within a fraction of a second.
+    for kind, rows in series.items():
+        for _n, total, _np in rows:
+            assert total < 1.0, (kind, rows)
+    # 2. Intersection latency excluding probes is flat in n (one group).
+    inter_np = [no_probe for _n, _t, no_probe in series["intersection"]]
+    assert max(inter_np) < min(inter_np) * 1.8 + 0.02
+    # 3. Union latency grows with n.
+    union_total = [t for _n, t, _np in series["union"]]
+    assert union_total[-1] > union_total[0]
+    # 4. Complex tracks unions (the planner queries only one Ti), with
+    #    extra probe cost.
+    for i, n in enumerate(GROUP_COUNTS):
+        _, complex_total, _ = series["complex"][i]
+        _, union_total_i, _ = series["union"][i]
+        assert complex_total < union_total_i * 2.0 + 0.1

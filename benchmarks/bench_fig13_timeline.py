@@ -1,0 +1,70 @@
+"""Figure 13(a): latency timeline under periodic batch churn.
+
+Paper setup: the 100-node group with 160 members replaced every 5 seconds,
+one query per second for 100 seconds.  Expected shape: latency spikes
+right after each churn batch but stays bounded (paper: under ~300 ms,
+vs ~150 ms steady), recovering within 1-2 seconds.
+"""
+
+from __future__ import annotations
+
+from repro.core import MoaraCluster
+from repro.sim import LANLatencyModel
+from repro.workloads import GroupChurnDriver
+
+from conftest import full_scale, run_once
+
+NUM_NODES = 500
+GROUP_SIZE = 200
+CHURN = 160
+INTERVAL = 5.0
+DURATION = 100 if full_scale() else 60
+QUERY = "SELECT COUNT(*) WHERE A = true"
+
+
+def _experiment() -> tuple[float, list[tuple[float, float]]]:
+    cluster = MoaraCluster(
+        NUM_NODES, seed=140, latency_model=LANLatencyModel(seed=140)
+    )
+    driver = GroupChurnDriver(
+        cluster, "A", group_size=GROUP_SIZE, churn=CHURN,
+        interval=INTERVAL, seed=141,
+    )
+    for _ in range(8):
+        cluster.query(QUERY)
+    static = sum(cluster.query(QUERY).latency for _ in range(10)) / 10
+    driver.start()
+    timeline = []
+    for _second in range(DURATION):
+        cluster.run(seconds=1.0)
+        result = cluster.query(QUERY)
+        timeline.append((cluster.now, result.latency))
+    driver.stop()
+    return static, timeline
+
+
+def test_fig13a_latency_timeline_under_churn(benchmark, emit) -> None:
+    static, timeline = run_once(benchmark, _experiment)
+    lines = [
+        f"Figure 13(a) -- per-query latency over time, {CHURN}-node churn "
+        f"every {INTERVAL:.0f}s ({GROUP_SIZE}-node group, N={NUM_NODES})",
+        f"static-group baseline: {static * 1000:.1f} ms",
+        f"{'t (s)':>8s}{'latency ms':>12s}",
+    ]
+    for t, latency in timeline:
+        lines.append(f"{t:>8.1f}{latency * 1000:>12.1f}")
+    emit("fig13a_timeline", lines)
+
+    latencies = [latency for _, latency in timeline]
+    peak = max(latencies)
+    median = sorted(latencies)[len(latencies) // 2]
+    # Paper shape: bounded peaks, quick stabilization near the baseline.
+    assert peak < static * 4.0 + 0.1, (peak, static)
+    assert median < static * 1.5 + 0.02, (median, static)
+    # Recovery: after every spike above 1.5x median, within 2 samples the
+    # latency is back under 1.25x median.
+    for i, latency in enumerate(latencies[:-2]):
+        if latency > 1.5 * median:
+            assert min(latencies[i + 1 : i + 3]) < 1.25 * median + 0.01, (
+                f"no recovery after spike at t={timeline[i][0]:.0f}s"
+            )

@@ -1,0 +1,80 @@
+"""Figure 14: wide-area query latency CDF.
+
+Paper setup: 200 PlanetLab nodes, one group per experiment with sizes
+50..200, 500 one-shot queries injected 5 s apart, no query timeouts.
+Expected shape: seconds-scale completions with a heavy tail -- for the
+100-node group the median lands at ~1-2 s and ~90% complete within ~5 s.
+
+PlanetLab is replaced by the clustered WAN latency model with heavy-tailed
+straggler nodes (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import MoaraCluster
+from repro.sim import WANLatencyModel
+
+from conftest import full_scale, run_once
+
+NUM_NODES = 200
+GROUP_SIZES = [50, 100, 150, 200]
+QUERIES = 40 if not full_scale() else 500
+QUERY = "SELECT COUNT(*) WHERE A = true"
+
+
+def collect_latencies(group: int, seed: int = 160) -> list[float]:
+    cluster = MoaraCluster(
+        NUM_NODES,
+        seed=seed,
+        latency_model=lambda ids: WANLatencyModel(
+            ids, straggler_fraction=0.05, seed=seed
+        ),
+    )
+    members = random.Random(seed + 1).sample(cluster.node_ids, group)
+    cluster.set_group("A", members)
+    latencies = []
+    for i in range(QUERIES):
+        result = cluster.query(QUERY)
+        assert result.value == group
+        latencies.append(result.latency)
+        cluster.run(seconds=5.0)  # queries injected 5 s apart
+    return sorted(latencies)
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def _experiment() -> dict[int, list[float]]:
+    return {group: collect_latencies(group) for group in GROUP_SIZES}
+
+
+def test_fig14_planetlab_latency_cdf(benchmark, emit) -> None:
+    series = run_once(benchmark, _experiment)
+    quantiles = [0.10, 0.25, 0.50, 0.75, 0.90, 1.00]
+    lines = [
+        f"Figure 14 -- wide-area one-shot query latency CDF "
+        f"(N={NUM_NODES}, {QUERIES} queries per group; seconds)",
+        f"{'pct':>6s}" + "".join(f"{f'group {g}':>12s}" for g in GROUP_SIZES),
+    ]
+    for q in quantiles:
+        row = f"{q * 100:>5.0f}%"
+        for group in GROUP_SIZES:
+            row += f"{percentile(series[group], q):>12.2f}"
+        lines.append(row)
+    emit("fig14_planetlab_cdf", lines)
+
+    # Paper shape: the steady-state (post-warm-up) behaviour has a
+    # seconds-scale median and a heavy but bounded tail.
+    for group in GROUP_SIZES:
+        median = percentile(series[group], 0.50)
+        p90 = percentile(series[group], 0.90)
+        assert median < 5.0, (group, median)
+        assert p90 < 30.0, (group, p90)
+    # Larger groups wait on more of the wide area: medians are
+    # non-decreasing within noise.
+    medians = [percentile(series[g], 0.5) for g in GROUP_SIZES]
+    assert medians[-1] >= medians[0] * 0.5

@@ -1,0 +1,119 @@
+"""Figure 15: Moara vs a centralized aggregator on the wide area.
+
+Paper setup: same 200-node PlanetLab deployment; the "Central" front-end
+queries all nodes directly in parallel and completes only when every node
+(member or not) has replied; Moara queries only the group's tree.  Expected
+shape -- "the tortoise and the hare": Central's first replies arrive faster
+than Moara's tree can aggregate, but Central's completion waits out every
+straggler in the system while Moara only waits on stragglers inside the
+group, so Moara's completion CDF dominates for groups of 100/150.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines import CentralizedSystem
+from repro.core import MoaraCluster
+from repro.sim import WANLatencyModel
+
+from conftest import full_scale, run_once
+
+NUM_NODES = 200
+GROUP_SIZES = [100, 150]
+QUERIES = 25 if not full_scale() else 100
+QUERY = "SELECT COUNT(*) WHERE A = true"
+SEED = 170
+
+
+def _moara_latencies(group: int) -> list[float]:
+    cluster = MoaraCluster(
+        NUM_NODES,
+        seed=SEED,
+        latency_model=lambda ids: WANLatencyModel(
+            ids, straggler_fraction=0.05, seed=SEED
+        ),
+    )
+    members = random.Random(SEED + 1).sample(cluster.node_ids, group)
+    cluster.set_group("A", members)
+    latencies = []
+    for _ in range(QUERIES):
+        result = cluster.query(QUERY)
+        assert result.value == group
+        latencies.append(result.latency)
+        cluster.run(seconds=5.0)
+    return sorted(latencies)
+
+
+def _central_run(group: int) -> tuple[list[float], list[float]]:
+    """(completion latencies across queries, per-response arrival profile of
+    the last query)."""
+    node_ids = [10_000 + i for i in range(NUM_NODES)]
+    system = CentralizedSystem(
+        NUM_NODES,
+        seed=SEED,
+        latency_model=WANLatencyModel(
+            node_ids + [-2], straggler_fraction=0.05, seed=SEED
+        ),
+        node_ids=node_ids,
+    )
+    members = set(random.Random(SEED + 1).sample(node_ids, group))
+    for node_id in node_ids:
+        system.set_attribute(node_id, "A", node_id in members)
+    completions = []
+    for _ in range(QUERIES):
+        result = system.query(QUERY)
+        assert result.value == group
+        completions.append(result.latency)
+        system.engine.run(until=system.engine.now + 5.0)
+    return sorted(completions), system.last_arrival_profile()
+
+
+def _experiment():
+    data = {}
+    for group in GROUP_SIZES:
+        moara = _moara_latencies(group)
+        central, profile = _central_run(group)
+        data[group] = (moara, central, profile)
+    return data
+
+
+def _pct(sorted_values: list[float], q: float) -> float:
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def test_fig15_moara_vs_centralized(benchmark, emit) -> None:
+    data = run_once(benchmark, _experiment)
+    lines = [
+        f"Figure 15 -- completion-latency CDF (s), Moara vs Central "
+        f"(N={NUM_NODES}, {QUERIES} queries)",
+        f"{'pct':>6s}"
+        + "".join(
+            f"{f'Moara g{g}':>12s}{f'Central g{g}':>12s}" for g in GROUP_SIZES
+        ),
+    ]
+    for q in (0.10, 0.25, 0.50, 0.75, 0.90, 1.00):
+        row = f"{q * 100:>5.0f}%"
+        for group in GROUP_SIZES:
+            moara, central, _ = data[group]
+            row += f"{_pct(moara, q):>12.2f}{_pct(central, q):>12.2f}"
+        lines.append(row)
+    moara, central, profile = data[GROUP_SIZES[0]]
+    lines.append("")
+    lines.append(
+        "the hare: Central's median individual reply arrives at "
+        f"{_pct(profile, 0.5):.2f} s; the tortoise wins anyway: Central "
+        f"completes at {_pct(central, 0.5):.2f} s median vs Moara "
+        f"{_pct(moara, 0.5):.2f} s."
+    )
+    emit("fig15_centralized", lines)
+
+    for group in GROUP_SIZES:
+        moara, central, profile = data[group]
+        # Central's early replies are fast (the hare) ...
+        assert _pct(profile, 0.5) < _pct(moara, 0.5)
+        # ... but its completion waits for every straggler in the system,
+        # so Moara finishes first at the median and the tail.
+        assert _pct(moara, 0.5) < _pct(central, 0.5), group
+        assert _pct(moara, 0.9) < _pct(central, 0.9), group

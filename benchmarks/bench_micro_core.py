@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the hot core operations.
+
+Unlike the figure benchmarks (one timed experiment each), these measure
+steady-state throughput of the building blocks with pytest-benchmark's
+normal multi-round statistics: query parsing, CNF planning, aggregate
+merging, overlay routing, tree construction, and end-to-end warm queries.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import MoaraCluster, parse_query, plan_predicate
+from repro.core.aggregation import TopK, merge_partials
+from repro.core.parser import parse_predicate
+from repro.pastry import IdSpace, Overlay
+
+
+COMPLEX_QUERY = (
+    "SELECT TOP3(cpu) WHERE (a = true OR b = true) AND (c = true OR d = true) "
+    "AND NOT (e = true AND f = true) AND cpu < 90"
+)
+
+
+def test_micro_parse_query(benchmark) -> None:
+    result = benchmark(parse_query, COMPLEX_QUERY)
+    assert result.function.k == 3
+
+
+def test_micro_plan_complex_predicate(benchmark) -> None:
+    predicate = parse_predicate(
+        "(a = true OR b = true) AND (c = true OR d = true) "
+        "AND (cpu < 50 OR cpu >= 50 AND mem < 10)"
+    )
+    plan = benchmark(plan_predicate, predicate)
+    assert plan.clauses
+
+
+def test_micro_aggregate_merge(benchmark) -> None:
+    fn = TopK(10)
+    partials = [fn.lift(float(i % 97), i) for i in range(1000)]
+    result = benchmark(merge_partials, fn, partials)
+    assert len(result) == 10
+
+
+def test_micro_overlay_routing(benchmark) -> None:
+    overlay = Overlay(IdSpace())
+    overlay.bulk_join(overlay.generate_ids(1024, seed=1))
+    rng = random.Random(2)
+    keys = [overlay.space.random_id(rng) for _ in range(100)]
+    sources = rng.choices(overlay.node_ids, k=100)
+
+    def route_batch() -> int:
+        return sum(len(overlay.route(src, key)) for src, key in zip(sources, keys))
+
+    hops = benchmark(route_batch)
+    assert hops >= 100
+
+
+def test_micro_tree_construction(benchmark) -> None:
+    overlay = Overlay(IdSpace())
+    overlay.bulk_join(overlay.generate_ids(2048, seed=3))
+    key = overlay.space.hash_name("bench-attr")
+
+    def build() -> int:
+        overlay._tree_cache.clear()
+        return len(overlay.tree(key))
+
+    size = benchmark(build)
+    assert size == 2048
+
+
+def test_micro_warm_group_query(benchmark) -> None:
+    cluster = MoaraCluster(256, seed=4)
+    cluster.set_group("g", cluster.node_ids[:16])
+    for _ in range(6):
+        cluster.query("SELECT COUNT(*) WHERE g = true")
+
+    def query() -> int:
+        return cluster.query("SELECT COUNT(*) WHERE g = true").value
+
+    assert benchmark(query) == 16

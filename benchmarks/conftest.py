@@ -1,0 +1,49 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables/figures: it runs the
+experiment (timed once through pytest-benchmark), prints the same
+rows/series the paper reports, and archives them under ``results/``.
+
+Scale: the defaults finish the whole suite in minutes on a laptop.  Set
+``MOARA_BENCH_FULL=1`` to run at (or near) paper scale -- e.g. Figure 9's
+10,000-node overlay with 500 events -- which takes substantially longer.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def full_scale() -> bool:
+    """True when paper-scale parameters were requested."""
+    return os.environ.get("MOARA_BENCH_FULL", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir: Path, capsys):
+    """Print a figure's series and archive them under results/<name>.txt."""
+
+    def _emit(name: str, lines: list[str]) -> None:
+        text = "\n".join(lines)
+        with capsys.disabled():
+            print(f"\n===== {name} =====")
+            print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,20 @@
+"""Reproduction of *Moara: Flexible and Scalable Group-Based Querying
+System* (Ko et al., MIDDLEWARE 2008).
+
+Packages:
+
+* :mod:`repro.core` -- Moara itself: group trees, dynamic maintenance,
+  the separate query plane, and the composite-query planner.
+* :mod:`repro.pastry` -- the Pastry DHT substrate (FreePastry stand-in).
+* :mod:`repro.sim` -- discrete-event simulation, latency models, and
+  message accounting.
+* :mod:`repro.sdims` -- the SDIMS-style global-aggregation baseline.
+* :mod:`repro.baselines` -- the centralized-aggregator baseline.
+* :mod:`repro.workloads` -- trace generators and query/churn event mixes.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import MoaraCluster, Query, QueryResult, parse_query
+
+__all__ = ["MoaraCluster", "Query", "QueryResult", "parse_query", "__version__"]

@@ -1,0 +1,13 @@
+"""Baseline systems the paper compares against.
+
+* :class:`CentralizedAggregator` -- Figure 15's "Central": a front-end that
+  directly queries every node in parallel, with no in-network aggregation.
+* The "Global" / "SDIMS" broadcast baseline lives in :mod:`repro.sdims`
+  (:class:`repro.sdims.SDIMSCluster`).
+* The "Moara (Always-Update)" baseline is a maintenance policy
+  (:class:`repro.core.MaintenancePolicy.ALWAYS_UPDATE`).
+"""
+
+from repro.baselines.centralized import CentralizedAggregator, CentralizedSystem
+
+__all__ = ["CentralizedAggregator", "CentralizedSystem"]

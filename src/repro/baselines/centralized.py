@@ -1,0 +1,201 @@
+"""The centralized-aggregator baseline (paper Section 7.3, Figure 15).
+
+"... a centralized approach which maintains no trees but has the Moara
+front-end directly query all nodes in parallel regardless of whether they
+satisfy the given predicate or not.  The response for a query from this
+centralized aggregator is considered complete when the centralized
+aggregator has received a response from every node."
+
+The aggregator tracks per-response arrival times so benchmarks can plot the
+completion CDF (the "tortoise and the hare" comparison): the central
+approach collects its first answers quickly but must wait out every
+straggler in the system, while Moara only waits on stragglers inside the
+queried group's tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+from repro.core.attributes import AttributeStore
+from repro.core.errors import QueryTimeoutError
+from repro.core.parser import parse_query
+from repro.core.query import Query, QueryResult, STAR_ATTRIBUTE
+from repro.sim.engine import Engine
+from repro.sim.latency import LatencyModel, ZeroLatencyModel
+from repro.sim.network import Message, Network
+from repro.sim.stats import MessageStats
+
+__all__ = ["CentralizedAggregator", "CentralizedSystem"]
+
+CENTRAL_QUERY = "CENTRAL_QUERY"
+CENTRAL_RESPONSE = "CENTRAL_RESPONSE"
+
+
+class _PlainAgent:
+    """A monitored server: evaluates the predicate and answers directly."""
+
+    def __init__(self, node_id: int, network: Network) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.attributes = AttributeStore()
+
+    def handle_message(self, message: Message) -> None:
+        if message.mtype != CENTRAL_QUERY:
+            raise ValueError(f"unexpected message {message.mtype!r}")
+        query: Query = message.payload["query"]
+        partial: Any = None
+        contributed = 0
+        if query.predicate.evaluate(self.attributes):
+            if query.attr == STAR_ATTRIBUTE:
+                value: Any = 1
+            elif query.attr in self.attributes:
+                value = self.attributes[query.attr]
+            else:
+                value = None
+            if value is not None:
+                partial = query.function.lift(value, self.node_id)
+                contributed = 1
+        self.network.send(
+            self.node_id,
+            message.src,
+            CENTRAL_RESPONSE,
+            {
+                "qid": message.payload["qid"],
+                "partial": partial,
+                "contributors": contributed,
+            },
+        )
+
+
+@dataclass
+class _PendingCentral:
+    query: Query
+    waiting: set[int]
+    partial: Any = None
+    contributors: int = 0
+    started_at: float = 0.0
+    messages_before: int = 0
+    #: node -> arrival time of its response (for completion CDFs)
+    arrival_times: dict[int, float] = field(default_factory=dict)
+
+
+class CentralizedAggregator:
+    """The front-end that fans a query out to every node directly."""
+
+    def __init__(self, network: Network, node_id: int = -2) -> None:
+        self.network = network
+        self.node_id = node_id
+        self._qid_counter = itertools.count(1)
+        self._pending: dict[str, _PendingCentral] = {}
+        self.results: dict[str, QueryResult] = {}
+        #: qid -> sorted arrival times of individual responses
+        self.arrival_profiles: dict[str, list[float]] = {}
+        network.attach(self)
+
+    def submit(self, query: Union[str, Query], targets: list[int]) -> str:
+        """Send the query to every target node; returns the query id."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        qid = f"central-{next(self._qid_counter)}"
+        pending = _PendingCentral(
+            query=query,
+            waiting=set(targets),
+            started_at=self.network.engine.now,
+            messages_before=self.network.stats.total_messages,
+        )
+        self._pending[qid] = pending
+        for target in targets:
+            self.network.send(
+                self.node_id,
+                target,
+                CENTRAL_QUERY,
+                {"qid": qid, "query": query},
+            )
+        return qid
+
+    def handle_message(self, message: Message) -> None:
+        if message.mtype != CENTRAL_RESPONSE:
+            raise ValueError(f"unexpected message {message.mtype!r}")
+        payload = message.payload
+        pending = self._pending.get(payload["qid"])
+        if pending is None or message.src not in pending.waiting:
+            return
+        pending.waiting.discard(message.src)
+        pending.arrival_times[message.src] = self.network.engine.now
+        pending.partial = pending.query.function.merge(
+            pending.partial, payload["partial"]
+        )
+        pending.contributors += payload["contributors"]
+        if pending.waiting:
+            return
+        qid = payload["qid"]
+        del self._pending[qid]
+        now = self.network.engine.now
+        self.results[qid] = QueryResult(
+            query=pending.query,
+            value=pending.query.function.finalize(pending.partial),
+            cover=["<all nodes>"],
+            contributors=pending.contributors,
+            latency=now - pending.started_at,
+            message_cost=self.network.stats.total_messages
+            - pending.messages_before,
+        )
+        self.arrival_profiles[qid] = sorted(
+            t - pending.started_at for t in pending.arrival_times.values()
+        )
+
+
+class CentralizedSystem:
+    """A standalone deployment of plain agents plus the central front-end."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        seed: int = 0,
+        latency_model: Optional[LatencyModel] = None,
+        node_ids: Optional[list[int]] = None,
+    ) -> None:
+        self.engine = Engine()
+        self.stats = MessageStats()
+        self.network = Network(
+            self.engine, latency_model or ZeroLatencyModel(), self.stats
+        )
+        if node_ids is None:
+            # Deterministic ids detached from any overlay.
+            node_ids = [1000 + i for i in range(num_nodes)]
+        self.nodes: dict[int, _PlainAgent] = {}
+        for node_id in node_ids:
+            agent = _PlainAgent(node_id, self.network)
+            self.nodes[node_id] = agent
+            self.network.attach(agent)
+        self.aggregator = CentralizedAggregator(self.network)
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self.nodes)
+
+    def set_attribute(self, node_id: int, name: str, value: Any) -> None:
+        self.nodes[node_id].attributes.set(name, value)
+
+    def query(
+        self, query: Union[str, Query], max_events: int = 10_000_000
+    ) -> QueryResult:
+        """Query all nodes and wait for every response."""
+        qid = self.aggregator.submit(query, self.node_ids)
+        done = self.engine.run_until(
+            lambda: qid in self.aggregator.results, max_events=max_events
+        )
+        if not done:
+            raise QueryTimeoutError(f"centralized query {qid} never completed")
+        return self.aggregator.results.pop(qid)
+
+    def last_arrival_profile(self) -> list[float]:
+        """Arrival times (seconds since injection) of the most recent query's
+        responses; used for the Figure 15 CDF."""
+        if not self.aggregator.arrival_profiles:
+            return []
+        last_qid = max(self.aggregator.arrival_profiles)
+        return self.aggregator.arrival_profiles[last_qid]

@@ -1,0 +1,133 @@
+"""Dynamic-maintenance adaptation policy (paper Section 4, Figure 4).
+
+Each node keeps, per predicate, an ``update`` flag deciding whether it
+propagates pruning state to its parent:
+
+* ``update = 1`` (UPDATE): the node informs its parent of PRUNE/NO-PRUNE
+  transitions -- one message per change, and queries reach it only when
+  useful (cost ``c + 2*qs``).
+* ``update = 0`` (NO-UPDATE): the node stays silent and therefore must
+  receive every query (cost ``2*(qn + qs)``).
+
+The decision rule (Procedure 2) compares those costs over a recent window
+of events: switch to NO-UPDATE when ``2*qn < c``, to UPDATE when
+``2*qn > c``, where ``qn`` counts recent queries received while the node was
+not contributing ("NO-SAT" / own id absent from its updateSet), ``qs``
+queries while contributing, and ``c`` recent satisfiability changes.  The
+window holds the last ``k_UPDATE`` events in UPDATE state and the last
+``k_NO_UPDATE`` events in NO-UPDATE state; the paper finds (1, 3) works well
+and we default to that.
+
+Because a pruned node receives no queries, it learns about missed queries
+from the root-assigned sequence numbers piggybacked on later messages and
+accounts for the gap as ``qn`` events.
+
+Two degenerate policies give the baselines of Figure 9: ``ALWAYS_UPDATE``
+pins ``update = 1`` (the "Moara (Always-Update)" curve) and ``NEVER_UPDATE``
+pins ``update = 0``, making every query a global broadcast (the "Global"
+curve, equivalently the SDIMS single-tree approach).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["AdaptationConfig", "Adaptor", "MaintenancePolicy"]
+
+
+class MaintenancePolicy(Enum):
+    """How a node maintains its per-predicate tree state."""
+
+    ADAPTIVE = "adaptive"  # Moara's dynamic policy (Section 4)
+    ALWAYS_UPDATE = "always-update"  # aggressive tree maintenance baseline
+    NEVER_UPDATE = "never-update"  # global broadcast baseline ("Global")
+
+
+@dataclass(frozen=True)
+class AdaptationConfig:
+    """Tunables for the adaptation policy."""
+
+    policy: MaintenancePolicy = MaintenancePolicy.ADAPTIVE
+    k_update: int = 1  # window length while in UPDATE state
+    k_no_update: int = 3  # window length while in NO-UPDATE state
+
+    def __post_init__(self) -> None:
+        if self.k_update < 1 or self.k_no_update < 1:
+            raise ValueError("window lengths must be >= 1")
+
+
+_QUERY_SAT = "qs"
+_QUERY_NOSAT = "qn"
+_CHANGE = "c"
+
+
+@dataclass
+class Adaptor:
+    """Per-(node, predicate) adaptation state machine."""
+
+    config: AdaptationConfig = field(default_factory=AdaptationConfig)
+
+    def __post_init__(self) -> None:
+        # Paper Procedure 2: "Initial Value: update <- 0 // in the
+        # beginning, a node receives every query".
+        self.update = self.config.policy is MaintenancePolicy.ALWAYS_UPDATE
+        maxlen = max(self.config.k_update, self.config.k_no_update)
+        self._events: deque[str] = deque(maxlen=maxlen)
+
+    # ------------------------------------------------------------------
+    # event recording (each returns True when the update flag flipped)
+    # ------------------------------------------------------------------
+
+    def record_query(self, contributing: bool, missed: int = 0) -> bool:
+        """Account for one received query, plus ``missed`` earlier queries
+        inferred from a sequence-number gap (those arrived while this node
+        was pruned out, hence counted as non-contributing)."""
+        cap = self._events.maxlen or 0
+        for _ in range(min(missed, cap)):
+            self._events.append(_QUERY_NOSAT)
+        self._events.append(_QUERY_SAT if contributing else _QUERY_NOSAT)
+        return self._reevaluate()
+
+    def record_change(self) -> bool:
+        """Account for one satisfiability / updateSet change."""
+        self._events.append(_CHANGE)
+        return self._reevaluate()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def counts(self) -> tuple[int, int, int]:
+        """(qn, qs, c) over the window for the current state."""
+        k = (
+            self.config.k_update
+            if self.update
+            else self.config.k_no_update
+        )
+        recent = list(self._events)[-k:]
+        return (
+            recent.count(_QUERY_NOSAT),
+            recent.count(_QUERY_SAT),
+            recent.count(_CHANGE),
+        )
+
+    # ------------------------------------------------------------------
+    # Procedure 2
+    # ------------------------------------------------------------------
+
+    def _reevaluate(self) -> bool:
+        policy = self.config.policy
+        if policy is not MaintenancePolicy.ADAPTIVE:
+            return False  # pinned
+        qn, _qs, c = self.counts()
+        new_update = self.update
+        if 2 * qn < c:
+            new_update = False
+        elif 2 * qn > c:
+            new_update = True
+        if new_update == self.update:
+            return False
+        self.update = new_update
+        return True

@@ -1,0 +1,378 @@
+"""Partially aggregatable functions.
+
+Paper Section 3.1: "We require this aggregation function to be partially
+aggregatable.  In other words, given two partial aggregates for multiple
+disjoint sets of nodes, the aggregation function must produce an aggregate
+that corresponds to the union of these node sets.  This admits aggregation
+functions such as enumeration, max, min, sum, count, or top-k.  Average can
+be implemented by aggregating both sum and count."
+
+Each function defines a commutative, associative merge over *partial
+aggregates*; ``None`` is the universal identity ("no data").  Property tests
+verify the merge algebra for every registered function.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from abc import ABC, abstractmethod
+from typing import Any, Optional
+
+from repro.core.errors import UnknownAggregateError
+
+__all__ = [
+    "AggregateFunction",
+    "Average",
+    "BottomK",
+    "Count",
+    "Enumerate",
+    "Histogram",
+    "Maximum",
+    "Minimum",
+    "StdDev",
+    "Sum",
+    "TopK",
+    "get_function",
+    "merge_partials",
+    "registered_functions",
+]
+
+Partial = Any
+
+
+class AggregateFunction(ABC):
+    """A partially aggregatable function over per-node values."""
+
+    name: str = ""
+
+    @abstractmethod
+    def lift(self, value: Any, node_id: int) -> Partial:
+        """Convert one node's local value into a partial aggregate."""
+
+    @abstractmethod
+    def combine(self, a: Partial, b: Partial) -> Partial:
+        """Merge two non-None partial aggregates."""
+
+    def finalize(self, partial: Optional[Partial]) -> Any:
+        """Convert the final partial into the user-visible answer."""
+        return partial
+
+    def merge(self, a: Optional[Partial], b: Optional[Partial]) -> Optional[Partial]:
+        """Merge with None treated as the identity."""
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return self.combine(a, b)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def merge_partials(
+    function: AggregateFunction, partials: list[Optional[Partial]]
+) -> Optional[Partial]:
+    """Fold a list of partials through the function's merge."""
+    result: Optional[Partial] = None
+    for partial in partials:
+        result = function.merge(result, partial)
+    return result
+
+
+class Count(AggregateFunction):
+    """Number of contributing nodes."""
+
+    name = "count"
+
+    def lift(self, value: Any, node_id: int) -> int:
+        return 1
+
+    def combine(self, a: int, b: int) -> int:
+        return a + b
+
+    def finalize(self, partial: Optional[int]) -> int:
+        return 0 if partial is None else partial
+
+
+class Sum(AggregateFunction):
+    """Sum of values."""
+
+    name = "sum"
+
+    def lift(self, value: Any, node_id: int) -> float:
+        return value
+
+    def combine(self, a: float, b: float) -> float:
+        return a + b
+
+
+class Minimum(AggregateFunction):
+    """Minimum value (ties by node id for determinism)."""
+
+    name = "min"
+
+    def lift(self, value: Any, node_id: int) -> tuple[Any, int]:
+        return (value, node_id)
+
+    def combine(self, a: tuple[Any, int], b: tuple[Any, int]) -> tuple[Any, int]:
+        return min(a, b)
+
+    def finalize(self, partial: Optional[tuple[Any, int]]) -> Any:
+        return None if partial is None else partial[0]
+
+
+class Maximum(AggregateFunction):
+    """Maximum value (ties by node id for determinism)."""
+
+    name = "max"
+
+    def lift(self, value: Any, node_id: int) -> tuple[Any, int]:
+        return (value, node_id)
+
+    def combine(self, a: tuple[Any, int], b: tuple[Any, int]) -> tuple[Any, int]:
+        return max(a, b)
+
+    def finalize(self, partial: Optional[tuple[Any, int]]) -> Any:
+        return None if partial is None else partial[0]
+
+
+class Average(AggregateFunction):
+    """Mean, carried as (sum, count) per the paper."""
+
+    name = "avg"
+
+    def lift(self, value: Any, node_id: int) -> tuple[float, int]:
+        return (value, 1)
+
+    def combine(
+        self, a: tuple[float, int], b: tuple[float, int]
+    ) -> tuple[float, int]:
+        return (a[0] + b[0], a[1] + b[1])
+
+    def finalize(self, partial: Optional[tuple[float, int]]) -> Optional[float]:
+        if partial is None:
+            return None
+        total, count = partial
+        return total / count
+
+
+class StdDev(AggregateFunction):
+    """Population standard deviation, carried as (count, sum, sum-of-squares)."""
+
+    name = "std"
+
+    def lift(self, value: Any, node_id: int) -> tuple[int, float, float]:
+        return (1, value, value * value)
+
+    def combine(
+        self, a: tuple[int, float, float], b: tuple[int, float, float]
+    ) -> tuple[int, float, float]:
+        return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+    def finalize(
+        self, partial: Optional[tuple[int, float, float]]
+    ) -> Optional[float]:
+        if partial is None:
+            return None
+        n, total, squares = partial
+        variance = squares / n - (total / n) ** 2
+        return math.sqrt(max(variance, 0.0))
+
+
+class TopK(AggregateFunction):
+    """The k largest (value, node) pairs, e.g. "top-3 loaded hosts"."""
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.name = f"top{k}"
+
+    def lift(self, value: Any, node_id: int) -> tuple[tuple[Any, int], ...]:
+        return ((value, node_id),)
+
+    def combine(
+        self,
+        a: tuple[tuple[Any, int], ...],
+        b: tuple[tuple[Any, int], ...],
+    ) -> tuple[tuple[Any, int], ...]:
+        merged = sorted(a + b, key=lambda pair: (-pair[0], pair[1]))
+        return tuple(merged[: self.k])
+
+    def finalize(
+        self, partial: Optional[tuple[tuple[Any, int], ...]]
+    ) -> list[tuple[Any, int]]:
+        return [] if partial is None else list(partial)
+
+    def __repr__(self) -> str:
+        return f"TopK(k={self.k})"
+
+
+class BottomK(AggregateFunction):
+    """The k smallest (value, node) pairs."""
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.name = f"bottom{k}"
+
+    def lift(self, value: Any, node_id: int) -> tuple[tuple[Any, int], ...]:
+        return ((value, node_id),)
+
+    def combine(
+        self,
+        a: tuple[tuple[Any, int], ...],
+        b: tuple[tuple[Any, int], ...],
+    ) -> tuple[tuple[Any, int], ...]:
+        merged = sorted(a + b, key=lambda pair: (pair[0], pair[1]))
+        return tuple(merged[: self.k])
+
+    def finalize(
+        self, partial: Optional[tuple[tuple[Any, int], ...]]
+    ) -> list[tuple[Any, int]]:
+        return [] if partial is None else list(partial)
+
+    def __repr__(self) -> str:
+        return f"BottomK(k={self.k})"
+
+
+class Histogram(AggregateFunction):
+    """Fixed-bucket histogram over ``[low, high)``.
+
+    The partial aggregate is a tuple of bucket counts (plus underflow and
+    overflow), which is trivially partially aggregatable.  ``finalize``
+    returns a dict with bucket edges, counts, and an approximate median
+    (useful for utilization dashboards; exact quantiles are not partially
+    aggregatable, the paper's model admits only functions that are).
+    """
+
+    def __init__(self, low: float, high: float, buckets: int = 10) -> None:
+        if buckets <= 0:
+            raise ValueError("buckets must be positive")
+        if not high > low:
+            raise ValueError("high must exceed low")
+        self.low = low
+        self.high = high
+        self.buckets = buckets
+        self.name = f"hist{buckets}"
+
+    def _bucket_of(self, value: float) -> int:
+        """0 = underflow, 1..buckets = in range, buckets+1 = overflow."""
+        if value < self.low:
+            return 0
+        if value >= self.high:
+            return self.buckets + 1
+        width = (self.high - self.low) / self.buckets
+        return 1 + int((value - self.low) / width)
+
+    def lift(self, value: Any, node_id: int) -> tuple[int, ...]:
+        counts = [0] * (self.buckets + 2)
+        counts[self._bucket_of(value)] = 1
+        return tuple(counts)
+
+    def combine(
+        self, a: tuple[int, ...], b: tuple[int, ...]
+    ) -> tuple[int, ...]:
+        return tuple(x + y for x, y in zip(a, b))
+
+    def finalize(self, partial: Optional[tuple[int, ...]]) -> dict[str, Any]:
+        if partial is None:
+            partial = tuple([0] * (self.buckets + 2))
+        total = sum(partial)
+        width = (self.high - self.low) / self.buckets
+        edges = [self.low + i * width for i in range(self.buckets + 1)]
+        median = None
+        if total:
+            seen = 0
+            for bucket, count in enumerate(partial):
+                seen += count
+                if seen * 2 >= total:
+                    if bucket == 0:
+                        median = self.low
+                    elif bucket == self.buckets + 1:
+                        median = self.high
+                    else:
+                        median = edges[bucket - 1] + width / 2
+                    break
+        return {
+            "edges": edges,
+            "counts": list(partial[1:-1]),
+            "underflow": partial[0],
+            "overflow": partial[-1],
+            "total": total,
+            "approx_median": median,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.low}, {self.high}, buckets={self.buckets})"
+
+
+class Enumerate(AggregateFunction):
+    """Full enumeration of (node, value) pairs ("list of all VMs ...")."""
+
+    name = "list"
+
+    def lift(self, value: Any, node_id: int) -> tuple[tuple[int, Any], ...]:
+        return ((node_id, value),)
+
+    def combine(
+        self,
+        a: tuple[tuple[int, Any], ...],
+        b: tuple[tuple[int, Any], ...],
+    ) -> tuple[tuple[int, Any], ...]:
+        return tuple(sorted(a + b))
+
+    def finalize(
+        self, partial: Optional[tuple[tuple[int, Any], ...]]
+    ) -> list[tuple[int, Any]]:
+        return [] if partial is None else list(partial)
+
+
+_FIXED_FUNCTIONS: dict[str, AggregateFunction] = {
+    function.name: function
+    for function in (
+        Count(),
+        Sum(),
+        Minimum(),
+        Maximum(),
+        Average(),
+        StdDev(),
+        Enumerate(),
+    )
+}
+
+_TOP_RE = re.compile(r"^top[-_]?(\d+)$")
+_BOTTOM_RE = re.compile(r"^bottom[-_]?(\d+)$")
+
+
+def get_function(name: str) -> AggregateFunction:
+    """Look up an aggregation function by name.
+
+    Fixed names: count, sum, min, max, avg, std, list.  Parameterized:
+    ``top<k>`` and ``bottom<k>`` (e.g. ``top3`` for the paper's "top-3
+    loaded hosts" query).
+    """
+    key = name.strip().lower()
+    if key in ("mean", "average"):
+        key = "avg"
+    if key in ("enum", "enumerate"):
+        key = "list"
+    if key in _FIXED_FUNCTIONS:
+        return _FIXED_FUNCTIONS[key]
+    match = _TOP_RE.match(key)
+    if match:
+        return TopK(int(match.group(1)))
+    match = _BOTTOM_RE.match(key)
+    if match:
+        return BottomK(int(match.group(1)))
+    raise UnknownAggregateError(
+        f"unknown aggregation function {name!r}; known: "
+        f"{sorted(_FIXED_FUNCTIONS)} plus top<k>/bottom<k>"
+    )
+
+
+def registered_functions() -> list[str]:
+    """Names of the fixed (non-parameterized) functions."""
+    return sorted(_FIXED_FUNCTIONS)

@@ -1,0 +1,217 @@
+"""One-stop deployment harness: overlay + network + agents + front-end.
+
+:class:`MoaraCluster` assembles a complete simulated Moara deployment and
+offers a synchronous ``query()`` API by driving the discrete-event engine
+until the answer arrives.  All examples, tests, and benchmarks build on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Union
+
+from repro.core.frontend import Frontend, ProbePolicy
+from repro.core.moara_node import MoaraConfig, MoaraNode
+from repro.core.parser import parse_predicate
+from repro.core.planner import SemanticContext
+from repro.core.predicates import Predicate
+from repro.core.query import Query, QueryResult
+from repro.core.errors import QueryTimeoutError
+from repro.pastry.idspace import IdSpace
+from repro.pastry.overlay import Overlay
+from repro.sim.engine import Engine
+from repro.sim.latency import LatencyModel, ZeroLatencyModel
+from repro.sim.network import Network
+from repro.sim.stats import MessageStats
+
+__all__ = ["MoaraCluster"]
+
+FRONTEND_ID = -1
+
+
+class MoaraCluster:
+    """A complete simulated Moara deployment."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        seed: int = 0,
+        latency_model: Optional[
+            Union[LatencyModel, Callable[[list[int]], LatencyModel]]
+        ] = None,
+        config: Optional[MoaraConfig] = None,
+        space: Optional[IdSpace] = None,
+        probe_policy: ProbePolicy = ProbePolicy.COMPOSITE,
+        semantics: Optional[SemanticContext] = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.engine = Engine()
+        self.stats = MessageStats()
+        self.network = Network(self.engine, ZeroLatencyModel(), self.stats)
+        self.overlay = Overlay(space or IdSpace())
+        self.config = config or MoaraConfig()
+        self.nodes: dict[int, MoaraNode] = {}
+        self._seed = seed
+        self._next_seed = seed + 1
+
+        ids = self.overlay.generate_ids(num_nodes, seed=seed)
+        # Latency models that depend on the membership (e.g. the WAN model's
+        # cluster/straggler assignment) are built from a factory once the
+        # ids are known; FRONTEND_ID is included as the client machine.
+        if callable(latency_model) and not isinstance(
+            latency_model, LatencyModel
+        ):
+            latency_model = latency_model(ids + [FRONTEND_ID])
+        if latency_model is not None:
+            self.network.set_latency_model(latency_model)
+        for node_id in ids:
+            node = MoaraNode(node_id, self.overlay, self.network, self.config)
+            self.nodes[node_id] = node
+            self.network.attach(node)
+        # Subscribe before joining so reconfiguration callbacks always fire,
+        # but the initial bulk join needs no repair (no state exists yet).
+        self.overlay.add_listener(self._on_membership_change)
+        self.overlay.bulk_join(ids)
+
+        self.frontend = Frontend(
+            self.network,
+            self.overlay,
+            node_id=FRONTEND_ID,
+            probe_policy=probe_policy,
+            semantics=semantics,
+        )
+
+    # ------------------------------------------------------------------
+    # membership plumbing
+    # ------------------------------------------------------------------
+
+    def _on_membership_change(self, joined: set[int], left: set[int]) -> None:
+        for node in self.nodes.values():
+            node.on_membership_change(joined, left)
+
+    @property
+    def node_ids(self) -> list[int]:
+        """Sorted ids of all overlay members."""
+        return self.overlay.node_ids
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # attribute management
+    # ------------------------------------------------------------------
+
+    def set_attribute(self, node_id: int, name: str, value: Any) -> bool:
+        """Set one attribute on one node (group churn entry point)."""
+        return self.nodes[node_id].attributes.set(name, value)
+
+    def set_attribute_all(self, name: str, value: Any) -> None:
+        """Set an attribute on every node."""
+        for node in self.nodes.values():
+            node.attributes.set(name, value)
+
+    def set_group(
+        self,
+        attr: str,
+        members: Iterable[int],
+        member_value: Any = True,
+        other_value: Any = False,
+    ) -> None:
+        """Define a group: ``attr = member_value`` on members, the fallback
+        value elsewhere (so predicates evaluate on every node)."""
+        member_set = set(members)
+        for node_id, node in self.nodes.items():
+            value = member_value if node_id in member_set else other_value
+            node.attributes.set(attr, value)
+
+    def members_satisfying(self, predicate: Union[str, Predicate]) -> set[int]:
+        """Ground truth: nodes whose local attributes satisfy a predicate."""
+        if isinstance(predicate, str):
+            predicate = parse_predicate(predicate)
+        return {
+            node_id
+            for node_id, node in self.nodes.items()
+            if node_id in self.overlay
+            and self.network.is_alive(node_id)
+            and predicate.evaluate(node.attributes)
+        }
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        query: Union[str, Query],
+        max_events: int = 10_000_000,
+    ) -> QueryResult:
+        """Submit a query and run the engine until its answer arrives."""
+        qid = self.frontend.submit(query)
+        done = self.engine.run_until(
+            lambda: qid in self.frontend.results, max_events=max_events
+        )
+        if not done:
+            raise QueryTimeoutError(
+                f"query {qid} did not complete (simulation went idle)"
+            )
+        return self.frontend.results.pop(qid)
+
+    def query_async(self, query: Union[str, Query]) -> str:
+        """Submit without driving the engine; returns the query id."""
+        return self.frontend.submit(query)
+
+    def result(self, qid: str) -> Optional[QueryResult]:
+        """Fetch (and remove) a completed async result, if available."""
+        return self.frontend.results.pop(qid, None)
+
+    # ------------------------------------------------------------------
+    # churn operations
+    # ------------------------------------------------------------------
+
+    def join_node(self, node_id: Optional[int] = None) -> int:
+        """Add a fresh node to the overlay; returns its id."""
+        if node_id is None:
+            node_id = self.overlay.generate_ids(1, seed=self._next_seed)[0]
+            self._next_seed += 1
+        node = MoaraNode(node_id, self.overlay, self.network, self.config)
+        self.nodes[node_id] = node
+        self.network.attach(node)
+        self.overlay.add_node(node_id)
+        return node_id
+
+    def leave_node(self, node_id: int) -> None:
+        """Graceful departure: the overlay repairs immediately."""
+        self.overlay.remove_node(node_id)
+        self.network.detach(node_id)
+        del self.nodes[node_id]
+
+    def crash_node(
+        self, node_id: int, detection_delay: float = 0.0
+    ) -> None:
+        """Fail-stop crash.  The node drops off the network at once; the
+        overlay learns of the failure after ``detection_delay`` seconds
+        (FreePastry's failure detector), at which point trees repair and
+        stuck queries resolve."""
+        self.network.crash(node_id)
+
+        def detect() -> None:
+            if node_id in self.overlay:
+                self.overlay.remove_node(node_id)
+
+        self.engine.schedule(detection_delay, detect)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def run(self, seconds: float) -> None:
+        """Advance the simulation by ``seconds``."""
+        self.engine.run(until=self.engine.now + seconds)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Drain all pending protocol activity."""
+        self.engine.run_until_idle(max_events=max_events)

@@ -1,0 +1,87 @@
+"""Derived attributes (paper Section 3.1's query-model extension).
+
+"Note that the query model can be easily extended so that instead of a
+query-attribute, a querier can specify any arbitrary program that operates
+upon simple (attribute, value) pairs. ... Similarly, group-predicate can be
+extended to contain multiple attributes by defining new attributes.  For
+example, we can define a new attribute att as
+(CPU-Available > CPU-Needed-For-App-A), which takes a boolean value of
+true/false.  Then att can be used to specify a group."
+
+A :class:`DerivedAttribute` is a named function over a node's base
+attributes.  Installing it on an :class:`~repro.core.attributes.
+AttributeStore` materializes the value as a regular attribute and keeps it
+current as inputs change -- so the full machinery (group trees, pruning,
+adaptation, planning) applies to derived groups with no special cases:
+derived-value changes are ordinary group churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+from repro.core.attributes import AttributeStore
+
+__all__ = ["DerivedAttribute", "install_derived"]
+
+#: A derived attribute's program: base attributes in, one value out.
+#: Returning None removes the attribute (inputs missing / undefined).
+Program = Callable[[Mapping[str, Any]], Optional[Any]]
+
+
+@dataclass(frozen=True)
+class DerivedAttribute:
+    """A named program over a node's (attribute, value) pairs."""
+
+    name: str
+    inputs: frozenset[str]
+    program: Program
+
+    def __init__(self, name: str, inputs: Iterable[str], program: Program) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "inputs", frozenset(inputs))
+        object.__setattr__(self, "program", program)
+        if not self.inputs:
+            raise ValueError("a derived attribute needs at least one input")
+        if name in self.inputs:
+            raise ValueError("a derived attribute cannot be its own input")
+
+    def evaluate(self, attrs: Mapping[str, Any]) -> Optional[Any]:
+        """Run the program defensively; errors mean "undefined"."""
+        try:
+            return self.program(attrs)
+        except Exception:
+            return None
+
+
+def install_derived(store: AttributeStore, derived: DerivedAttribute) -> None:
+    """Materialize ``derived`` on ``store`` and keep it current.
+
+    The derived value is recomputed whenever any input attribute changes;
+    updates flow through the store's normal change notification, so the
+    protocol layer sees them as regular group churn.
+    """
+
+    recomputing = False  # re-entrancy guard: our own set() fires listeners
+
+    def recompute() -> None:
+        nonlocal recomputing
+        if recomputing:
+            return
+        recomputing = True
+        try:
+            value = derived.evaluate(store)
+            if value is None:
+                store.delete(derived.name)
+            else:
+                store.set(derived.name, value)
+        finally:
+            recomputing = False
+
+    def on_change(name: str, old: Any, new: Any) -> None:
+        if name in derived.inputs:
+            recompute()
+
+    store.add_listener(on_change)
+    recompute()

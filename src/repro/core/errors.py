@@ -1,0 +1,37 @@
+"""Exception hierarchy for the Moara core."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MoaraError",
+    "ParseError",
+    "PlanningError",
+    "UnknownAggregateError",
+    "QueryTimeoutError",
+]
+
+
+class MoaraError(Exception):
+    """Base class for all Moara errors."""
+
+
+class ParseError(MoaraError):
+    """The query text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PlanningError(MoaraError):
+    """The composite-query planner could not produce a cover."""
+
+
+class UnknownAggregateError(MoaraError):
+    """The requested aggregation function is not registered."""
+
+
+class QueryTimeoutError(MoaraError):
+    """A query did not complete within the configured deadline."""

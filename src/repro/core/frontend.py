@@ -1,0 +1,291 @@
+"""The Moara front-end (paper Section 7, "Moara Front-End").
+
+The front-end is the client-side interface: it parses queries, runs the
+composite-query planner, optionally probes tree roots for query-cost
+estimates, dispatches one sub-query per group in the chosen cover, and
+merges the per-group partial aggregates into the final answer ("the
+front-end waits until it receives all the results from sub-queries,
+aggregates the results returned by the sub-queries, and returns the final
+aggregate to the user").
+
+It attaches to the simulated network as an ordinary process (a client
+machine outside the overlay).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Optional, Union
+
+from repro.core import messages as mt
+from repro.core.moara_node import group_attribute
+from repro.core.parser import parse_query
+from repro.core.planner import (
+    QueryPlan,
+    SemanticContext,
+    choose_cover,
+    plan_predicate,
+)
+from repro.core.predicates import Predicate, TruePredicate
+from repro.core.query import Query, QueryResult
+from repro.pastry.overlay import Overlay
+from repro.sim.network import Message, Network
+
+__all__ = ["Frontend", "ProbePolicy"]
+
+ResultCallback = Callable[[QueryResult], None]
+
+
+class ProbePolicy(Enum):
+    """When the front-end sends size probes before a query."""
+
+    #: Probe whenever the query involves more than one group (the paper's
+    #: behaviour: all composite queries are preceded by size probes).
+    COMPOSITE = "composite"
+    #: Probe only when several candidate covers compete (pure unions skip).
+    MULTI_COVER = "multi-cover"
+    #: Never probe; break ties with default costs.
+    NEVER = "never"
+
+
+@dataclass
+class _PendingProbe:
+    qid: str
+    plan: QueryPlan
+    query: Query
+    waiting: set[str]  # canonical predicate keys awaiting SIZE_RESPONSE
+    costs: dict[str, int] = field(default_factory=dict)
+    started_at: float = 0.0
+
+
+@dataclass
+class _PendingQuery:
+    qid: str
+    query: Query
+    plan: QueryPlan
+    waiting: set[str]  # canonical keys of cover groups awaiting answers
+    cover: list[str]
+    partial: Any = None
+    contributors: int = 0
+    started_at: float = 0.0
+    probe_latency: float = 0.0
+    probed_costs: dict[str, int] = field(default_factory=dict)
+    callback: Optional[ResultCallback] = None
+    messages_before: int = 0
+
+
+class Frontend:
+    """Client-side query coordinator."""
+
+    def __init__(
+        self,
+        network: Network,
+        overlay: Overlay,
+        node_id: int = -1,
+        probe_policy: ProbePolicy = ProbePolicy.COMPOSITE,
+        semantics: Optional[SemanticContext] = None,
+    ) -> None:
+        self.network = network
+        self.overlay = overlay
+        self.node_id = node_id
+        self.probe_policy = probe_policy
+        self.semantics = semantics or SemanticContext()
+        self._qid_counter = itertools.count(1)
+        self._pending_probes: dict[str, _PendingProbe] = {}
+        self._pending_queries: dict[str, _PendingQuery] = {}
+        self.results: dict[str, QueryResult] = {}
+        network.attach(self)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query: Union[str, Query],
+        callback: Optional[ResultCallback] = None,
+    ) -> str:
+        """Parse/plan a query and start executing it; returns the query id.
+
+        The result lands in :attr:`results` (and the callback fires) once
+        all sub-queries answer; drive the simulation engine to completion.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        qid = f"fe{self.node_id}-{next(self._qid_counter)}"
+        now = self.network.engine.now
+        plan = plan_predicate(query.predicate, self.semantics)
+
+        if plan.unsatisfiable:
+            # Figure 7's "{}" cover: provably no node satisfies the query.
+            result = QueryResult(
+                query=query,
+                value=query.function.finalize(None),
+                cover=[],
+                short_circuited=True,
+            )
+            self._complete(qid, result, callback)
+            return qid
+
+        pending = _PendingQuery(
+            qid=qid,
+            query=query,
+            plan=plan,
+            waiting=set(),
+            cover=[],
+            started_at=now,
+            callback=callback,
+            messages_before=self.network.stats.total_messages,
+        )
+        self._pending_queries[qid] = pending
+
+        if plan.global_group:
+            self._dispatch(pending, [TruePredicate()])
+            return qid
+
+        if self._should_probe(plan):
+            groups = sorted(plan.all_groups(), key=lambda p: p.canonical())
+            probe = _PendingProbe(
+                qid=qid,
+                plan=plan,
+                query=query,
+                waiting={p.canonical() for p in groups},
+                started_at=now,
+            )
+            self._pending_probes[qid] = probe
+            for group in groups:
+                self._send_probe(qid, group)
+        else:
+            cover = choose_cover(plan, {})
+            self._dispatch(pending, sorted(cover, key=lambda p: p.canonical()))
+        return qid
+
+    def _should_probe(self, plan: QueryPlan) -> bool:
+        if self.probe_policy is ProbePolicy.NEVER:
+            return False
+        if self.probe_policy is ProbePolicy.MULTI_COVER:
+            return plan.needs_probes()
+        # COMPOSITE: anything touching more than one group gets probed.
+        return len(plan.all_groups()) > 1 or plan.needs_probes()
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+
+    def _send_probe(self, qid: str, group: Predicate) -> None:
+        root = self.overlay.root(
+            self.overlay.space.hash_name(group_attribute(group))
+        )
+        self.network.send(
+            self.node_id,
+            root,
+            mt.SIZE_PROBE,
+            {"probe_id": qid, "predicate": group},
+        )
+
+    def _handle_size_response(self, message: Message) -> None:
+        payload = message.payload
+        probe = self._pending_probes.get(payload["probe_id"])
+        if probe is None:
+            return
+        key = payload["pred_key"]
+        if key not in probe.waiting:
+            return
+        probe.waiting.discard(key)
+        probe.costs[key] = payload["cost"]
+        if probe.waiting:
+            return
+        # All probes answered: choose the cheapest cover and fire.
+        del self._pending_probes[probe.qid]
+        pending = self._pending_queries[probe.qid]
+        pending.probe_latency = self.network.engine.now - probe.started_at
+        pending.probed_costs = dict(probe.costs)
+        cover = choose_cover(probe.plan, probe.costs)
+        self._dispatch(pending, sorted(cover, key=lambda p: p.canonical()))
+
+    # ------------------------------------------------------------------
+    # sub-query dispatch and merging
+    # ------------------------------------------------------------------
+
+    def _dispatch(
+        self, pending: _PendingQuery, cover_groups: list[Predicate]
+    ) -> None:
+        pending.cover = [g.canonical() for g in cover_groups]
+        pending.waiting = set(pending.cover)
+        for group in cover_groups:
+            root = self.overlay.root(
+                self.overlay.space.hash_name(group_attribute(group))
+            )
+            self.network.send(
+                self.node_id,
+                root,
+                mt.FRONTEND_QUERY,
+                {
+                    "qid": pending.qid,
+                    "query": pending.query,
+                    "predicate": group,
+                },
+            )
+
+    def _handle_frontend_response(self, message: Message) -> None:
+        payload = message.payload
+        pending = self._pending_queries.get(payload["qid"])
+        if pending is None:
+            return
+        key = payload["pred_key"]
+        if key not in pending.waiting:
+            return
+        pending.waiting.discard(key)
+        pending.partial = pending.query.function.merge(
+            pending.partial, payload["partial"]
+        )
+        pending.contributors += payload["contributors"]
+        if pending.waiting:
+            return
+        del self._pending_queries[pending.qid]
+        now = self.network.engine.now
+        result = QueryResult(
+            query=pending.query,
+            value=pending.query.function.finalize(pending.partial),
+            cover=pending.cover,
+            contributors=pending.contributors,
+            latency=now - pending.started_at,
+            message_cost=self.network.stats.total_messages
+            - pending.messages_before,
+            probed_costs=pending.probed_costs,
+            probe_latency=pending.probe_latency,
+        )
+        self._complete(pending.qid, result, pending.callback)
+
+    def _complete(
+        self,
+        qid: str,
+        result: QueryResult,
+        callback: Optional[ResultCallback],
+    ) -> None:
+        if callback is not None:
+            # Callback-style consumers (periodic monitors) own the result;
+            # storing it too would grow `results` without bound.
+            callback(result)
+        else:
+            self.results[qid] = result
+
+    # ------------------------------------------------------------------
+    # network entry point
+    # ------------------------------------------------------------------
+
+    def handle_message(self, message: Message) -> None:
+        if message.mtype == mt.SIZE_RESPONSE:
+            self._handle_size_response(message)
+        elif message.mtype == mt.FRONTEND_RESPONSE:
+            self._handle_frontend_response(message)
+        else:
+            raise ValueError(
+                f"front-end received unexpected message {message.mtype!r}"
+            )
+
+    def is_idle(self) -> bool:
+        """True when no queries or probes are outstanding."""
+        return not self._pending_probes and not self._pending_queries

@@ -1,0 +1,45 @@
+"""Protocol message types.
+
+See DESIGN.md Section 4 for the payload schema of each type.  Message
+payloads carry Python objects directly (predicates, partial aggregates);
+the network layer estimates wire sizes for byte accounting, but the paper's
+metrics are message *counts*, which are exact.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FRONTEND_QUERY",
+    "FRONTEND_RESPONSE",
+    "QUERY",
+    "QUERY_RESPONSE",
+    "SIZE_PROBE",
+    "SIZE_RESPONSE",
+    "STATE_SYNC",
+    "STATUS_UPDATE",
+]
+
+#: Query propagation down a group tree (root -> forwarding graph).
+QUERY = "QUERY"
+
+#: Partial aggregate flowing back up the query-forwarding graph.
+QUERY_RESPONSE = "QUERY_RESPONSE"
+
+#: PRUNE / NO-PRUNE + updateSet from a node to its DHT parent (Sections 4-5).
+STATUS_UPDATE = "STATUS_UPDATE"
+
+#: State re-announcement to a new parent after overlay reconfiguration
+#: (Section 7, "Reconfigurations").
+STATE_SYNC = "STATE_SYNC"
+
+#: Front-end asking a tree root for its current query-cost estimate (2*np).
+SIZE_PROBE = "SIZE_PROBE"
+
+#: Root's reply to a size probe.
+SIZE_RESPONSE = "SIZE_RESPONSE"
+
+#: Front-end injecting a (sub-)query at a tree root.
+FRONTEND_QUERY = "FRONTEND_QUERY"
+
+#: Root returning the aggregated answer for one sub-query to the front-end.
+FRONTEND_RESPONSE = "FRONTEND_RESPONSE"

@@ -1,0 +1,540 @@
+"""The Moara agent: per-node protocol engine.
+
+One :class:`MoaraNode` runs at every server (paper Section 3.1: "Moara has
+an agent running at each node that monitors the node and populates
+(attribute, value) pairs").  It implements:
+
+* query propagation down the group tree and in-network aggregation back up
+  (Section 3.2), including the duplicate-answer suppression for composite
+  covers (Section 6.2);
+* the PRUNE/NO-PRUNE state machine with dynamic adaptation (Section 4);
+* the separate query plane's ``updateSet``/``qSet`` forwarding (Section 5);
+* lazily aggregated subtree receive-counts serving size probes (Section 6.3);
+* reconfiguration handling: re-announcing state to a new parent and
+  resolving in-flight queries when nodes fail (Section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core import messages as mt
+from repro.core.adapt import AdaptationConfig, Adaptor
+from repro.core.attributes import AttributeStore
+from repro.core.gc import GCPolicy, NoGC
+from repro.core.predicates import Predicate, SimplePredicate, TruePredicate
+from repro.core.query import Query, STAR_ATTRIBUTE
+from repro.core.tree_state import PredicateTreeState
+from repro.pastry.overlay import Overlay
+from repro.sim.engine import EventHandle
+from repro.sim.network import Message, Network
+
+__all__ = ["MoaraConfig", "MoaraNode", "group_attribute"]
+
+
+def group_attribute(predicate: Predicate) -> str:
+    """The attribute whose MD5 hash names the group's DHT tree.
+
+    Paper Section 3.2: "Moara uses MD-5 to hash the group-attribute field".
+    The global group (TruePredicate) uses the reserved name ``*``.
+    """
+    if isinstance(predicate, SimplePredicate):
+        return predicate.attr
+    if isinstance(predicate, TruePredicate):
+        return STAR_ATTRIBUTE
+    raise TypeError(
+        "group trees exist only for simple predicates or the global group, "
+        f"got {type(predicate).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class MoaraConfig:
+    """Per-node protocol tunables."""
+
+    adaptation: AdaptationConfig = field(default_factory=AdaptationConfig)
+    #: Section 5 separate-query-plane threshold; 1 disables the SQP and
+    #: degenerates to the plain pruned tree of Section 4.
+    threshold: int = 2
+    #: Seconds an aggregating node waits for children before answering with
+    #: what it has; None waits indefinitely (the PlanetLab methodology).
+    child_timeout: Optional[float] = None
+    #: How long a node remembers answered query ids for duplicate
+    #: suppression across cover groups (paper: "cached for 5 minutes").
+    answered_ttl: float = 300.0
+    #: Factory for the per-node predicate-state GC policy (Section 4 lists
+    #: idle-timeout, keep-last-k, and least-frequently-queried; see
+    #: :mod:`repro.core.gc`).  None keeps state forever.
+    gc_policy_factory: Optional[Callable[[], GCPolicy]] = None
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError("threshold must be >= 1")
+
+
+@dataclass
+class _PendingQuery:
+    """An aggregation in progress at one node for one (query, group)."""
+
+    qid: str
+    pred_key: str
+    query: Query
+    reply_to: int
+    reply_mtype: str
+    waiting: set[int]
+    partial: Any
+    contributors: int
+    timeout_handle: Optional[EventHandle] = None
+
+
+class MoaraNode:
+    """The protocol engine attached to one overlay node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        overlay: Overlay,
+        network: Network,
+        config: Optional[MoaraConfig] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.overlay = overlay
+        self.network = network
+        self.config = config or MoaraConfig()
+        self.attributes = AttributeStore()
+        self.attributes.add_listener(self._on_attribute_change)
+        #: predicate canonical key -> tree state
+        self.states: dict[str, PredicateTreeState] = {}
+        self._pending: dict[tuple[str, str], _PendingQuery] = {}
+        #: query ids whose local value we already contributed (dedup across
+        #: the multiple trees of a composite cover), with expiry times.
+        self._answered: dict[str, float] = {}
+        #: (qid, pred_key) pairs already processed (duplicate delivery guard).
+        self._seen_queries: dict[tuple[str, str], float] = {}
+        #: per-predicate query sequence counters (used while we are root).
+        self._seq_counters: dict[str, int] = {}
+        factory = self.config.gc_policy_factory
+        self.gc_policy: GCPolicy = factory() if factory is not None else NoGC()
+
+    # ------------------------------------------------------------------
+    # state management
+    # ------------------------------------------------------------------
+
+    def get_state(self, predicate: Predicate) -> PredicateTreeState:
+        """Fetch or lazily create tree state for a predicate.
+
+        Paper Section 4 ("State Maintenance"): "By default, each node does
+        not maintain any state ... A node starts maintaining states only
+        when a query arrives at the node" -- or, here, when a child reports.
+        """
+        key = predicate.canonical()
+        state = self.states.get(key)
+        if state is None:
+            tree_key = self.overlay.space.hash_name(group_attribute(predicate))
+            state = PredicateTreeState(
+                predicate=predicate,  # type: ignore[arg-type]
+                tree_key=tree_key,
+                node_id=self.node_id,
+                adaptor=Adaptor(self.config.adaptation),
+                threshold=self.config.threshold,
+            )
+            state.local_sat = predicate.evaluate(self.attributes)
+            state.computed_update_set = state.compute_update_set(
+                self._dht_children(state)
+            )
+            state.known_parent = self._dht_parent(state)
+            self.states[key] = state
+        return state
+
+    def garbage_collect(self, pred_key: str) -> bool:
+        """Drop state for a predicate if safe (node is in NO-UPDATE).
+
+        Paper: "a node in NO-UPDATE state for a predicate can safely
+        garbage-collect state information for that predicate without causing
+        any incorrectness."  Returns True if state was removed.
+        """
+        state = self.states.get(pred_key)
+        if state is None:
+            return False
+        if state.adaptor.update:
+            return False  # must keep updating the parent
+        if state.sent_update_set is not None and not state.would_receive_queries():
+            return False  # parent would never route queries back to us
+        if any(key[1] == pred_key for key in self._pending):
+            return False  # an aggregation for this predicate is in flight
+        del self.states[pred_key]
+        return True
+
+    def _dht_children(self, state: PredicateTreeState) -> list[int]:
+        if self.node_id not in self.overlay:
+            return []
+        return self.overlay.children(self.node_id, state.tree_key)
+
+    def _dht_parent(self, state: PredicateTreeState) -> Optional[int]:
+        if self.node_id not in self.overlay:
+            return None
+        return self.overlay.parent(self.node_id, state.tree_key)
+
+    def _is_root(self, state: PredicateTreeState) -> bool:
+        return self._dht_parent(state) is None
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+
+    def handle_message(self, message: Message) -> None:
+        """Network entry point."""
+        handler = {
+            mt.QUERY: self._handle_query,
+            mt.QUERY_RESPONSE: self._handle_response,
+            mt.STATUS_UPDATE: self._handle_status,
+            mt.STATE_SYNC: self._handle_status,
+            mt.SIZE_PROBE: self._handle_size_probe,
+            mt.FRONTEND_QUERY: self._handle_frontend_query,
+        }.get(message.mtype)
+        if handler is None:
+            raise ValueError(f"unexpected message type {message.mtype!r}")
+        handler(message)
+
+    # ------------------------------------------------------------------
+    # attribute changes (group churn)
+    # ------------------------------------------------------------------
+
+    def _on_attribute_change(self, name: str, old: Any, new: Any) -> None:
+        for state in list(self.states.values()):
+            if name not in state.predicate.attributes():
+                continue
+            new_sat = state.predicate.evaluate(self.attributes)
+            if new_sat != state.local_sat:
+                state.local_sat = new_sat
+                self._recompute(state)
+
+    # ------------------------------------------------------------------
+    # Sections 4 + 5: recompute / adapt / notify parent
+    # ------------------------------------------------------------------
+
+    def _recompute(self, state: PredicateTreeState) -> None:
+        """Re-derive the updateSet after any input changed; on a real
+        change, record an adaptation event and propagate if in UPDATE."""
+        new_set = state.compute_update_set(self._dht_children(state))
+        if new_set == state.computed_update_set:
+            return
+        state.computed_update_set = new_set
+        flipped = state.adaptor.record_change()
+        self._after_adaptation(state, flipped)
+        self._maybe_send_status(state)
+
+    def _after_adaptation(self, state: PredicateTreeState, flipped: bool) -> None:
+        if not flipped:
+            return
+        if not state.adaptor.update and not state.would_receive_queries():
+            # Entering NO-UPDATE requires prune = 0: tell the parent to keep
+            # sending us queries (own ID with NO-PRUNE, Section 5).
+            self._send_status(state, frozenset([self.node_id]))
+
+    def _maybe_send_status(self, state: PredicateTreeState) -> None:
+        """Push the computed updateSet to the parent when in UPDATE state
+        and the parent's view is stale."""
+        if not state.adaptor.update:
+            return
+        if self._is_root(state):
+            return  # the root has nobody to update
+        if state.computed_update_set != state.effective_sent_set():
+            self._send_status(state, state.computed_update_set)
+
+    def _send_status(
+        self, state: PredicateTreeState, update_set: frozenset[int]
+    ) -> None:
+        parent = self._dht_parent(state)
+        if parent is None:
+            return  # the root has nobody to update
+        state.known_parent = parent
+        state.sent_update_set = update_set
+        self.network.send(
+            self.node_id,
+            parent,
+            mt.STATUS_UPDATE,
+            {
+                "predicate": state.predicate,
+                "update_set": update_set,
+                "subtree_recv": state.subtree_recv(
+                    self._dht_children(state), is_root=False
+                ),
+                "last_seen_seq": state.last_seen_seq,
+            },
+        )
+
+    def _handle_status(self, message: Message) -> None:
+        payload = message.payload
+        state = self.get_state(payload["predicate"])
+        state.record_child_report(
+            message.src,
+            frozenset(payload["update_set"]),
+            payload.get("subtree_recv"),
+        )
+        self._recompute(state)
+
+    # ------------------------------------------------------------------
+    # query processing (Sections 3.2 and 5)
+    # ------------------------------------------------------------------
+
+    def _handle_frontend_query(self, message: Message) -> None:
+        """A sub-query arriving at this node as the tree root."""
+        payload = message.payload
+        state = self.get_state(payload["predicate"])
+        pred_key = state.predicate.canonical()
+        # The root stamps each query with a sequence number (Section 4);
+        # continue past our highest-seen value so a root change after churn
+        # keeps the sequence monotonic.
+        seq = max(self._seq_counters.get(pred_key, 0), state.last_seen_seq) + 1
+        self._seq_counters[pred_key] = seq
+        self._process_query(
+            state,
+            qid=payload["qid"],
+            seq=seq,
+            query=payload["query"],
+            reply_to=message.src,
+            reply_mtype=mt.FRONTEND_RESPONSE,
+        )
+
+    def _handle_query(self, message: Message) -> None:
+        payload = message.payload
+        state = self.get_state(payload["predicate"])
+        self._process_query(
+            state,
+            qid=payload["qid"],
+            seq=payload["seq"],
+            query=payload["query"],
+            reply_to=message.src,
+            reply_mtype=mt.QUERY_RESPONSE,
+        )
+
+    def _process_query(
+        self,
+        state: PredicateTreeState,
+        qid: str,
+        seq: int,
+        query: Query,
+        reply_to: int,
+        reply_mtype: str,
+    ) -> None:
+        pred_key = state.predicate.canonical()
+        key = (qid, pred_key)
+        now = self.network.engine.now
+        if key in self._pending or self._seen_queries.get(key, -1.0) >= now:
+            # Duplicate delivery (stale forwarding state): answer empty so
+            # the sender's aggregation completes; our value already flows
+            # through the other path.
+            self._send_reply(state, qid, reply_to, reply_mtype, None, 0)
+            return
+        self._seen_queries[key] = now + self.config.answered_ttl
+        self._prune_caches(now)
+        self.gc_policy.on_query(self, pred_key, now)
+        # Sweep other predicates; the one being processed right now is
+        # protected by its fresh on_query recency/frequency record and by
+        # the pending-query check in garbage_collect once forwarding starts.
+        for candidate in self.gc_policy.collect(self, now):
+            if candidate != pred_key:
+                self.garbage_collect(candidate)
+
+        # Sequence accounting: queries missed while pruned count as qn.
+        missed = max(0, seq - state.last_seen_seq - 1)
+        state.last_seen_seq = max(state.last_seen_seq, seq)
+        contributing = self.node_id in state.computed_update_set
+        flipped = state.adaptor.record_query(contributing, missed)
+        self._after_adaptation(state, flipped)
+        self._maybe_send_status(state)
+
+        children = self._dht_children(state)
+        targets = state.forward_targets(children)
+        # The DHT's failure detector: skip targets known to be dead.
+        live_targets = {t for t in targets if self.network.is_alive(t)}
+
+        partial, contributed = self._local_contribution(qid, query, now)
+        if not live_targets:
+            self._send_reply(
+                state, qid, reply_to, reply_mtype, partial, int(contributed)
+            )
+            return
+
+        pending = _PendingQuery(
+            qid=qid,
+            pred_key=pred_key,
+            query=query,
+            reply_to=reply_to,
+            reply_mtype=reply_mtype,
+            waiting=set(live_targets),
+            partial=partial,
+            contributors=int(contributed),
+        )
+        self._pending[key] = pending
+        for target in sorted(live_targets):
+            self.network.send(
+                self.node_id,
+                target,
+                mt.QUERY,
+                {
+                    "qid": qid,
+                    "seq": seq,
+                    "query": query,
+                    "predicate": state.predicate,
+                },
+            )
+        if self.config.child_timeout is not None:
+            pending.timeout_handle = self.network.engine.schedule(
+                self.config.child_timeout, self._on_timeout, key
+            )
+
+    def _local_contribution(
+        self, qid: str, query: Query, now: float
+    ) -> tuple[Any, bool]:
+        """Our own (value, contributed) for a query, with composite-cover
+        duplicate suppression (Section 6.2)."""
+        if not query.predicate.evaluate(self.attributes):
+            return None, False
+        expiry = self._answered.get(qid)
+        if expiry is not None and expiry >= now:
+            return None, False  # already answered via another cover group
+        if query.attr == STAR_ATTRIBUTE:
+            value: Any = 1
+        elif query.attr in self.attributes:
+            value = self.attributes[query.attr]
+        else:
+            return None, False  # satisfies the group but lacks the attribute
+        self._answered[qid] = now + self.config.answered_ttl
+        return query.function.lift(value, self.node_id), True
+
+    def _handle_response(self, message: Message) -> None:
+        payload = message.payload
+        pred_key = payload["pred_key"]
+        state = self.states.get(pred_key)
+        if state is not None and "subtree_recv" in payload:
+            # Piggybacked np maintenance (Section 6.3) -- only reports from
+            # our actual DHT children describe subtrees we own.
+            if message.src in set(self._dht_children(state)):
+                state.record_child_report(
+                    message.src, None, payload["subtree_recv"]
+                )
+        key = (payload["qid"], pred_key)
+        pending = self._pending.get(key)
+        if pending is None or message.src not in pending.waiting:
+            return  # late response after timeout/failure resolution
+        pending.waiting.discard(message.src)
+        pending.partial = pending.query.function.merge(
+            pending.partial, payload["partial"]
+        )
+        pending.contributors += payload["contributors"]
+        if not pending.waiting:
+            self._finalize(key)
+
+    def _on_timeout(self, key: tuple[str, str]) -> None:
+        """Child-response deadline: answer with what we have (Section 7)."""
+        if key in self._pending:
+            self._finalize(key)
+
+    def _finalize(self, key: tuple[str, str]) -> None:
+        pending = self._pending.pop(key)
+        if pending.timeout_handle is not None:
+            pending.timeout_handle.cancel()
+        state = self.states.get(pending.pred_key)
+        assert state is not None
+        self._send_reply(
+            state,
+            pending.qid,
+            pending.reply_to,
+            pending.reply_mtype,
+            pending.partial,
+            pending.contributors,
+        )
+
+    def _send_reply(
+        self,
+        state: PredicateTreeState,
+        qid: str,
+        reply_to: int,
+        reply_mtype: str,
+        partial: Any,
+        contributors: int,
+    ) -> None:
+        self.network.send(
+            self.node_id,
+            reply_to,
+            reply_mtype,
+            {
+                "qid": qid,
+                "pred_key": state.predicate.canonical(),
+                "partial": partial,
+                "contributors": contributors,
+                "subtree_recv": state.subtree_recv(
+                    self._dht_children(state), is_root=self._is_root(state)
+                ),
+                "last_seen_seq": state.last_seen_seq,
+            },
+        )
+
+    def _prune_caches(self, now: float) -> None:
+        if len(self._answered) > 1024:
+            self._answered = {
+                qid: exp for qid, exp in self._answered.items() if exp >= now
+            }
+        if len(self._seen_queries) > 4096:
+            self._seen_queries = {
+                k: exp for k, exp in self._seen_queries.items() if exp >= now
+            }
+
+    # ------------------------------------------------------------------
+    # size probes (Section 6.3)
+    # ------------------------------------------------------------------
+
+    def _handle_size_probe(self, message: Message) -> None:
+        payload = message.payload
+        state = self.get_state(payload["predicate"])
+        cost = 2 * state.subtree_recv(self._dht_children(state), is_root=True)
+        self.network.send(
+            self.node_id,
+            message.src,
+            mt.SIZE_RESPONSE,
+            {
+                "probe_id": payload["probe_id"],
+                "pred_key": state.predicate.canonical(),
+                "cost": cost,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # reconfiguration (Section 7)
+    # ------------------------------------------------------------------
+
+    def on_membership_change(self, joined: set[int], left: set[int]) -> None:
+        """React to overlay churn: resolve queries stuck on departed nodes
+        and re-announce state to new parents."""
+        if left:
+            for key in list(self._pending):
+                pending = self._pending.get(key)
+                if pending is None:
+                    continue
+                gone = pending.waiting & left
+                if gone:
+                    # "proceed assuming a NULL response from the child"
+                    pending.waiting -= gone
+                    if not pending.waiting:
+                        self._finalize(key)
+        if self.node_id not in self.overlay:
+            return  # we ourselves left; nothing further to maintain
+        for state in list(self.states.values()):
+            if left and state.forget_children(left & set(state.children)):
+                self._recompute(state)
+            new_parent = self._dht_parent(state)
+            if new_parent != state.known_parent:
+                state.known_parent = new_parent
+                if new_parent is None:
+                    continue  # we became the root
+                if state.adaptor.update:
+                    # "it sends its current state information ... to the
+                    # new parent"
+                    self._send_status(state, state.computed_update_set)
+                else:
+                    # NO-UPDATE: the new parent's default view (forward
+                    # directly to us) is exactly what correctness needs.
+                    state.sent_update_set = None

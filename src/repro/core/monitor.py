@@ -1,0 +1,74 @@
+"""Periodic one-shot monitoring (paper Section 1).
+
+"a user interested in monitoring groups continually can invoke one-shot
+queries periodically."  :class:`PeriodicMonitor` does exactly that: it
+re-submits a query every ``period`` seconds of simulated time, collects the
+results, and invokes an optional callback per sample -- the pattern behind
+dashboards built on Moara.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from repro.core.cluster import MoaraCluster
+from repro.core.parser import parse_query
+from repro.core.query import Query, QueryResult
+
+__all__ = ["PeriodicMonitor"]
+
+SampleCallback = Callable[[QueryResult], None]
+
+
+@dataclass
+class PeriodicMonitor:
+    """Re-runs one query on a fixed period of simulated time."""
+
+    cluster: MoaraCluster
+    query: Union[str, Query]
+    period: float
+    callback: Optional[SampleCallback] = None
+    #: collected (time, result) samples
+    samples: list[tuple[float, QueryResult]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if isinstance(self.query, str):
+            self.query = parse_query(self.query)
+        self._running = False
+        self._outstanding: Optional[str] = None
+
+    def start(self) -> None:
+        """Begin sampling; the first query fires one period from now."""
+        if self._running:
+            return
+        self._running = True
+        self.cluster.engine.schedule(self.period, self._tick)
+
+    def stop(self) -> None:
+        """Stop issuing new samples (an in-flight query still completes)."""
+        self._running = False
+
+    @property
+    def values(self) -> list[object]:
+        """Just the sampled aggregate values, in order."""
+        return [result.value for _time, result in self.samples]
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        if self._outstanding is None:
+            # Skip a beat rather than pile up queries if the previous
+            # sample has not come back yet.
+            self._outstanding = self.cluster.frontend.submit(
+                self.query, callback=self._on_result
+            )
+        self.cluster.engine.schedule(self.period, self._tick)
+
+    def _on_result(self, result: QueryResult) -> None:
+        self._outstanding = None
+        self.samples.append((self.cluster.engine.now, result))
+        if self.callback is not None:
+            self.callback(result)

@@ -1,0 +1,288 @@
+"""Composite-query planning (paper Section 6).
+
+The planner turns an arbitrary nested and/or predicate into a set of
+*candidate covers* and selects the cheapest one:
+
+1. **CNF rewriting** (Section 6.3, Figure 6).  The predicate is rewritten
+   into a conjunction of or-clauses; every clause is a structural cover --
+   querying just the groups of one clause reaches every node that can
+   satisfy the whole expression.  (The paper proves the minimal-cost cover
+   is always one of these clauses.)
+2. **Semantic optimization** (Figures 7 and 8).  Using the relation
+   inference of :mod:`repro.core.relations`:
+
+   * within a clause, a predicate contained in another is redundant
+     (``cover(A or B) = {A}`` when ``B ⊆ A``), and a complementary pair
+     makes the clause a tautology (it stops being a constraint);
+   * a singleton clause ``{B}`` (the expression *requires* B) lets us drop
+     any other clause containing a superset of B, and delete literals
+     disjoint from B from the remaining clauses -- emptying a clause proves
+     the whole predicate unsatisfiable (``cover(A and B) = {}`` for
+     disjoint A, B);
+   * a resolution step handles the paper's *not*-rules, e.g.
+     ``(A or B) and (A or C) = A`` when ``C = not B``.
+3. **Cost-based cover choice** (Section 6.3).  Group costs come from size
+   probes against tree roots (``2 * np``); :func:`choose_cover` picks the
+   clause minimizing total cost, breaking ties toward fewer groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.core.errors import PlanningError
+from repro.core.predicates import (
+    Predicate,
+    SimplePredicate,
+    TruePredicate,
+    to_cnf,
+)
+from repro.core.relations import Relation, relation
+
+__all__ = ["QueryPlan", "SemanticContext", "choose_cover", "plan_predicate"]
+
+Clause = frozenset  # of SimplePredicate
+
+
+@dataclass
+class SemanticContext:
+    """Optional user-supplied semantic facts (Section 6.3: "(ii) user
+    supplied semantic information").
+
+    Facts are keyed by the canonical forms of the two predicates; a fact
+    overrides the operator-based inference.
+    """
+
+    facts: dict[tuple[str, str], Relation] = field(default_factory=dict)
+
+    def declare(
+        self, a: SimplePredicate, b: SimplePredicate, rel: Relation
+    ) -> None:
+        """Record that ``a rel b`` holds (and the mirrored fact for b, a)."""
+        self.facts[(a.canonical(), b.canonical())] = rel
+        self.facts[(b.canonical(), a.canonical())] = _mirror(rel)
+
+    def relation(self, a: SimplePredicate, b: SimplePredicate) -> Relation:
+        fact = self.facts.get((a.canonical(), b.canonical()))
+        return fact if fact is not None else relation(a, b)
+
+
+def _mirror(rel: Relation) -> Relation:
+    if rel is Relation.SUBSET:
+        return Relation.SUPERSET
+    if rel is Relation.SUPERSET:
+        return Relation.SUBSET
+    return rel
+
+
+@dataclass
+class QueryPlan:
+    """The planner's output for one predicate."""
+
+    original: Predicate
+    #: candidate covers; each clause is a frozenset of simple predicates
+    clauses: list[Clause]
+    #: True when the predicate was proven unsatisfiable (empty cover)
+    unsatisfiable: bool = False
+    #: True when the predicate reduces to "all nodes" (global group)
+    global_group: bool = False
+
+    def all_groups(self) -> set[SimplePredicate]:
+        """Every group appearing in any candidate cover (probe targets)."""
+        groups: set[SimplePredicate] = set()
+        for clause in self.clauses:
+            groups |= clause
+        return groups
+
+    def needs_probes(self) -> bool:
+        """More than one way to answer: probe costs to decide."""
+        if self.unsatisfiable or self.global_group:
+            return False
+        return len(self.clauses) > 1
+
+
+def plan_predicate(
+    predicate: Predicate, semantics: Optional[SemanticContext] = None
+) -> QueryPlan:
+    """Produce candidate covers for a predicate."""
+    semantics = semantics or SemanticContext()
+    if isinstance(predicate, TruePredicate):
+        return QueryPlan(predicate, clauses=[], global_group=True)
+
+    clauses = to_cnf(predicate)
+    if not clauses:
+        return QueryPlan(predicate, clauses=[], global_group=True)
+
+    clauses = _simplify(clauses, semantics)
+    if clauses is None:
+        return QueryPlan(predicate, clauses=[], unsatisfiable=True)
+    if not clauses:
+        return QueryPlan(predicate, clauses=[], global_group=True)
+    return QueryPlan(predicate, clauses=clauses)
+
+
+def _simplify(
+    clauses: list[Clause], semantics: SemanticContext
+) -> Optional[list[Clause]]:
+    """Apply the Figure 7 optimizations to a CNF clause list.
+
+    Returns None when the predicate is unsatisfiable, else the reduced
+    clause list (empty = tautology / global group).
+    """
+    current = [frozenset(c) for c in clauses]
+    for _ in range(32):  # fixpoint iteration, bounded defensively
+        simplified = _simplify_within_clauses(current, semantics)
+        simplified = _resolve_complements(simplified, semantics)
+        if any(not clause for clause in simplified):
+            # An empty or-clause is false: the whole conjunction is
+            # unsatisfiable (e.g. resolving (x<1) and (x>=1)).
+            return None
+        result = _simplify_across_clauses(simplified, semantics)
+        if result is None:
+            return None
+        if result == current:
+            return result
+        current = result
+    raise PlanningError("semantic simplification did not converge")
+
+
+def _simplify_within_clauses(
+    clauses: list[Clause], semantics: SemanticContext
+) -> list[Clause]:
+    """Inside an or-clause: drop subsumed literals, detect tautologies."""
+    output: list[Clause] = []
+    for clause in clauses:
+        literals = sorted(clause, key=lambda p: p.canonical())
+        kept: list[SimplePredicate] = []
+        tautology = False
+        for candidate in literals:
+            redundant = False
+            for other in literals:
+                if other is candidate:
+                    continue
+                rel = semantics.relation(candidate, other)
+                if rel is Relation.COMPLEMENT:
+                    tautology = True  # (A or not A): no constraint at all
+                    break
+                if rel is Relation.SUBSET:
+                    redundant = True  # candidate ⊂ other: other suffices
+                elif rel is Relation.EQUIVALENT and any(
+                    k.canonical() == other.canonical() or _equivalent(k, candidate, semantics)
+                    for k in kept
+                ):
+                    redundant = True  # an equivalent literal is already kept
+            if tautology:
+                break
+            if not redundant:
+                kept.append(candidate)
+        if tautology:
+            continue  # drop the whole clause
+        output.append(frozenset(kept))
+    return _absorb(output)
+
+
+def _equivalent(
+    a: SimplePredicate, b: SimplePredicate, semantics: SemanticContext
+) -> bool:
+    return semantics.relation(a, b) is Relation.EQUIVALENT
+
+
+def _resolve_complements(
+    clauses: list[Clause], semantics: SemanticContext
+) -> list[Clause]:
+    """Limited resolution for the paper's not-rules: from clauses C1 ∋ p and
+    C2 ∋ q with p, q complements, derive (C1 - p) | (C2 - q).  Only strictly
+    smaller resolvents are added (they then absorb their parents)."""
+    derived: list[Clause] = []
+    for i, c1 in enumerate(clauses):
+        for c2 in clauses[i + 1 :]:
+            for p in c1:
+                for q in c2:
+                    if semantics.relation(p, q) is Relation.COMPLEMENT:
+                        resolvent = (c1 - {p}) | (c2 - {q})
+                        if len(resolvent) < len(c1) and len(resolvent) < len(
+                            c2
+                        ):
+                            derived.append(resolvent)
+    if not derived:
+        return clauses
+    return _absorb(clauses + derived)
+
+
+def _simplify_across_clauses(
+    clauses: list[Clause], semantics: SemanticContext
+) -> Optional[list[Clause]]:
+    """Use singleton clauses (required groups) to shrink the others."""
+    singletons = [next(iter(c)) for c in clauses if len(c) == 1]
+    result: list[Clause] = []
+    for clause in clauses:
+        literals = set(clause)
+        if len(clause) > 1:
+            implied = False
+            for required in singletons:
+                for literal in list(literals):
+                    rel = semantics.relation(required, literal)
+                    if rel in (Relation.SUBSET, Relation.EQUIVALENT):
+                        # required ⊆ literal: the clause always holds.
+                        implied = True
+                        break
+                    if rel in (Relation.DISJOINT, Relation.COMPLEMENT):
+                        # literal can never hold alongside `required`.
+                        literals.discard(literal)
+                if implied:
+                    break
+            if implied:
+                continue
+            if not literals:
+                return None  # clause emptied: unsatisfiable
+        else:
+            required_literal = next(iter(clause))
+            redundant = False
+            for required in singletons:
+                if required.canonical() == required_literal.canonical():
+                    continue
+                rel = semantics.relation(required, required_literal)
+                if rel in (Relation.DISJOINT, Relation.COMPLEMENT):
+                    return None  # two required groups that cannot overlap
+                if rel is Relation.SUBSET:
+                    # required ⊂ this literal: this requirement is implied
+                    # ((A and B) with B ⊆ A -> keep only {B}, Figure 7).
+                    redundant = True
+                if rel is Relation.EQUIVALENT and (
+                    required.canonical() < required_literal.canonical()
+                ):
+                    redundant = True  # keep one of two equal requirements
+            if redundant:
+                continue
+        result.append(frozenset(literals))
+    return _absorb(result)
+
+
+def _absorb(clauses: list[Clause]) -> list[Clause]:
+    unique = sorted(set(clauses), key=lambda c: (len(c), sorted(p.canonical() for p in c)))
+    kept: list[Clause] = []
+    for clause in unique:
+        if not any(existing <= clause for existing in kept):
+            kept.append(clause)
+    return kept
+
+
+def choose_cover(
+    plan: QueryPlan, costs: Mapping[str, float]
+) -> Clause:
+    """Pick the minimal-cost candidate cover (Section 6.3).
+
+    ``costs`` maps canonical predicate to the probed query cost; groups
+    without a probe result are assumed cost 2 (root + itself), keeping the
+    choice deterministic.
+    """
+    if not plan.clauses:
+        raise PlanningError("no candidate covers to choose from")
+
+    def clause_cost(clause: Clause) -> tuple[float, int, str]:
+        total = sum(costs.get(p.canonical(), 2.0) for p in clause)
+        names = ",".join(sorted(p.canonical() for p in clause))
+        return (total, len(clause), names)
+
+    return min(plan.clauses, key=clause_cost)

@@ -1,0 +1,314 @@
+"""Group predicates: AST, evaluation, negation, and CNF conversion.
+
+Paper Section 3.1: "A group-predicate ... is specified as a boolean
+expression with *and* and *or* operators, over simple predicates of the
+following form: (group-attribute op value), where op ∈ {<, >, =, ≤, ≥, ≠}.
+Note that this set of operators allows us to implicitly support *not* in a
+group predicate."
+
+Accordingly the AST has no Not node: negation is pushed to the leaves where
+it flips the comparison operator (De Morgan at And/Or, operator inversion at
+simple predicates).
+
+Section 6.3: composite predicates are rewritten to Conjunctive Normal Form;
+every CNF clause (an *or* of simple predicates) is a structural cover for
+the query.  :func:`to_cnf` performs that rewriting with absorption-based
+minimization.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterable, Mapping
+
+from repro.core.errors import PlanningError
+
+__all__ = [
+    "And",
+    "Comparison",
+    "Or",
+    "Predicate",
+    "SimplePredicate",
+    "TruePredicate",
+    "evaluate_cnf",
+    "to_cnf",
+]
+
+
+class Comparison(Enum):
+    """The six comparison operators of the paper's query model."""
+
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "="
+    NE = "!="
+
+    @property
+    def negated(self) -> "Comparison":
+        """The complementary operator (`not (a < v)` is `a >= v`)."""
+        return _NEGATIONS[self]
+
+    def apply(self, left: Any, right: Any) -> bool:
+        """Evaluate ``left op right`` defensively.
+
+        Cross-type comparisons (e.g. a string attribute against a numeric
+        constant) are treated as not-satisfied rather than raising, because
+        attribute values on remote nodes are beyond the querier's control.
+        """
+        try:
+            if self is Comparison.EQ:
+                return bool(left == right)
+            if self is Comparison.NE:
+                return bool(left != right)
+            if self is Comparison.LT:
+                return bool(left < right)
+            if self is Comparison.GT:
+                return bool(left > right)
+            if self is Comparison.LE:
+                return bool(left <= right)
+            return bool(left >= right)
+        except TypeError:
+            return False
+
+
+_NEGATIONS = {
+    Comparison.LT: Comparison.GE,
+    Comparison.GE: Comparison.LT,
+    Comparison.GT: Comparison.LE,
+    Comparison.LE: Comparison.GT,
+    Comparison.EQ: Comparison.NE,
+    Comparison.NE: Comparison.EQ,
+}
+
+
+class Predicate(ABC):
+    """A group predicate over per-node attributes."""
+
+    @abstractmethod
+    def evaluate(self, attrs: Mapping[str, Any]) -> bool:
+        """Does a node with these attributes belong to the group?"""
+
+    @abstractmethod
+    def negate(self) -> "Predicate":
+        """The logical complement, with negation pushed to the leaves."""
+
+    @abstractmethod
+    def attributes(self) -> set[str]:
+        """All attribute names mentioned."""
+
+    @abstractmethod
+    def simple_predicates(self) -> set["SimplePredicate"]:
+        """All simple-predicate leaves."""
+
+    @abstractmethod
+    def canonical(self) -> str:
+        """A stable textual key (used to identify per-predicate tree state)."""
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return f"'{value}'"
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class SimplePredicate(Predicate):
+    """``(group-attribute op value)`` -- the unit of group membership."""
+
+    attr: str
+    op: Comparison
+    value: Any
+
+    def evaluate(self, attrs: Mapping[str, Any]) -> bool:
+        if self.attr not in attrs:
+            return False
+        return self.op.apply(attrs[self.attr], self.value)
+
+    def negate(self) -> "SimplePredicate":
+        return SimplePredicate(self.attr, self.op.negated, self.value)
+
+    def attributes(self) -> set[str]:
+        return {self.attr}
+
+    def simple_predicates(self) -> set["SimplePredicate"]:
+        return {self}
+
+    def canonical(self) -> str:
+        return f"({self.attr} {self.op.value} {_format_value(self.value)})"
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """The default group: every node in the system (paper Section 3.1,
+    "If no group is specified, the default is to aggregate values from all
+    nodes")."""
+
+    def evaluate(self, attrs: Mapping[str, Any]) -> bool:
+        return True
+
+    def negate(self) -> "Predicate":
+        # The complement of "everything" never occurs in well-formed queries;
+        # encode it as an unsatisfiable comparison on a reserved attribute.
+        return SimplePredicate("__nothing__", Comparison.EQ, True)
+
+    def attributes(self) -> set[str]:
+        return set()
+
+    def simple_predicates(self) -> set[SimplePredicate]:
+        return set()
+
+    def canonical(self) -> str:
+        return "*"
+
+
+def _flatten(
+    parts: Iterable[Predicate], kind: type
+) -> tuple[Predicate, ...]:
+    """Flatten nested And(And(...)) / Or(Or(...)) and de-duplicate parts."""
+    flat: list[Predicate] = []
+    seen: set[str] = set()
+    for part in parts:
+        inner = part.parts if isinstance(part, kind) else (part,)
+        for p in inner:
+            key = p.canonical()
+            if key not in seen:
+                seen.add(key)
+                flat.append(p)
+    return tuple(flat)
+
+
+@dataclass(frozen=True, init=False)
+class And(Predicate):
+    """Conjunction (set intersection of groups)."""
+
+    parts: tuple[Predicate, ...]
+
+    def __init__(self, *parts: Predicate) -> None:
+        if not parts:
+            raise ValueError("And requires at least one part")
+        object.__setattr__(self, "parts", _flatten(parts, And))
+
+    def evaluate(self, attrs: Mapping[str, Any]) -> bool:
+        return all(part.evaluate(attrs) for part in self.parts)
+
+    def negate(self) -> "Predicate":
+        negated = [part.negate() for part in self.parts]
+        return negated[0] if len(negated) == 1 else Or(*negated)
+
+    def attributes(self) -> set[str]:
+        return set().union(*(part.attributes() for part in self.parts))
+
+    def simple_predicates(self) -> set[SimplePredicate]:
+        return set().union(*(part.simple_predicates() for part in self.parts))
+
+    def canonical(self) -> str:
+        inner = " and ".join(sorted(part.canonical() for part in self.parts))
+        return f"({inner})"
+
+
+@dataclass(frozen=True, init=False)
+class Or(Predicate):
+    """Disjunction (set union of groups)."""
+
+    parts: tuple[Predicate, ...]
+
+    def __init__(self, *parts: Predicate) -> None:
+        if not parts:
+            raise ValueError("Or requires at least one part")
+        object.__setattr__(self, "parts", _flatten(parts, Or))
+
+    def evaluate(self, attrs: Mapping[str, Any]) -> bool:
+        return any(part.evaluate(attrs) for part in self.parts)
+
+    def negate(self) -> "Predicate":
+        negated = [part.negate() for part in self.parts]
+        return negated[0] if len(negated) == 1 else And(*negated)
+
+    def attributes(self) -> set[str]:
+        return set().union(*(part.attributes() for part in self.parts))
+
+    def simple_predicates(self) -> set[SimplePredicate]:
+        return set().union(*(part.simple_predicates() for part in self.parts))
+
+    def canonical(self) -> str:
+        inner = " or ".join(sorted(part.canonical() for part in self.parts))
+        return f"({inner})"
+
+
+# ----------------------------------------------------------------------
+# CNF conversion (paper Section 6.3, Figure 6)
+# ----------------------------------------------------------------------
+
+Clause = frozenset  # of SimplePredicate
+MAX_CNF_CLAUSES = 4096
+
+
+def to_cnf(predicate: Predicate) -> list[Clause]:
+    """Rewrite a predicate into CNF clauses using the distributive laws.
+
+    Returns a list of clauses; each clause is a frozenset of simple
+    predicates whose *or* must hold.  An empty list means "always true"
+    (the TruePredicate / global group).  Absorption removes redundant
+    clauses: if clause A ⊆ clause B then B is implied by A and dropped.
+    """
+    clauses = _cnf_clauses(predicate)
+    return _absorb(clauses)
+
+
+def _cnf_clauses(predicate: Predicate) -> list[Clause]:
+    if isinstance(predicate, TruePredicate):
+        return []
+    if isinstance(predicate, SimplePredicate):
+        return [frozenset([predicate])]
+    if isinstance(predicate, And):
+        result: list[Clause] = []
+        for part in predicate.parts:
+            result.extend(_cnf_clauses(part))
+        return result
+    if isinstance(predicate, Or):
+        # Distribute: the or of CNFs is the cross product of their clauses.
+        result = [frozenset()]
+        for part in predicate.parts:
+            part_clauses = _cnf_clauses(part)
+            if not part_clauses:
+                return []  # or with "always true" is always true
+            combined = [
+                existing | clause
+                for existing in result
+                for clause in part_clauses
+            ]
+            if len(combined) > MAX_CNF_CLAUSES:
+                raise PlanningError(
+                    f"CNF expansion exceeds {MAX_CNF_CLAUSES} clauses; "
+                    "simplify the query predicate"
+                )
+            result = combined
+        return result
+    raise TypeError(f"unknown predicate type: {type(predicate).__name__}")
+
+
+def _absorb(clauses: list[Clause]) -> list[Clause]:
+    """Drop duplicate and superset clauses (absorption law)."""
+    unique = sorted(set(clauses), key=len)
+    kept: list[Clause] = []
+    for clause in unique:
+        if not any(existing <= clause for existing in kept):
+            kept.append(clause)
+    return kept
+
+
+def evaluate_cnf(clauses: list[Clause], attrs: Mapping[str, Any]) -> bool:
+    """Evaluate a CNF clause list against an attribute map (for tests)."""
+    return all(
+        any(literal.evaluate(attrs) for literal in clause)
+        for clause in clauses
+    )

@@ -1,0 +1,71 @@
+"""Query and result types.
+
+Paper Section 3.1: "A query in Moara comprises of three parts:
+(query-attribute, aggregation function, group-predicate)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.aggregation import AggregateFunction
+from repro.core.predicates import Predicate, TruePredicate
+
+__all__ = ["Query", "QueryResult"]
+
+#: Query-attribute meaning "no attribute needed" (e.g. COUNT(*)): every node
+#: contributes the constant 1.
+STAR_ATTRIBUTE = "*"
+
+
+@dataclass(frozen=True)
+class Query:
+    """One Moara query: (query-attribute, aggregation fn, group-predicate)."""
+
+    attr: str
+    function: AggregateFunction
+    predicate: Predicate
+
+    def canonical(self) -> str:
+        """Stable textual form (used for logging and dedup in tests)."""
+        return f"({self.attr}, {self.function.name}, {self.predicate.canonical()})"
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+    def targets_all_nodes(self) -> bool:
+        """True for the default "whole system" group."""
+        return isinstance(self.predicate, TruePredicate)
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one query execution."""
+
+    query: Query
+    value: Any
+    #: canonical names of the groups actually queried (the selected cover)
+    cover: list[str] = field(default_factory=list)
+    #: number of nodes whose local value contributed to the aggregate
+    contributors: int = 0
+    #: simulated seconds from injection to the final answer
+    latency: float = 0.0
+    #: portion of the latency spent waiting for size probes (the paper's
+    #: Figure 13(b) reports latency with and without this component)
+    probe_latency: float = 0.0
+    #: total network messages attributable to this query (incl. probes)
+    message_cost: int = 0
+    #: estimated per-group query costs returned by size probes (canonical
+    #: predicate -> 2*np estimate); empty when no probes were sent
+    probed_costs: dict[str, int] = field(default_factory=dict)
+    #: True when the planner proved the predicate unsatisfiable and answered
+    #: locally without touching the network
+    short_circuited: bool = False
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult(value={self.value!r}, cover={self.cover}, "
+            f"contributors={self.contributors}, latency={self.latency:.4f}s, "
+            f"messages={self.message_cost})"
+        )

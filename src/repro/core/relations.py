@@ -1,0 +1,290 @@
+"""Semantic relations between simple predicates (paper Figures 7 and 8).
+
+Section 6.3 ("Using Semantic Optimizations"): Moara infers relations between
+groups by analyzing the comparison operators that define them -- e.g. from
+``A = {memory < 2G}`` and ``B = {memory < 1G}`` it infers ``B ⊆ A`` -- and
+uses the relations to shrink covers (Figure 7) and to recognize complements
+(implicit *not* support).
+
+We implement the inference with exact interval algebra over the value
+domain of the shared attribute:
+
+* numeric and string values: sets of intervals over a totally ordered,
+  *dense* domain.  Density is the conservative assumption: over the dense
+  rationals ``(2, 3)`` is non-empty, so for integer-valued attributes we may
+  miss an optimization (reporting OVERLAP where the sets are truly
+  disjoint) but never claim disjointness/complement that does not hold.
+* boolean values: exact set algebra over the two-point domain
+  ``{false, true}``; this is what lets Moara see that ``(X != true)`` is the
+  same group as ``(X = false)``.
+
+Predicates over different attributes, or with incomparable value types, get
+relation UNKNOWN and are never optimized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Optional
+
+from repro.core.predicates import Comparison, SimplePredicate
+
+__all__ = ["IntervalSet", "Relation", "relation"]
+
+
+class Relation(Enum):
+    """How the satisfying sets of two predicates relate (Figure 8)."""
+
+    EQUIVALENT = "equivalent"  # A = B
+    SUBSET = "subset"  # A ⊂ B (proper)
+    SUPERSET = "superset"  # A ⊃ B (proper)
+    DISJOINT = "disjoint"  # A ∩ B = ∅, A ∪ B ≠ universe
+    COMPLEMENT = "complement"  # A ∩ B = ∅ and A ∪ B = universe
+    OVERLAP = "overlap"  # proper intersection
+    UNKNOWN = "unknown"  # incomparable (different attrs/types)
+
+
+# ----------------------------------------------------------------------
+# interval algebra over a dense totally ordered domain
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Interval:
+    """One interval; ``lo=None`` means -inf and ``hi=None`` means +inf."""
+
+    lo: Optional[Any]
+    lo_incl: bool
+    hi: Optional[Any]
+    hi_incl: bool
+
+    def is_valid(self) -> bool:
+        if self.lo is None or self.hi is None:
+            return True
+        if self.lo < self.hi:
+            return True
+        return self.lo == self.hi and self.lo_incl and self.hi_incl
+
+
+class IntervalSet:
+    """A normalized union of disjoint, non-adjacent intervals."""
+
+    def __init__(self, intervals: list[_Interval]) -> None:
+        self.intervals = _normalize(intervals)
+
+    # constructors -------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        return cls([])
+
+    @classmethod
+    def universe(cls) -> "IntervalSet":
+        return cls([_Interval(None, False, None, False)])
+
+    @classmethod
+    def from_predicate(cls, pred: SimplePredicate) -> "IntervalSet":
+        value, op = pred.value, pred.op
+        if op is Comparison.LT:
+            return cls([_Interval(None, False, value, False)])
+        if op is Comparison.LE:
+            return cls([_Interval(None, False, value, True)])
+        if op is Comparison.GT:
+            return cls([_Interval(value, False, None, False)])
+        if op is Comparison.GE:
+            return cls([_Interval(value, True, None, False)])
+        if op is Comparison.EQ:
+            return cls([_Interval(value, True, value, True)])
+        # NE: everything except the point.
+        return cls(
+            [
+                _Interval(None, False, value, False),
+                _Interval(value, False, None, False),
+            ]
+        )
+
+    # predicates ----------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not self.intervals
+
+    def is_universe(self) -> bool:
+        return self.intervals == [_Interval(None, False, None, False)]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntervalSet) and self.intervals == other.intervals
+
+    def __hash__(self) -> int:  # pragma: no cover - sets of IntervalSets unused
+        return hash(tuple(self.intervals))
+
+    # algebra --------------------------------------------------------------
+
+    def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        result = []
+        for a in self.intervals:
+            for b in other.intervals:
+                merged = _intersect_one(a, b)
+                if merged is not None:
+                    result.append(merged)
+        return IntervalSet(result)
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        return IntervalSet(self.intervals + other.intervals)
+
+    def contains_set(self, other: "IntervalSet") -> bool:
+        """True when ``other ⊆ self``."""
+        return other.intersect(self) == other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = []
+        for iv in self.intervals:
+            lo = "-inf" if iv.lo is None else repr(iv.lo)
+            hi = "+inf" if iv.hi is None else repr(iv.hi)
+            parts.append(
+                f"{'[' if iv.lo_incl else '('}{lo}, {hi}{']' if iv.hi_incl else ')'}"
+            )
+        return "IntervalSet(" + " U ".join(parts) + ")" if parts else "IntervalSet(∅)"
+
+
+def _lo_key(iv: _Interval) -> tuple:
+    # -inf sorts first; at equal bounds, inclusive starts first.
+    return (iv.lo is not None, iv.lo, not iv.lo_incl)
+
+
+def _normalize(intervals: list[_Interval]) -> list[_Interval]:
+    valid = [iv for iv in intervals if iv.is_valid()]
+    if not valid:
+        return []
+    valid.sort(key=_lo_key)
+    merged = [valid[0]]
+    for current in valid[1:]:
+        last = merged[-1]
+        if _gap_between(last, current):
+            merged.append(current)
+        else:
+            merged[-1] = _hull(last, current)
+    return merged
+
+
+def _gap_between(a: _Interval, b: _Interval) -> bool:
+    """True when a real gap separates ``a`` (lower) from ``b``."""
+    if a.hi is None or b.lo is None:
+        return False
+    if a.hi > b.lo:
+        return False
+    if a.hi < b.lo:
+        return True
+    # Touching bounds: contiguous unless both endpoints are exclusive.
+    return not (a.hi_incl or b.lo_incl)
+
+
+def _hull(a: _Interval, b: _Interval) -> _Interval:
+    """Smallest interval covering two overlapping/adjacent intervals
+    (``a.lo`` is known to be <= ``b.lo`` from sorting)."""
+    if a.hi is None:
+        hi, hi_incl = None, False
+    elif b.hi is None:
+        hi, hi_incl = None, False
+    elif a.hi > b.hi:
+        hi, hi_incl = a.hi, a.hi_incl
+    elif b.hi > a.hi:
+        hi, hi_incl = b.hi, b.hi_incl
+    else:
+        hi, hi_incl = a.hi, a.hi_incl or b.hi_incl
+    return _Interval(a.lo, a.lo_incl, hi, hi_incl)
+
+
+def _intersect_one(a: _Interval, b: _Interval) -> Optional[_Interval]:
+    # Lower bound: the larger of the two.
+    if a.lo is None:
+        lo, lo_incl = b.lo, b.lo_incl
+    elif b.lo is None:
+        lo, lo_incl = a.lo, a.lo_incl
+    elif a.lo > b.lo:
+        lo, lo_incl = a.lo, a.lo_incl
+    elif b.lo > a.lo:
+        lo, lo_incl = b.lo, b.lo_incl
+    else:
+        lo, lo_incl = a.lo, a.lo_incl and b.lo_incl
+    # Upper bound: the smaller of the two.
+    if a.hi is None:
+        hi, hi_incl = b.hi, b.hi_incl
+    elif b.hi is None:
+        hi, hi_incl = a.hi, a.hi_incl
+    elif a.hi < b.hi:
+        hi, hi_incl = a.hi, a.hi_incl
+    elif b.hi < a.hi:
+        hi, hi_incl = b.hi, b.hi_incl
+    else:
+        hi, hi_incl = a.hi, a.hi_incl and b.hi_incl
+    candidate = _Interval(lo, lo_incl, hi, hi_incl)
+    return candidate if candidate.is_valid() else None
+
+
+# ----------------------------------------------------------------------
+# relation inference
+# ----------------------------------------------------------------------
+
+
+def _value_kind(value: Any) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    return "other"
+
+
+def _boolean_set(pred: SimplePredicate) -> Optional[frozenset]:
+    """The subset of {False, True} satisfying a boolean predicate."""
+    domain = (False, True)
+    try:
+        return frozenset(v for v in domain if pred.op.apply(v, pred.value))
+    except Exception:  # pragma: no cover - defensive
+        return None
+
+
+def relation(a: SimplePredicate, b: SimplePredicate) -> Relation:
+    """Infer the Figure 8 relation between two simple predicates."""
+    if a.attr != b.attr:
+        return Relation.UNKNOWN
+    kind_a, kind_b = _value_kind(a.value), _value_kind(b.value)
+    if kind_a != kind_b or kind_a == "other":
+        return Relation.UNKNOWN
+
+    if kind_a == "bool":
+        set_a, set_b = _boolean_set(a), _boolean_set(b)
+        if set_a is None or set_b is None:
+            return Relation.UNKNOWN
+        if set_a == set_b:
+            return Relation.EQUIVALENT
+        if not (set_a & set_b):
+            both = set_a | set_b
+            return (
+                Relation.COMPLEMENT
+                if both == {False, True}
+                else Relation.DISJOINT
+            )
+        if set_a < set_b:
+            return Relation.SUBSET
+        if set_b < set_a:
+            return Relation.SUPERSET
+        return Relation.OVERLAP
+
+    set_a = IntervalSet.from_predicate(a)
+    set_b = IntervalSet.from_predicate(b)
+    if set_a == set_b:
+        return Relation.EQUIVALENT
+    intersection = set_a.intersect(set_b)
+    if intersection.is_empty():
+        union = set_a.union(set_b)
+        return (
+            Relation.COMPLEMENT if union.is_universe() else Relation.DISJOINT
+        )
+    if intersection == set_a:
+        return Relation.SUBSET
+    if intersection == set_b:
+        return Relation.SUPERSET
+    return Relation.OVERLAP

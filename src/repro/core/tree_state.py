@@ -1,0 +1,170 @@
+"""Per-(node, predicate) group-tree state.
+
+This module holds the pure (side-effect-free) part of Sections 4 and 5:
+given what a node knows -- its own satisfiability, what each child last
+reported, the separate-query-plane ``threshold`` -- compute the derived
+``qSet``, ``updateSet``, ``sat``/``prune`` values and the forwarding targets
+for a query.  The message-driven behaviour lives in
+:mod:`repro.core.moara_node`.
+
+Key modelling points (see DESIGN.md):
+
+* The paper's Section 5 machinery (``qSet``/``updateSet``) subsumes the
+  Section 4 pruned tree: ``threshold = 1`` degenerates to plain pruning, so
+  we implement only the general mechanism.
+* A child the parent has *no state for* is treated as if it had reported
+  ``updateSet = {child}``: the parent must forward queries to it directly
+  (Procedure 1's "by default, a parent does not maintain any state on its
+  children" rule) -- this is what makes the very first query a global
+  broadcast and guarantees eventual completeness for silent subtrees.
+* ``subtree_recv`` is the lazily aggregated count of nodes in the subtree
+  that would receive a query; the root's value gives the query-cost
+  estimate ``2 * np`` served to size probes (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.adapt import Adaptor
+from repro.core.predicates import SimplePredicate
+
+__all__ = ["ChildInfo", "PredicateTreeState"]
+
+
+@dataclass
+class ChildInfo:
+    """What a node knows about one DHT child for one predicate."""
+
+    #: The child's last reported updateSet.  ``None`` means the child has
+    #: never reported (default: forward queries straight to the child);
+    #: an empty set means the child sent PRUNE.
+    update_set: Optional[frozenset[int]] = None
+    #: The child's last piggybacked subtree receive-count estimate.
+    subtree_recv: int = 1
+
+
+@dataclass
+class PredicateTreeState:
+    """All protocol state one node keeps for one simple predicate."""
+
+    predicate: SimplePredicate
+    tree_key: int  # DHT key = hash(group-attribute), paper Section 3.2
+    node_id: int
+    adaptor: Adaptor
+    threshold: int = 2
+
+    local_sat: bool = False
+    children: dict[int, ChildInfo] = field(default_factory=dict)
+    #: last updateSet actually sent to the parent; None = nothing ever sent
+    #: (the parent then defaults to treating us as ``{node_id}``).
+    sent_update_set: Optional[frozenset[int]] = None
+    #: last computed updateSet (change detection for adaptation events).
+    computed_update_set: frozenset[int] = frozenset()
+    last_seen_seq: int = 0
+    known_parent: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # derived values (Sections 4 and 5)
+    # ------------------------------------------------------------------
+
+    def q_set(self, dht_children: Iterable[int]) -> set[int]:
+        """Nodes this one would forward a query to, by child report."""
+        result: set[int] = set()
+        for child in dht_children:
+            info = self.children.get(child)
+            if info is None or info.update_set is None:
+                result.add(child)  # silent child: must receive queries
+            else:
+                result |= info.update_set
+        if self.local_sat:
+            result.add(self.node_id)
+        return result
+
+    def compute_update_set(self, dht_children: Iterable[int]) -> frozenset[int]:
+        """Section 5: ``updateSet = qSet`` while it stays under the
+        threshold, else collapse to our own ID (we become a forwarding
+        hub that must receive queries itself)."""
+        q = self.q_set(dht_children)
+        if len(q) < self.threshold:
+            return frozenset(q)
+        return frozenset([self.node_id])
+
+    def sat(self, dht_children: Iterable[int]) -> bool:
+        """Procedure 1: the subtree should keep receiving queries."""
+        return bool(self.q_set(dht_children))
+
+    def prune(self, dht_children: Iterable[int]) -> bool:
+        """Procedure 3's invariants (update=0 implies prune=0)."""
+        return self.adaptor.update and not self.sat(dht_children)
+
+    def effective_sent_set(self) -> frozenset[int]:
+        """What the parent currently believes our updateSet is.
+
+        Never having sent anything is equivalent to ``{node_id}``: the
+        parent forwards queries directly to us by default.
+        """
+        if self.sent_update_set is None:
+            return frozenset([self.node_id])
+        return self.sent_update_set
+
+    def would_receive_queries(self) -> bool:
+        """Does the parent's view route queries to this node?"""
+        return self.node_id in self.effective_sent_set()
+
+    def forward_targets(self, dht_children: Iterable[int]) -> set[int]:
+        """Where to forward a received query (excluding ourselves)."""
+        targets: set[int] = set()
+        for child in dht_children:
+            info = self.children.get(child)
+            if info is None or info.update_set is None:
+                targets.add(child)
+            else:
+                targets |= info.update_set
+        targets.discard(self.node_id)
+        return targets
+
+    def subtree_recv(self, dht_children: Iterable[int], is_root: bool) -> int:
+        """Estimated number of query receivers in our subtree (np).
+
+        Children that never reported are estimated at 1 (at least
+        themselves); the estimate is lazily corrected as reports arrive --
+        the paper accepts this staleness since it "only affects
+        communication overhead, but not the correctness of the response".
+        """
+        own = 1 if (is_root or self.would_receive_queries()) else 0
+        total = own
+        for child in dht_children:
+            info = self.children.get(child)
+            total += info.subtree_recv if info is not None else 1
+        return total
+
+    # ------------------------------------------------------------------
+    # child-report bookkeeping
+    # ------------------------------------------------------------------
+
+    def record_child_report(
+        self,
+        child: int,
+        update_set: Optional[frozenset[int]],
+        subtree_recv: Optional[int],
+    ) -> None:
+        """Store a STATUS_UPDATE / STATE_SYNC / piggybacked report."""
+        info = self.children.get(child)
+        if info is None:
+            info = ChildInfo()
+            self.children[child] = info
+        if update_set is not None:
+            info.update_set = update_set
+        if subtree_recv is not None:
+            info.subtree_recv = subtree_recv
+
+    def forget_children(self, departed: set[int]) -> bool:
+        """Drop state for departed children; True if anything was removed."""
+        removed = False
+        for child in departed:
+            if child in self.children:
+                del self.children[child]
+                removed = True
+        return removed

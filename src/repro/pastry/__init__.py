@@ -1,0 +1,39 @@
+"""Pastry DHT substrate (reproduction of the FreePastry layer).
+
+Moara is built on a structured overlay: node IDs live in a fixed-size
+circular identifier space, routing proceeds by prefix correction (Pastry),
+and the aggregation tree for a key is *implicit* in the routing structure:
+``parent(n, key) = next_hop(n, key)``, rooted at the node numerically
+closest to the key (paper Section 3.2 and Figure 3).
+
+This package implements that substrate from scratch:
+
+* :mod:`repro.pastry.idspace` -- identifier arithmetic (digits, prefixes,
+  ring distance, hashing attribute names to group IDs with MD5 as in the
+  paper).
+* :mod:`repro.pastry.idindex` -- a sorted index over live IDs supporting
+  prefix-range and nearest-ID queries; this is the ground truth from which
+  routing tables and leaf sets are materialized.
+* :mod:`repro.pastry.routing_table` / :mod:`repro.pastry.leafset` --
+  per-node Pastry state, materialized for inspection and used by tests.
+* :mod:`repro.pastry.overlay` -- membership, routing, and churn callbacks.
+* :mod:`repro.pastry.dht_tree` -- the implicit aggregation tree for a key.
+"""
+
+from repro.pastry.dht_tree import DHTTree
+from repro.pastry.idindex import IdIndex
+from repro.pastry.idspace import IdSpace
+from repro.pastry.leafset import LeafSet
+from repro.pastry.node import PastryNode
+from repro.pastry.overlay import Overlay
+from repro.pastry.routing_table import RoutingTable
+
+__all__ = [
+    "DHTTree",
+    "IdIndex",
+    "IdSpace",
+    "LeafSet",
+    "Overlay",
+    "PastryNode",
+    "RoutingTable",
+]

@@ -1,0 +1,202 @@
+"""Sorted index over live node IDs.
+
+The index answers the two queries Pastry routing needs:
+
+* *prefix-range queries* -- "is there a node whose ID starts with these
+  digits?" (routing-table lookups), and
+* *nearest-ID queries* -- "which live node is numerically closest to this
+  key on the ring?" (root determination / the final leaf-set hop).
+
+Both are O(log n) over a sorted list.  The index is the ground truth from
+which per-node routing tables and leaf sets are materialized; keeping it
+centralized is a simulation convenience and does not change protocol
+behaviour (each node's *view* is still only its own table/leaf set).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Iterator, Optional
+
+from repro.pastry.idspace import IdSpace
+
+__all__ = ["IdIndex"]
+
+
+class IdIndex:
+    """A mutable sorted set of node IDs with ring-aware queries."""
+
+    def __init__(self, space: IdSpace, ids: Iterable[int] = ()) -> None:
+        self.space = space
+        self._ids: list[int] = sorted(set(ids))
+        for node_id in self._ids:
+            space.validate(node_id)
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, node_id: int) -> bool:
+        i = bisect.bisect_left(self._ids, node_id)
+        return i < len(self._ids) and self._ids[i] == node_id
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ids)
+
+    @property
+    def ids(self) -> list[int]:
+        """A copy of the sorted membership."""
+        return list(self._ids)
+
+    def add(self, node_id: int) -> None:
+        """Insert a node; raises if already present."""
+        self.space.validate(node_id)
+        i = bisect.bisect_left(self._ids, node_id)
+        if i < len(self._ids) and self._ids[i] == node_id:
+            raise ValueError(f"id {node_id} already in index")
+        self._ids.insert(i, node_id)
+        self.version += 1
+
+    def remove(self, node_id: int) -> None:
+        """Delete a node; raises if absent."""
+        i = bisect.bisect_left(self._ids, node_id)
+        if i >= len(self._ids) or self._ids[i] != node_id:
+            raise KeyError(f"id {node_id} not in index")
+        del self._ids[i]
+        self.version += 1
+
+    def ids_in_range(self, lo: int, hi: int) -> list[int]:
+        """All IDs in the half-open interval ``[lo, hi)``."""
+        i = bisect.bisect_left(self._ids, lo)
+        j = bisect.bisect_left(self._ids, hi)
+        return self._ids[i:j]
+
+    def count_in_range(self, lo: int, hi: int) -> int:
+        """Number of IDs in ``[lo, hi)`` without materializing them."""
+        return bisect.bisect_left(self._ids, hi) - bisect.bisect_left(self._ids, lo)
+
+    def any_with_prefix(
+        self, key: int, prefix_len: int, exclude: Optional[int] = None
+    ) -> bool:
+        """Is any node (other than ``exclude``) sharing ``prefix_len`` digits
+        with ``key``?"""
+        lo, hi = self.space.prefix_range(key, prefix_len)
+        count = self.count_in_range(lo, hi)
+        if exclude is not None and lo <= exclude < hi and exclude in self:
+            count -= 1
+        return count > 0
+
+    def closest_with_prefix(
+        self, key: int, prefix_len: int, near: int, exclude: Optional[int] = None
+    ) -> Optional[int]:
+        """The node sharing ``prefix_len`` digits with ``key`` that is
+        ring-closest to ``near`` (ties to the lower ID).
+
+        This models routing-table entry selection: among all candidates for a
+        (row, column) slot, Pastry picks the "closest" one.  We use ring
+        distance to the table owner as the deterministic proximity metric.
+        """
+        lo, hi = self.space.prefix_range(key, prefix_len)
+        candidates = self.ids_in_range(lo, hi)
+        best: Optional[int] = None
+        best_dist = None
+        for candidate in candidates:
+            if candidate == exclude:
+                continue
+            dist = self.space.ring_distance(candidate, near)
+            if best is None or (dist, candidate) < (best_dist, best):
+                best = candidate
+                best_dist = dist
+        return best
+
+    def pseudo_random_with_prefix(
+        self, key: int, prefix_len: int, salt: int, exclude: Optional[int] = None
+    ) -> Optional[int]:
+        """A deterministic pseudo-random node sharing ``prefix_len`` digits
+        with ``key``.
+
+        This models Pastry's routing-table entry selection: among all
+        candidates for a (row, column) slot, a real deployment picks the
+        nearest by *network proximity*, which is uncorrelated with the ID
+        space.  Hashing the (salt, slot) pair spreads different nodes'
+        choices over the candidate set exactly like independent proximity
+        does; a deterministic "closest ID" rule would instead funnel every
+        outside node to the same entry and produce unrealistically shallow,
+        hub-heavy aggregation trees.
+        """
+        lo, hi = self.space.prefix_range(key, prefix_len)
+        i = bisect.bisect_left(self._ids, lo)
+        j = bisect.bisect_left(self._ids, hi)
+        count = j - i
+        if count == 0:
+            return None
+        # Stable per (salt, prefix-slot) choice, independent of Python's
+        # hash randomization.
+        digest = hashlib.md5(
+            f"{salt}:{lo}:{prefix_len}".encode("ascii")
+        ).digest()
+        pick = i + int.from_bytes(digest[:8], "big") % count
+        candidate = self._ids[pick]
+        if candidate == exclude:
+            if count == 1:
+                return None
+            pick = i + (pick - i + 1) % count
+            candidate = self._ids[pick]
+        return candidate
+
+    def closest_to(self, key: int, exclude: Optional[int] = None) -> Optional[int]:
+        """The live node ring-closest to ``key`` (ties to the lower ID).
+
+        This is the *root* of the DHT tree for ``key`` (paper Section 3.2).
+        """
+        if not self._ids:
+            return None
+        ids = self._ids
+        i = bisect.bisect_left(ids, key)
+        # Candidates: neighbors on both sides, with wraparound.
+        candidate_indices = {i % len(ids), (i - 1) % len(ids)}
+        if exclude is not None:
+            # Widen the candidate window so exclusion cannot starve us.
+            candidate_indices |= {(i + 1) % len(ids), (i - 2) % len(ids)}
+        best: Optional[int] = None
+        best_dist = None
+        for j in candidate_indices:
+            candidate = ids[j]
+            if candidate == exclude:
+                continue
+            dist = self.space.ring_distance(candidate, key)
+            if best is None or (dist, candidate) < (best_dist, best):
+                best = candidate
+                best_dist = dist
+        return best
+
+    def neighbors_clockwise(self, node_id: int, count: int) -> list[int]:
+        """Up to ``count`` successors of ``node_id`` on the ring (leaf set)."""
+        if not self._ids:
+            return []
+        ids = self._ids
+        n = len(ids)
+        i = bisect.bisect_right(ids, node_id)
+        result = []
+        for k in range(min(count, n - 1 if node_id in self else n)):
+            candidate = ids[(i + k) % n]
+            if candidate == node_id:
+                break
+            result.append(candidate)
+        return result
+
+    def neighbors_counterclockwise(self, node_id: int, count: int) -> list[int]:
+        """Up to ``count`` predecessors of ``node_id`` on the ring."""
+        if not self._ids:
+            return []
+        ids = self._ids
+        n = len(ids)
+        i = bisect.bisect_left(ids, node_id)
+        result = []
+        for k in range(1, min(count, n - 1 if node_id in self else n) + 1):
+            candidate = ids[(i - k) % n]
+            if candidate == node_id:
+                break
+            result.append(candidate)
+        return result

@@ -1,0 +1,119 @@
+"""Identifier-space arithmetic for the Pastry overlay.
+
+IDs are integers in ``[0, 2**bits)``, interpreted as a sequence of digits of
+``digit_bits`` bits each, most significant digit first.  The paper's
+prototype uses FreePastry's 128-bit IDs with hexadecimal digits; we default
+to 64-bit IDs with 4-bit digits (collision probability is negligible at the
+scales simulated) and support the 3-bit/1-digit configuration of the
+paper's Figure 3 for tests.
+
+Group IDs are derived by hashing the group attribute with MD5, exactly as
+Section 3.2 describes ("Moara uses MD-5 to hash the group-attribute field").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+__all__ = ["IdSpace"]
+
+
+@dataclass(frozen=True)
+class IdSpace:
+    """Arithmetic helpers over a ``bits``-wide circular ID space."""
+
+    bits: int = 64
+    digit_bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0 or self.digit_bits <= 0:
+            raise ValueError("bits and digit_bits must be positive")
+        if self.bits % self.digit_bits != 0:
+            raise ValueError(
+                f"bits ({self.bits}) must be a multiple of digit_bits"
+                f" ({self.digit_bits})"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of distinct IDs: ``2**bits``."""
+        return 1 << self.bits
+
+    @property
+    def num_digits(self) -> int:
+        """Digits per ID (= routing-table rows)."""
+        return self.bits // self.digit_bits
+
+    @property
+    def digit_base(self) -> int:
+        """Values per digit (= routing-table columns)."""
+        return 1 << self.digit_bits
+
+    def validate(self, node_id: int) -> int:
+        """Check an ID is in range, returning it for chaining."""
+        if not 0 <= node_id < self.size:
+            raise ValueError(f"id {node_id} outside [0, 2**{self.bits})")
+        return node_id
+
+    def digit(self, node_id: int, index: int) -> int:
+        """The ``index``-th digit (0 = most significant)."""
+        if not 0 <= index < self.num_digits:
+            raise IndexError(f"digit index {index} out of range")
+        shift = self.bits - (index + 1) * self.digit_bits
+        return (node_id >> shift) & (self.digit_base - 1)
+
+    def common_prefix_len(self, a: int, b: int) -> int:
+        """Number of leading digits shared by ``a`` and ``b``."""
+        xor = a ^ b
+        if xor == 0:
+            return self.num_digits
+        # Index of the most significant differing bit, then floor to digits.
+        highest_bit = xor.bit_length() - 1
+        differing_digit = (self.bits - 1 - highest_bit) // self.digit_bits
+        return differing_digit
+
+    def prefix_range(self, node_id: int, prefix_len: int) -> tuple[int, int]:
+        """Half-open ID interval ``[lo, hi)`` sharing the first ``prefix_len``
+        digits with ``node_id``."""
+        if not 0 <= prefix_len <= self.num_digits:
+            raise ValueError(f"prefix_len {prefix_len} out of range")
+        if prefix_len == 0:
+            return 0, self.size
+        shift = self.bits - prefix_len * self.digit_bits
+        lo = (node_id >> shift) << shift
+        return lo, lo + (1 << shift)
+
+    def with_digit(self, node_id: int, index: int, digit: int) -> int:
+        """``node_id`` with digit ``index`` replaced by ``digit``."""
+        if not 0 <= digit < self.digit_base:
+            raise ValueError(f"digit {digit} out of range")
+        shift = self.bits - (index + 1) * self.digit_bits
+        mask = (self.digit_base - 1) << shift
+        return (node_id & ~mask) | (digit << shift)
+
+    def ring_distance(self, a: int, b: int) -> int:
+        """Distance on the circular ID space (minimum of both directions)."""
+        diff = abs(a - b)
+        return min(diff, self.size - diff)
+
+    def clockwise_distance(self, a: int, b: int) -> int:
+        """Distance from ``a`` to ``b`` going clockwise (increasing IDs)."""
+        return (b - a) % self.size
+
+    def hash_name(self, name: str) -> int:
+        """Map an attribute/group name to an ID via MD5 (paper Section 3.2)."""
+        digest = hashlib.md5(name.encode("utf-8")).digest()
+        return int.from_bytes(digest, "big") % self.size
+
+    def random_id(self, rng: random.Random) -> int:
+        """A uniformly random ID."""
+        return rng.randrange(self.size)
+
+    def format_id(self, node_id: int) -> str:
+        """Render an ID as its digit string (hex-like, for debugging)."""
+        digits = [self.digit(node_id, i) for i in range(self.num_digits)]
+        if self.digit_base <= 10:
+            return "".join(str(d) for d in digits)
+        return "".join(format(d, "x") for d in digits)

@@ -1,0 +1,88 @@
+"""Materialized Pastry leaf set.
+
+The leaf set of a node holds its ``size // 2`` nearest neighbors on each
+side of the ring.  Pastry uses it for the final hop of routing (numeric
+correction) and for failure repair; Moara additionally relies on the
+underlying overlay's repair to re-parent group-tree state after churn
+(paper Section 7, "Reconfigurations").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pastry.idindex import IdIndex
+from repro.pastry.idspace import IdSpace
+
+__all__ = ["LeafSet"]
+
+
+class LeafSet:
+    """The leaf set of a single node, built from a membership index."""
+
+    def __init__(
+        self,
+        space: IdSpace,
+        owner: int,
+        smaller: list[int],
+        larger: list[int],
+        size: int = 16,
+    ) -> None:
+        self.space = space
+        self.owner = owner
+        self.smaller = smaller  # counterclockwise neighbors, nearest first
+        self.larger = larger  # clockwise neighbors, nearest first
+        self.size = size
+
+    @classmethod
+    def build(cls, index: IdIndex, owner: int, size: int = 16) -> "LeafSet":
+        """Construct the leaf set with ``size // 2`` neighbors per side."""
+        if size < 2 or size % 2:
+            raise ValueError("leaf-set size must be a positive even number")
+        half = size // 2
+        return cls(
+            index.space,
+            owner,
+            smaller=index.neighbors_counterclockwise(owner, half),
+            larger=index.neighbors_clockwise(owner, half),
+            size=size,
+        )
+
+    def members(self) -> set[int]:
+        """All nodes in the leaf set (excluding the owner)."""
+        return set(self.smaller) | set(self.larger)
+
+    def covers(self, key: int) -> bool:
+        """Whether ``key`` falls inside the leaf-set span.
+
+        When it does, the ring-closest leaf (or the owner) is the root of the
+        key and routing finishes in one numeric hop.
+        """
+        if not self.smaller and not self.larger:
+            return True  # singleton overlay: owner is root of everything
+        half = self.size // 2
+        if (
+            len(self.smaller) < half
+            or len(self.larger) < half
+            or set(self.smaller) & set(self.larger)
+        ):
+            # The leaf set wraps the whole ring: the overlay has at most
+            # `size` nodes, so every key is covered.
+            return True
+        span_lo = self.smaller[-1] if self.smaller else self.owner
+        span_hi = self.larger[-1] if self.larger else self.owner
+        # Walk clockwise from span_lo to span_hi; key must lie within.
+        width = self.space.clockwise_distance(span_lo, span_hi)
+        offset = self.space.clockwise_distance(span_lo, key)
+        return offset <= width
+
+    def closest_to(self, key: int) -> Optional[int]:
+        """The leaf (or the owner) ring-closest to ``key``."""
+        best = self.owner
+        best_dist = self.space.ring_distance(self.owner, key)
+        for candidate in self.members():
+            dist = self.space.ring_distance(candidate, key)
+            if (dist, candidate) < (best_dist, best):
+                best = candidate
+                best_dist = dist
+        return best

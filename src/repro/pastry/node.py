@@ -1,0 +1,96 @@
+"""Per-node Pastry view: routing table + leaf set.
+
+The overlay routes off the global index for speed; :class:`PastryNode`
+materializes the classic node-local state (routing table rows, leaf set)
+and implements table-based routing.  Tests assert that node-local routing
+reaches the same root as index-based routing, i.e., that the fast path is a
+faithful shortcut and not a different protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pastry.idindex import IdIndex
+from repro.pastry.idspace import IdSpace
+from repro.pastry.leafset import LeafSet
+from repro.pastry.routing_table import RoutingTable
+
+__all__ = ["PastryNode"]
+
+
+class PastryNode:
+    """A single Pastry node's local routing state."""
+
+    def __init__(
+        self,
+        space: IdSpace,
+        node_id: int,
+        index: IdIndex,
+        leafset_size: int = 16,
+    ) -> None:
+        self.space = space
+        self.node_id = space.validate(node_id)
+        self._index = index
+        self._leafset_size = leafset_size
+        self._table: Optional[RoutingTable] = None
+        self._leafset: Optional[LeafSet] = None
+        self._built_version = -1
+
+    def _ensure_state(self) -> None:
+        if self._built_version != self._index.version:
+            self.rebuild()
+
+    def rebuild(self) -> None:
+        """(Re)materialize the routing table and leaf set from membership.
+
+        In a live deployment this state is assembled by the Pastry join
+        protocol (the join message's path supplies routing-table rows, the
+        root supplies the leaf set) and repaired piecemeal on failures.  The
+        result is the same state; we rebuild from the index for determinism.
+        """
+        self._table = RoutingTable.build(self._index, self.node_id)
+        self._leafset = LeafSet.build(self._index, self.node_id, self._leafset_size)
+        self._built_version = self._index.version
+
+    @property
+    def routing_table(self) -> RoutingTable:
+        """The node's routing table (lazily materialized)."""
+        self._ensure_state()
+        assert self._table is not None
+        return self._table
+
+    @property
+    def leafset(self) -> LeafSet:
+        """The node's leaf set (lazily materialized)."""
+        self._ensure_state()
+        assert self._leafset is not None
+        return self._leafset
+
+    def local_next_hop(self, key: int) -> Optional[int]:
+        """Table-based Pastry routing decision for ``key``.
+
+        Returns None when this node is the root for ``key``.
+        """
+        self._ensure_state()
+        assert self._leafset is not None and self._table is not None
+        if self._leafset.covers(key):
+            closest = self._leafset.closest_to(key)
+            return None if closest == self.node_id else closest
+        entry = self._table.lookup(key)
+        if entry is not None:
+            return entry
+        # Rare case: no slot entry; pick any known node strictly closer to
+        # the key with at least as long a shared prefix (Pastry's rule).
+        prefix = self.space.common_prefix_len(self.node_id, key)
+        own_dist = self.space.ring_distance(self.node_id, key)
+        best: Optional[int] = None
+        best_dist = own_dist
+        for candidate in self._table.known_nodes() | self._leafset.members():
+            if self.space.common_prefix_len(candidate, key) < prefix:
+                continue
+            dist = self.space.ring_distance(candidate, key)
+            if dist < best_dist:
+                best = candidate
+                best_dist = dist
+        return best

@@ -1,0 +1,80 @@
+"""Materialized Pastry routing table.
+
+A routing table has ``num_digits`` rows and ``digit_base`` columns.  The
+entry at (row *p*, column *d*) is a node whose ID shares exactly the first
+*p* digits with the table owner and whose digit *p* equals *d*.  Among
+candidates, a deterministic pseudo-random node is chosen per (owner, slot),
+modelling Pastry's proximity-based entry selection (proximity is
+uncorrelated with the ID space, so independent per-owner choices are the
+faithful stand-in).
+
+The overlay routes directly off the :class:`~repro.pastry.idindex.IdIndex`
+for speed; the materialized table exists so that tests can verify the
+routing decisions equal classic table-based Pastry, and to expose per-node
+state for inspection/debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pastry.idindex import IdIndex
+from repro.pastry.idspace import IdSpace
+
+__all__ = ["RoutingTable"]
+
+
+class RoutingTable:
+    """The routing table of a single node, built from a membership index."""
+
+    def __init__(self, space: IdSpace, owner: int) -> None:
+        self.space = space
+        self.owner = owner
+        self.rows: list[list[Optional[int]]] = [
+            [None] * space.digit_base for _ in range(space.num_digits)
+        ]
+
+    @classmethod
+    def build(cls, index: IdIndex, owner: int) -> "RoutingTable":
+        """Populate every slot of the table from the full membership."""
+        table = cls(index.space, owner)
+        space = index.space
+        for row in range(space.num_digits):
+            own_digit = space.digit(owner, row)
+            for col in range(space.digit_base):
+                if col == own_digit:
+                    continue  # the owner itself covers this slot
+                probe = space.with_digit(owner, row, col)
+                entry = index.pseudo_random_with_prefix(
+                    probe, row + 1, salt=owner, exclude=owner
+                )
+                table.rows[row][col] = entry
+        return table
+
+    def entry(self, row: int, col: int) -> Optional[int]:
+        """The node filling slot (row, col), or None if empty."""
+        return self.rows[row][col]
+
+    def lookup(self, key: int) -> Optional[int]:
+        """Classic Pastry table lookup for ``key``.
+
+        Returns the entry at row = shared-prefix-length, column = next digit
+        of the key, or None when the slot is empty (the numeric-routing
+        fallback then applies).
+        """
+        prefix = self.space.common_prefix_len(self.owner, key)
+        if prefix == self.space.num_digits:
+            return None  # key equals owner
+        return self.rows[prefix][self.space.digit(key, prefix)]
+
+    def populated_slots(self) -> int:
+        """Number of non-empty slots (used in scaling tests)."""
+        return sum(
+            1 for row in self.rows for entry in row if entry is not None
+        )
+
+    def known_nodes(self) -> set[int]:
+        """All distinct nodes referenced by the table."""
+        return {
+            entry for row in self.rows for entry in row if entry is not None
+        }

@@ -1,0 +1,28 @@
+"""SDIMS-style aggregation substrate and baseline.
+
+The paper's prototype is layered on SDIMS (Yalagandula & Dahlin, SIGCOMM
+2004), and its evaluation compares against "the SDIMS approach" -- a single
+system-wide aggregation tree per attribute with no group pruning.  This
+package provides both SDIMS roles:
+
+* :class:`SDIMSCluster` -- the baseline of Figures 9 and 12(a): every query
+  is broadcast down the whole DHT tree and aggregated back up (Moara with
+  the NEVER_UPDATE maintenance policy, which never prunes).
+* :class:`ContinuousAggregationSystem` -- SDIMS's native aggregate-on-write
+  mode: each node continuously maintains the partial aggregate of its
+  subtree and pushes changes toward the root, so reads are answered by the
+  root instantly.  Used by the ablation benchmark comparing one-shot
+  querying against continuous aggregation under varying update rates.
+"""
+
+from repro.sdims.continuous import (
+    ContinuousAggregationNode,
+    ContinuousAggregationSystem,
+)
+from repro.sdims.global_tree import SDIMSCluster
+
+__all__ = [
+    "ContinuousAggregationNode",
+    "ContinuousAggregationSystem",
+    "SDIMSCluster",
+]

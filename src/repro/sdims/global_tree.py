@@ -1,0 +1,53 @@
+"""The "SDIMS approach" baseline: one global tree, no group pruning.
+
+Paper Section 7.2 (Figure 12(a)): "we compare this performance against an
+approach where a single global tree is used system-wide -- this is labelled
+as the SDIMS approach in the plot", and Section 7.1 (Figure 9): "the Global
+approach, where no group trees are maintained and queries are sent to all
+the nodes on the DHT trees".
+
+Both are the same protocol configuration: Moara with the NEVER_UPDATE
+maintenance policy.  No node ever reports PRUNE/NO-PRUNE, so every query
+reaches every node in the system and the answer aggregates back up the full
+DHT tree.  Size probes are pointless (no cost differentiation), so the
+front-end never sends them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.adapt import AdaptationConfig, MaintenancePolicy
+from repro.core.cluster import MoaraCluster
+from repro.core.frontend import ProbePolicy
+from repro.core.moara_node import MoaraConfig
+from repro.pastry.idspace import IdSpace
+from repro.sim.latency import LatencyModel
+
+__all__ = ["SDIMSCluster"]
+
+
+class SDIMSCluster(MoaraCluster):
+    """A deployment that answers every query by global broadcast."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        seed: int = 0,
+        latency_model: Optional[LatencyModel] = None,
+        space: Optional[IdSpace] = None,
+        child_timeout: Optional[float] = None,
+    ) -> None:
+        config = MoaraConfig(
+            adaptation=AdaptationConfig(policy=MaintenancePolicy.NEVER_UPDATE),
+            threshold=1,
+            child_timeout=child_timeout,
+        )
+        super().__init__(
+            num_nodes,
+            seed=seed,
+            latency_model=latency_model,
+            config=config,
+            space=space,
+            probe_policy=ProbePolicy.NEVER,
+        )

@@ -1,0 +1,131 @@
+"""Interactive Moara shell (paper Section 7, "Moara Front-End").
+
+"Through the interactive shell, a user can submit SQL-like aggregation
+queries to Moara."  This module provides that shell over a simulated
+deployment, which is bootstrapped with a synthetic data-center inventory so
+there is something to query out of the box.
+
+Run ``moara-shell`` (installed by the package) or ``python -m repro.shell``.
+
+Commands::
+
+    SELECT AVG(cpu-util) WHERE floor = 'F0'    run a query
+    (cpu-util, max, ServiceX = true)            ... or in triple form
+    .nodes                                      show cluster size
+    .set <node-index> <attr> <value>            set an attribute
+    .groups <predicate>                         list satisfying nodes
+    .stats                                      message counters
+    .help                                       this text
+    .quit                                       exit
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from repro.core import MoaraCluster, MoaraError
+from repro.workloads.groups import DatacenterInventory
+
+__all__ = ["MoaraShell", "main"]
+
+_HELP = __doc__.split("Commands::", 1)[1]
+
+
+class MoaraShell:
+    """A tiny REPL bound to one cluster."""
+
+    def __init__(self, cluster: Optional[MoaraCluster] = None) -> None:
+        if cluster is None:
+            cluster = MoaraCluster(num_nodes=100, seed=42)
+            DatacenterInventory(seed=42).populate(cluster)
+        self.cluster = cluster
+
+    def execute(self, line: str) -> str:
+        """Run one command/query; returns the text to display."""
+        line = line.strip()
+        if not line:
+            return ""
+        if line.startswith("."):
+            return self._command(line)
+        try:
+            result = self.cluster.query(line)
+        except MoaraError as exc:
+            return f"error: {exc}"
+        return (
+            f"value: {result.value}\n"
+            f"cover: {', '.join(result.cover) or '(answered locally)'}\n"
+            f"contributors: {result.contributors}  "
+            f"latency: {result.latency * 1000:.1f} ms  "
+            f"messages: {result.message_cost}"
+        )
+
+    def _command(self, line: str) -> str:
+        parts = line.split()
+        command = parts[0]
+        if command == ".help":
+            return _HELP.strip("\n")
+        if command == ".quit":
+            raise EOFError
+        if command == ".nodes":
+            return f"{len(self.cluster)} nodes in the overlay"
+        if command == ".stats":
+            stats = self.cluster.stats
+            lines = [f"total messages: {stats.total_messages}"]
+            lines += [
+                f"  {mtype}: {count}"
+                for mtype, count in sorted(stats.by_type.items())
+            ]
+            return "\n".join(lines)
+        if command == ".groups" and len(parts) > 1:
+            predicate = line.split(None, 1)[1]
+            try:
+                members = self.cluster.members_satisfying(predicate)
+            except MoaraError as exc:
+                return f"error: {exc}"
+            return f"{len(members)} nodes satisfy {predicate}"
+        if command == ".set" and len(parts) == 4:
+            try:
+                index = int(parts[1])
+                node_id = self.cluster.node_ids[index]
+            except (ValueError, IndexError):
+                return f"error: bad node index {parts[1]!r}"
+            value = _parse_value(parts[3])
+            self.cluster.set_attribute(node_id, parts[2], value)
+            self.cluster.run_until_idle()
+            return f"node[{index}].{parts[2]} = {value!r}"
+        return f"error: unknown command {line!r} (try .help)"
+
+
+def _parse_value(text: str):
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return float(text) if "." in text else int(text)
+    except ValueError:
+        return text
+
+
+def main() -> int:
+    """Entry point for the ``moara-shell`` console script."""
+    shell = MoaraShell()
+    print("Moara shell over a simulated 100-node data center. Try .help")
+    while True:
+        try:
+            line = input("moara> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        try:
+            output = shell.execute(line)
+        except EOFError:
+            return 0
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates Moara in three environments: the FreePastry simulator
+(bandwidth experiments), an Emulab LAN testbed (latency, medium scale), and
+PlanetLab (latency, wide area).  This package provides the single substrate
+that plays all three roles:
+
+* :mod:`repro.sim.engine` -- a deterministic discrete-event engine.
+* :mod:`repro.sim.network` -- a simulated message-passing network with
+  per-node send/receive serialization (models fan-out and queueing delays).
+* :mod:`repro.sim.latency` -- pluggable latency models: zero-cost (bandwidth
+  accounting runs), a LAN model (Emulab), and a clustered WAN model with
+  heavy-tailed stragglers (PlanetLab).
+* :mod:`repro.sim.stats` -- message/byte accounting used by every bandwidth
+  figure in the paper.
+* :mod:`repro.sim.failures` -- crash/recovery injection.
+"""
+
+from repro.sim.engine import Engine, EventHandle
+from repro.sim.latency import (
+    LANLatencyModel,
+    LatencyModel,
+    UniformLatencyModel,
+    WANLatencyModel,
+    ZeroLatencyModel,
+)
+from repro.sim.network import Message, Network, Process
+from repro.sim.stats import MessageStats, StatsSnapshot
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "LANLatencyModel",
+    "LatencyModel",
+    "Message",
+    "MessageStats",
+    "Network",
+    "Process",
+    "StatsSnapshot",
+    "UniformLatencyModel",
+    "WANLatencyModel",
+    "ZeroLatencyModel",
+]

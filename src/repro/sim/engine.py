@@ -1,0 +1,166 @@
+"""Deterministic discrete-event engine.
+
+Every node in the reproduction runs on top of one :class:`Engine`.  Events
+are callbacks scheduled at simulated timestamps; ties are broken by a
+monotonically increasing sequence number so that runs are fully
+deterministic for a given seed and call order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+__all__ = ["Engine", "EventHandle"]
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Cancellation is lazy: the event stays in the heap but is skipped when it
+    reaches the front.  This keeps :meth:`Engine.schedule` and ``cancel`` both
+    O(log n) / O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class Engine:
+    """A priority-queue discrete-event simulator.
+
+    The engine owns the simulated clock.  Components schedule work with
+    :meth:`schedule` (relative delay) or :meth:`schedule_at` (absolute time)
+    and the driver advances time with :meth:`run` / :meth:`run_until_idle`.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[EventHandle] = []
+        self._now = 0.0
+        self._seq = 0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events that have fired."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire at absolute time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` passes, or the budget ends.
+
+        ``until`` is an absolute simulated time; events scheduled at exactly
+        ``until`` still fire.  ``max_events`` bounds the number of events and
+        protects against livelock in tests.
+        """
+        fired = 0
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.time > until:
+                self._now = until
+                return
+            heapq.heappop(self._queue)
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                return
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Run until no events remain.  Raises if ``max_events`` is exceeded."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > max_events:
+                raise RuntimeError(
+                    f"simulation did not go idle within {max_events} events"
+                )
+
+    def run_until(self, predicate: Callable[[], bool], max_events: int = 10_000_000) -> bool:
+        """Run until ``predicate()`` is true or the queue drains.
+
+        Returns True if the predicate was satisfied.
+        """
+        if predicate():
+            return True
+        fired = 0
+        while self.step():
+            fired += 1
+            if predicate():
+                return True
+            if fired > max_events:
+                raise RuntimeError(
+                    f"predicate not satisfied within {max_events} events"
+                )
+        return predicate()

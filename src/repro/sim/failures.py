@@ -1,0 +1,63 @@
+"""Crash/recovery injection for robustness tests.
+
+The paper relies on FreePastry's failure detector plus Moara's own query
+timeouts (Section 7, "Reconfigurations").  Tests use this module to crash
+nodes mid-query and assert that queries still terminate with answers from
+the surviving satisfying nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.network import Network
+
+__all__ = ["FailureInjector", "FailureEvent"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A record of one injected failure or recovery."""
+
+    time: float
+    node_id: int
+    kind: str  # "crash" or "recover"
+
+
+@dataclass
+class FailureInjector:
+    """Schedules crashes and recoveries against a network."""
+
+    network: Network
+    on_crash: Optional[Callable[[int], None]] = None
+    on_recover: Optional[Callable[[int], None]] = None
+    history: list[FailureEvent] = field(default_factory=list)
+
+    def crash_at(self, time: float, node_id: int) -> None:
+        """Crash ``node_id`` at absolute simulated time ``time``."""
+        self.network.engine.schedule_at(time, self._do_crash, node_id)
+
+    def recover_at(self, time: float, node_id: int) -> None:
+        """Recover ``node_id`` at absolute simulated time ``time``."""
+        self.network.engine.schedule_at(time, self._do_recover, node_id)
+
+    def crash_now(self, node_id: int) -> None:
+        """Crash immediately."""
+        self._do_crash(node_id)
+
+    def _do_crash(self, node_id: int) -> None:
+        self.network.crash(node_id)
+        self.history.append(
+            FailureEvent(self.network.engine.now, node_id, "crash")
+        )
+        if self.on_crash is not None:
+            self.on_crash(node_id)
+
+    def _do_recover(self, node_id: int) -> None:
+        self.network.recover(node_id)
+        self.history.append(
+            FailureEvent(self.network.engine.now, node_id, "recover")
+        )
+        if self.on_recover is not None:
+            self.on_recover(node_id)

@@ -1,0 +1,206 @@
+"""Latency models for the three evaluation environments.
+
+The paper measures bandwidth in the FreePastry simulator (latency is
+irrelevant there), and latency on Emulab (a 100 Mbps LAN hosting 500 Moara
+instances on 50 machines) and PlanetLab (200 wide-area nodes).  Because
+neither testbed is available, each is replaced by a latency model whose
+parameters are documented in DESIGN.md:
+
+* :class:`ZeroLatencyModel` -- messages are free and instantaneous; used for
+  the pure bandwidth experiments (Figs. 9-11).
+* :class:`LANLatencyModel` -- small wire delay plus per-message service time.
+  The service time models the 10-instances-per-host queueing that dominates
+  the paper's Emulab latencies; fan-out at a node serializes sends.
+* :class:`WANLatencyModel` -- nodes live in geographic clusters with
+  intra/inter-cluster RTTs, and a configurable fraction of *straggler* nodes
+  have heavy per-message service times.  Stragglers are what give PlanetLab
+  its multi-second tails (Figs. 14-16).
+
+All models are deterministic for a given seed: per-pair latencies are drawn
+once and cached.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "LatencyModel",
+    "ZeroLatencyModel",
+    "UniformLatencyModel",
+    "LANLatencyModel",
+    "WANLatencyModel",
+]
+
+
+class LatencyModel(ABC):
+    """Strategy interface consumed by :class:`repro.sim.network.Network`."""
+
+    @abstractmethod
+    def wire_delay(self, src: int, dst: int) -> float:
+        """One-way propagation delay in seconds from ``src`` to ``dst``."""
+
+    def send_service_time(self, node: int) -> float:
+        """Time ``node`` spends putting one message on the wire."""
+        return 0.0
+
+    def receive_service_time(self, node: int) -> float:
+        """Time ``node`` spends ingesting one message before handling it."""
+        return 0.0
+
+    def rtt(self, a: int, b: int) -> float:
+        """Round-trip wire time between two nodes (no service time)."""
+        return self.wire_delay(a, b) + self.wire_delay(b, a)
+
+
+class ZeroLatencyModel(LatencyModel):
+    """All messages are free; used for bandwidth-only simulations."""
+
+    def wire_delay(self, src: int, dst: int) -> float:
+        return 0.0
+
+
+class UniformLatencyModel(LatencyModel):
+    """Per-pair one-way delays drawn uniformly from ``[low, high]``.
+
+    Delays are symmetric and stable across calls, so repeated messages
+    between the same pair observe the same link.
+    """
+
+    def __init__(self, low: float, high: float, seed: int = 0) -> None:
+        if low < 0 or high < low:
+            raise ValueError(f"invalid latency range [{low}, {high}]")
+        self._low = low
+        self._high = high
+        self._seed = seed
+        self._cache: dict[tuple[int, int], float] = {}
+
+    def wire_delay(self, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        key = (src, dst) if src <= dst else (dst, src)
+        delay = self._cache.get(key)
+        if delay is None:
+            # String seeds hash deterministically across interpreter runs.
+            rng = random.Random(f"{self._seed}:{key[0]}:{key[1]}")
+            delay = rng.uniform(self._low, self._high)
+            self._cache[key] = delay
+        return delay
+
+
+class LANLatencyModel(LatencyModel):
+    """Emulab stand-in: sub-millisecond wire, service time dominates.
+
+    ``service_time`` is the per-message processing/serialization cost at a
+    node.  Sending a 16-way fan-out therefore takes 16x service_time at the
+    sender, which reproduces the fan-out-dominated latencies the paper sees
+    with 10 Moara instances per Emulab machine.
+    """
+
+    def __init__(
+        self,
+        wire_low: float = 0.0002,
+        wire_high: float = 0.001,
+        service_time: float = 0.002,
+        seed: int = 0,
+    ) -> None:
+        self._wire = UniformLatencyModel(wire_low, wire_high, seed=seed)
+        self._service_time = service_time
+
+    def wire_delay(self, src: int, dst: int) -> float:
+        return self._wire.wire_delay(src, dst)
+
+    def send_service_time(self, node: int) -> float:
+        return self._service_time
+
+    def receive_service_time(self, node: int) -> float:
+        return self._service_time / 2
+
+
+class WANLatencyModel(LatencyModel):
+    """PlanetLab stand-in: clustered RTTs plus heavy-tailed stragglers.
+
+    Nodes are hashed into ``num_clusters`` "continents".  Intra-cluster
+    one-way delays are drawn from ``intra``, inter-cluster from ``inter``.
+    A ``straggler_fraction`` of nodes is overloaded: each message they
+    process costs ``straggler_service`` seconds drawn from the given range,
+    which produces the multi-second completion tails of Figs. 14-16.
+    """
+
+    def __init__(
+        self,
+        nodes: list[int],
+        num_clusters: int = 4,
+        intra: tuple[float, float] = (0.005, 0.02),
+        inter: tuple[float, float] = (0.04, 0.15),
+        straggler_fraction: float = 0.05,
+        straggler_service: tuple[float, float] = (0.2, 1.2),
+        base_service: float = 0.0005,
+        jitter: tuple[float, float] = (0.3, 2.5),
+        client_service: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        if not 0 <= straggler_fraction <= 1:
+            raise ValueError("straggler_fraction must be in [0, 1]")
+        self._intra = intra
+        self._inter = inter
+        self._base_service = base_service
+        self._jitter = jitter
+        self._client_service = client_service
+        self._seed = seed
+        self._cache: dict[tuple[int, int], float] = {}
+        rng = random.Random(seed)
+        self._cluster = {node: rng.randrange(num_clusters) for node in nodes}
+        shuffled = sorted(nodes)
+        rng.shuffle(shuffled)
+        num_stragglers = int(round(straggler_fraction * len(nodes)))
+        self._straggler_service: dict[int, float] = {}
+        for node in shuffled[:num_stragglers]:
+            self._straggler_service[node] = rng.uniform(*straggler_service)
+        # Per-message load variability: straggler service times fluctuate
+        # (overload comes and goes), which is what spreads PlanetLab's
+        # completion-time CDF.  Drawn from a private stream so runs stay
+        # deterministic.
+        self._message_rng = random.Random(f"wan-jitter-{seed}")
+
+    @property
+    def stragglers(self) -> set[int]:
+        """Node ids that were designated as overloaded."""
+        return set(self._straggler_service)
+
+    def cluster_of(self, node: int) -> int:
+        """The cluster ("continent") a node was assigned to."""
+        return self._cluster[node]
+
+    def wire_delay(self, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        key = (src, dst) if src <= dst else (dst, src)
+        delay = self._cache.get(key)
+        if delay is None:
+            rng = random.Random(f"{self._seed}:{key[0]}:{key[1]}")
+            if self._cluster.get(src) == self._cluster.get(dst):
+                delay = rng.uniform(*self._intra)
+            else:
+                delay = rng.uniform(*self._inter)
+            self._cache[key] = delay
+        return delay
+
+    def _service(self, node: int) -> float:
+        if node < 0:
+            # Client machines (front-ends) sit behind a single access link:
+            # each message they send or ingest costs `client_service`.
+            # This is the incast penalty that makes a centralized
+            # aggregator's completion lag a tree that delivers one answer.
+            return self._client_service
+        base = self._straggler_service.get(node)
+        if base is None:
+            return self._base_service
+        return base * self._message_rng.uniform(*self._jitter)
+
+    def send_service_time(self, node: int) -> float:
+        return self._service(node)
+
+    def receive_service_time(self, node: int) -> float:
+        return self._service(node)

@@ -1,0 +1,200 @@
+"""Simulated message-passing network.
+
+The network delivers :class:`Message` objects between registered
+:class:`Process` instances, charging wire delay and per-node service time
+according to the configured :class:`~repro.sim.latency.LatencyModel`, and
+recording every send in :class:`~repro.sim.stats.MessageStats`.
+
+Queueing model: a node serializes its sends (a k-way fan-out costs k send
+service times at the sender) and serializes the ingestion of arrivals.  This
+is what lets the LAN/WAN models reproduce the fan-out- and straggler-
+dominated latencies of the paper's Emulab and PlanetLab experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Protocol, runtime_checkable
+
+from repro.sim.engine import Engine
+from repro.sim.latency import LatencyModel, ZeroLatencyModel
+from repro.sim.stats import MessageStats
+
+__all__ = ["Message", "Network", "Process", "estimate_size"]
+
+_BASE_HEADER_BYTES = 40  # rough IP+UDP+framing overhead per message
+
+
+def estimate_size(value: Any) -> int:
+    """Rough serialized size in bytes of a payload value.
+
+    Used only for byte accounting; the paper reports message counts, so this
+    is informational.
+    """
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, dict):
+        return sum(estimate_size(k) + estimate_size(v) for k, v in value.items()) + 4
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(estimate_size(item) for item in value) + 4
+    # Fall back to the repr for unusual payloads (e.g., partial aggregates).
+    return len(repr(value))
+
+
+@runtime_checkable
+class Process(Protocol):
+    """Anything that can be attached to the network."""
+
+    node_id: int
+
+    def handle_message(self, message: "Message") -> None:
+        """Process one delivered message."""
+
+
+@dataclass
+class Message:
+    """A single network message."""
+
+    mtype: str
+    src: int
+    dst: int
+    payload: dict[str, Any] = field(default_factory=dict)
+    size: int = 0
+    sent_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size == 0:
+            self.size = _BASE_HEADER_BYTES + estimate_size(self.payload)
+
+
+class Network:
+    """Delivers messages between processes over a latency model."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        latency_model: Optional[LatencyModel] = None,
+        stats: Optional[MessageStats] = None,
+    ) -> None:
+        self.engine = engine
+        self.latency_model = latency_model or ZeroLatencyModel()
+        self.stats = stats or MessageStats()
+        self._processes: dict[int, Process] = {}
+        self._crashed: set[int] = set()
+        self._sender_free: dict[int, float] = {}
+        self._receiver_free: dict[int, float] = {}
+        self._fast_path = isinstance(self.latency_model, ZeroLatencyModel)
+
+    def set_latency_model(self, model: LatencyModel) -> None:
+        """Swap the latency model (e.g., after node ids are known)."""
+        self.latency_model = model
+        self._fast_path = isinstance(model, ZeroLatencyModel)
+
+    def attach(self, process: Process) -> None:
+        """Register a process under its ``node_id``."""
+        node_id = process.node_id
+        if node_id in self._processes:
+            raise ValueError(f"node {node_id} already attached")
+        self._processes[node_id] = process
+        self._crashed.discard(node_id)
+
+    def detach(self, node_id: int) -> None:
+        """Remove a process entirely (graceful leave)."""
+        self._processes.pop(node_id, None)
+        self._crashed.discard(node_id)
+
+    def crash(self, node_id: int) -> None:
+        """Mark a node as failed; its in-flight and future messages drop."""
+        if node_id in self._processes:
+            self._crashed.add(node_id)
+
+    def recover(self, node_id: int) -> None:
+        """Bring a crashed node back."""
+        self._crashed.discard(node_id)
+
+    def is_alive(self, node_id: int) -> bool:
+        """True if the node is attached and not crashed."""
+        return node_id in self._processes and node_id not in self._crashed
+
+    @property
+    def node_ids(self) -> list[int]:
+        """All attached node ids (crashed or not)."""
+        return list(self._processes)
+
+    @property
+    def live_node_ids(self) -> list[int]:
+        """Attached node ids that are not crashed."""
+        return [n for n in self._processes if n not in self._crashed]
+
+    def process_for(self, node_id: int) -> Process:
+        """Look up the process object for a node id."""
+        return self._processes[node_id]
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        mtype: str,
+        payload: Optional[dict[str, Any]] = None,
+    ) -> Message:
+        """Send one message; returns the Message for inspection in tests.
+
+        The send is always counted in stats (the bytes left ``src`` whether
+        or not ``dst`` is alive on arrival), matching the paper's message
+        accounting.
+        """
+        message = Message(
+            mtype=mtype,
+            src=src,
+            dst=dst,
+            payload=payload or {},
+            sent_at=self.engine.now,
+        )
+        self.stats.record_send(src, dst, mtype, message.size)
+        if src in self._crashed:
+            # A crashed node cannot actually emit traffic.
+            self.stats.record_drop()
+            return message
+        if self._fast_path:
+            self.engine.schedule(0.0, self._deliver, message)
+            return message
+        model = self.latency_model
+        now = self.engine.now
+        depart = max(now, self._sender_free.get(src, 0.0))
+        depart += model.send_service_time(src)
+        self._sender_free[src] = depart
+        arrival = depart + model.wire_delay(src, dst)
+        self.engine.schedule_at(arrival, self._arrive, message)
+        return message
+
+    def _arrive(self, message: Message) -> None:
+        """Arrival at the destination NIC: queue behind earlier arrivals."""
+        dst = message.dst
+        if not self.is_alive(dst):
+            self.stats.record_drop()
+            return
+        now = self.engine.now
+        ready = max(now, self._receiver_free.get(dst, 0.0))
+        ready += self.latency_model.receive_service_time(dst)
+        self._receiver_free[dst] = ready
+        if ready <= now:
+            self._deliver(message)
+        else:
+            self.engine.schedule_at(ready, self._deliver, message)
+
+    def _deliver(self, message: Message) -> None:
+        process = self._processes.get(message.dst)
+        if process is None or message.dst in self._crashed:
+            self.stats.record_drop()
+            return
+        process.handle_message(message)

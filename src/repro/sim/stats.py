@@ -1,0 +1,105 @@
+"""Message and byte accounting.
+
+Every bandwidth number in the paper (Figs. 9, 10, 11, 12(a)) is a message
+count: "average number of messages per node", "query cost", "update cost".
+:class:`MessageStats` mirrors that accounting.  Counters can be snapshotted
+and diffed so one simulation can serve several measurement windows (e.g.,
+the warm-up join phase is excluded exactly as in the paper's Emulab runs).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["MessageStats", "StatsSnapshot"]
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """An immutable copy of the counters at one instant."""
+
+    total_messages: int
+    total_bytes: int
+    by_type: dict[str, int]
+    sent_by_node: dict[int, int]
+    received_by_node: dict[int, int]
+
+    def messages_of(self, *types: str) -> int:
+        """Total messages whose type is one of ``types``."""
+        return sum(self.by_type.get(t, 0) for t in types)
+
+
+@dataclass
+class MessageStats:
+    """Mutable counters updated by :class:`repro.sim.network.Network`."""
+
+    total_messages: int = 0
+    total_bytes: int = 0
+    by_type: Counter = field(default_factory=Counter)
+    sent_by_node: Counter = field(default_factory=Counter)
+    received_by_node: Counter = field(default_factory=Counter)
+    dropped_messages: int = 0
+
+    def record_send(self, src: int, dst: int, mtype: str, size: int) -> None:
+        """Count one message leaving ``src`` for ``dst``."""
+        self.total_messages += 1
+        self.total_bytes += size
+        self.by_type[mtype] += 1
+        self.sent_by_node[src] += 1
+        self.received_by_node[dst] += 1
+
+    def record_drop(self) -> None:
+        """Count a message that was lost (e.g., destination crashed)."""
+        self.dropped_messages += 1
+
+    def snapshot(self) -> StatsSnapshot:
+        """Freeze the current counters."""
+        return StatsSnapshot(
+            total_messages=self.total_messages,
+            total_bytes=self.total_bytes,
+            by_type=dict(self.by_type),
+            sent_by_node=dict(self.sent_by_node),
+            received_by_node=dict(self.received_by_node),
+        )
+
+    def reset(self) -> None:
+        """Zero all counters (start of a measurement window)."""
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.by_type.clear()
+        self.sent_by_node.clear()
+        self.received_by_node.clear()
+        self.dropped_messages = 0
+
+    def messages_per_node(self, num_nodes: int) -> float:
+        """The paper's headline bandwidth metric (Figs. 9 and 10)."""
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        return self.total_messages / num_nodes
+
+    def delta_since(self, earlier: StatsSnapshot) -> StatsSnapshot:
+        """Counters accumulated since ``earlier`` was taken."""
+        by_type = {
+            mtype: count - earlier.by_type.get(mtype, 0)
+            for mtype, count in self.by_type.items()
+            if count - earlier.by_type.get(mtype, 0)
+        }
+        sent = {
+            node: count - earlier.sent_by_node.get(node, 0)
+            for node, count in self.sent_by_node.items()
+            if count - earlier.sent_by_node.get(node, 0)
+        }
+        received = {
+            node: count - earlier.received_by_node.get(node, 0)
+            for node, count in self.received_by_node.items()
+            if count - earlier.received_by_node.get(node, 0)
+        }
+        return StatsSnapshot(
+            total_messages=self.total_messages - earlier.total_messages,
+            total_bytes=self.total_bytes - earlier.total_bytes,
+            by_type=by_type,
+            sent_by_node=sent,
+            received_by_node=received,
+        )

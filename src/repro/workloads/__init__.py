@@ -1,0 +1,28 @@
+"""Workload generators for the paper's evaluation.
+
+* :mod:`repro.workloads.events` -- the query:churn event mixes of the
+  Section 7.1 bandwidth experiments (Figures 9 and 10).
+* :mod:`repro.workloads.slices` -- synthetic PlanetLab slice-size
+  distribution calibrated to the Figure 2(a) CoMon/CoTop facts.
+* :mod:`repro.workloads.jobs` -- synthetic HP utility-computing rendering
+  trace in the shape of Figure 2(b).
+* :mod:`repro.workloads.churn` -- the periodic group-churn driver of the
+  Emulab dynamic-group experiments (Figures 12(b) and 13(a)).
+* :mod:`repro.workloads.groups` -- a synthetic virtualized-enterprise
+  inventory (floors/clusters/racks/services/VMs) for the Figure 1 queries.
+"""
+
+from repro.workloads.churn import GroupChurnDriver
+from repro.workloads.events import EventMix, run_query_churn_workload
+from repro.workloads.groups import DatacenterInventory
+from repro.workloads.jobs import RenderingJobTrace
+from repro.workloads.slices import SliceTrace
+
+__all__ = [
+    "DatacenterInventory",
+    "EventMix",
+    "GroupChurnDriver",
+    "RenderingJobTrace",
+    "SliceTrace",
+    "run_query_churn_workload",
+]

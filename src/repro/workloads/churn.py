@@ -1,0 +1,78 @@
+"""Periodic group-churn driver (paper Section 7.2, "Dynamic Groups").
+
+"We considered a group of 100 nodes, with group churn controlled by two
+parameters churn and interval.  Every `interval` seconds, we randomly
+select `churn` nodes in the group to leave, and `churn` nodes outside the
+group to join."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.cluster import MoaraCluster
+
+__all__ = ["GroupChurnDriver"]
+
+
+@dataclass
+class GroupChurnDriver:
+    """Keeps a group's size constant while rotating its membership."""
+
+    cluster: MoaraCluster
+    attr: str
+    group_size: int
+    churn: int
+    interval: float
+    seed: int = 0
+    #: timestamps at which churn batches fired (for timeline plots)
+    batch_times: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(f"churn-{self.seed}")
+        node_ids = self.cluster.node_ids
+        if self.group_size > len(node_ids):
+            raise ValueError("group larger than the cluster")
+        self._members: set[int] = set(
+            self._rng.sample(node_ids, self.group_size)
+        )
+        self.cluster.set_group(self.attr, self._members)
+        self._running = False
+
+    @property
+    def members(self) -> set[int]:
+        """Current group membership (ground truth)."""
+        return set(self._members)
+
+    def start(self) -> None:
+        """Begin firing churn batches every ``interval`` seconds."""
+        if self._running:
+            return
+        self._running = True
+        self.cluster.engine.schedule(self.interval, self._batch)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _batch(self) -> None:
+        if not self._running:
+            return
+        self.apply_batch()
+        self.cluster.engine.schedule(self.interval, self._batch)
+
+    def apply_batch(self) -> None:
+        """One churn step: ``churn`` members leave, ``churn`` outsiders join."""
+        node_ids = self.cluster.node_ids
+        outside = [n for n in node_ids if n not in self._members]
+        leave_count = min(self.churn, len(self._members))
+        join_count = min(self.churn, len(outside))
+        leaving = self._rng.sample(sorted(self._members), leave_count)
+        joining = self._rng.sample(outside, join_count)
+        for node_id in leaving:
+            self._members.discard(node_id)
+            self.cluster.set_attribute(node_id, self.attr, False)
+        for node_id in joining:
+            self._members.add(node_id)
+            self.cluster.set_attribute(node_id, self.attr, True)
+        self.batch_times.append(self.cluster.engine.now)

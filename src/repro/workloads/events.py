@@ -1,0 +1,70 @@
+"""Query:churn event mixes (paper Section 7.1).
+
+"To study the dynamic maintenance mechanism under different workload types,
+we stress the system by injecting two types of events -- query events and
+group churn events -- at different ratios. ... Each group churn event
+selects m nodes at random, and toggles the value of their attribute A.
+...  We fix the total number of events to 500, and randomly inject query or
+group churn events at the chosen ratio."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.cluster import MoaraCluster
+from repro.core.query import Query, QueryResult
+
+__all__ = ["EventMix", "run_query_churn_workload"]
+
+
+@dataclass(frozen=True)
+class EventMix:
+    """A randomized interleaving of query and churn events."""
+
+    num_queries: int
+    num_churn: int
+    seed: int = 0
+
+    def schedule(self) -> list[str]:
+        """The shuffled event sequence ("query" / "churn" tags)."""
+        events = ["query"] * self.num_queries + ["churn"] * self.num_churn
+        random.Random(f"event-mix-{self.seed}").shuffle(events)
+        return events
+
+    @property
+    def label(self) -> str:
+        """The paper's x-axis label, e.g. ``300:200``."""
+        return f"{self.num_queries}:{self.num_churn}"
+
+
+def run_query_churn_workload(
+    cluster: MoaraCluster,
+    query: Union[str, Query],
+    attr: str,
+    mix: EventMix,
+    burst_size: int,
+    seed: int = 0,
+) -> list[QueryResult]:
+    """Drive a cluster through one query:churn mix (the Figure 9 workload).
+
+    Each churn event toggles binary attribute ``attr`` (0/1) on
+    ``burst_size`` random nodes; each query event runs ``query`` to
+    completion.  Returns the query results (message accounting accumulates
+    in ``cluster.stats``).
+    """
+    rng = random.Random(f"workload-{seed}")
+    node_ids = cluster.node_ids
+    results: list[QueryResult] = []
+    for event in mix.schedule():
+        if event == "query":
+            results.append(cluster.query(query))
+        else:
+            for node_id in rng.sample(node_ids, min(burst_size, len(node_ids))):
+                node = cluster.nodes[node_id]
+                current = node.attributes.get(attr, 0)
+                node.attributes.set(attr, 1 - current)
+            cluster.run_until_idle()
+    return results

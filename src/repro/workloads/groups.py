@@ -1,0 +1,116 @@
+"""Synthetic virtualized-enterprise inventory (paper Figure 1).
+
+Figure 1 lists the queries data-center managers run: utilization by floor /
+cluster / rack, VM counts by application and hypervisor, firewall audits,
+service dashboards, and patch management.  This module populates a
+:class:`~repro.core.cluster.MoaraCluster` with a plausible inventory so
+those exact queries can be executed (see
+``examples/datacenter_monitoring.py`` and
+``benchmarks/bench_fig01_queries.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.cluster import MoaraCluster
+
+__all__ = ["DatacenterInventory"]
+
+
+@dataclass
+class DatacenterInventory:
+    """Attribute assignment for a simulated enterprise data center."""
+
+    num_floors: int = 2
+    clusters_per_floor: int = 3
+    racks_per_cluster: int = 4
+    applications: tuple[str, ...] = ("AppX", "AppY", "AppZ")
+    services: tuple[str, ...] = ("ServiceX", "ServiceY")
+    seed: int = 0
+    #: node -> attribute map actually assigned (ground truth for tests)
+    assignment: dict[int, dict] = field(default_factory=dict)
+
+    def populate(self, cluster: MoaraCluster) -> None:
+        """Assign every node a floor/cluster/rack plus software inventory."""
+        rng = random.Random(f"inventory-{self.seed}")
+        for node_id in cluster.node_ids:
+            floor = rng.randrange(self.num_floors)
+            cluster_idx = rng.randrange(self.clusters_per_floor)
+            rack = rng.randrange(self.racks_per_cluster)
+            app = rng.choice(self.applications)
+            attrs = {
+                "floor": f"F{floor}",
+                "cluster": f"C{floor}{cluster_idx}",
+                "rack": f"R{floor}{cluster_idx}{rack}",
+                "is-vm": rng.random() < 0.6,
+                "hypervisor": rng.choice(("ESX", "VMWare", "Xen", "none")),
+                "app": app,
+                "app-version": rng.choice((1, 2)),
+                "firewall": rng.random() < 0.7,
+                "sygate-firewall": rng.random() < 0.3,
+                "cpu-util": round(rng.uniform(0.0, 100.0), 1),
+                "mem-util": round(rng.uniform(0.0, 100.0), 1),
+                "response-time-ms": round(rng.uniform(1.0, 500.0), 1),
+                "up": rng.random() < 0.97,
+            }
+            for service in self.services:
+                attrs[service] = rng.random() < 0.4
+            for name, value in attrs.items():
+                cluster.set_attribute(node_id, name, value)
+            self.assignment[node_id] = attrs
+
+    # ------------------------------------------------------------------
+    # the Figure 1 query catalogue
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def figure1_queries() -> list[tuple[str, str]]:
+        """(task, query text) pairs mirroring the Figure 1 table."""
+        return [
+            (
+                "Resource allocation: average utilization on floor F0",
+                "SELECT AVG(cpu-util) WHERE floor = 'F0'",
+            ),
+            (
+                "Resource allocation: machines/VMs in cluster C01",
+                "SELECT COUNT(*) WHERE cluster = 'C01'",
+            ),
+            (
+                "VM migration: average utilization of VMs running AppX v1 or v2",
+                "SELECT AVG(cpu-util) WHERE is-vm = true AND "
+                "(app = 'AppX' AND app-version = 1 OR app = 'AppX' AND app-version = 2)",
+            ),
+            (
+                "VM migration: VMs running AppX that are VMWare based",
+                "SELECT LIST(app-version) WHERE is-vm = true AND app = 'AppX' "
+                "AND hypervisor = 'VMWare'",
+            ),
+            (
+                "Auditing: count of VMs/machines running a firewall",
+                "SELECT COUNT(*) WHERE firewall = true",
+            ),
+            (
+                "Auditing: VMs running ESX server and Sygate firewall",
+                "SELECT COUNT(*) WHERE is-vm = true AND hypervisor = 'ESX' "
+                "AND sygate-firewall = true",
+            ),
+            (
+                "Dashboard: max response time for ServiceX",
+                "SELECT MAX(response-time-ms) WHERE ServiceX = true",
+            ),
+            (
+                "Dashboard: machines up and running ServiceX",
+                "SELECT COUNT(*) WHERE up = true AND ServiceX = true",
+            ),
+            (
+                "Patch management: version numbers used for ServiceX",
+                "SELECT LIST(app-version) WHERE ServiceX = true",
+            ),
+            (
+                "Patch management: machines in cluster C00 running AppX v2",
+                "SELECT COUNT(*) WHERE cluster = 'C00' AND app = 'AppX' "
+                "AND app-version = 2",
+            ),
+        ]

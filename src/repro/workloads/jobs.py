@@ -1,0 +1,115 @@
+"""Synthetic HP utility-computing rendering trace (paper Figure 2(b)).
+
+"Figure 2(b) presents the behavior of two jobs over a 20-hour period from a
+real 6-month trace of a utility computing environment at HP with 500
+machines receiving animation rendering batch jobs.  This plot shows the
+dynamism in each group over time."
+
+The real trace is proprietary; this generator reproduces its qualitative
+envelope -- two batch jobs that ramp up, plateau with bursty fluctuations,
+and tear down at different times, over a 1400-minute window on a 500-machine
+pool.  Benchmarks and examples use it solely as a source of realistic group
+dynamism, which is what Figure 2(b) illustrates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["RenderingJobTrace"]
+
+
+@dataclass(frozen=True)
+class _JobProfile:
+    """Shape parameters for one batch job's lifetime."""
+
+    start_min: int
+    ramp_min: int
+    plateau_min: int
+    peak_machines: int
+    burstiness: float  # relative amplitude of plateau fluctuations
+
+
+@dataclass
+class RenderingJobTrace:
+    """Machines-in-use time series for two rendering jobs."""
+
+    duration_min: int = 1400
+    pool_size: int = 500
+    step_min: int = 5
+    seed: int = 0
+    #: job name -> list of (minute, machines_in_use)
+    series: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
+
+    _PROFILES = {
+        "job0": _JobProfile(
+            start_min=30, ramp_min=120, plateau_min=700, peak_machines=160,
+            burstiness=0.25,
+        ),
+        "job1": _JobProfile(
+            start_min=400, ramp_min=200, plateau_min=600, peak_machines=110,
+            burstiness=0.35,
+        ),
+    }
+
+    def __post_init__(self) -> None:
+        if not self.series:
+            self._generate()
+
+    def _generate(self) -> None:
+        rng = random.Random(f"jobs-{self.seed}")
+        for name, profile in self._PROFILES.items():
+            points: list[tuple[int, int]] = []
+            for minute in range(0, self.duration_min + 1, self.step_min):
+                points.append((minute, self._usage(profile, minute, rng)))
+            self.series[name] = points
+
+    def _usage(self, profile: _JobProfile, minute: int, rng: random.Random) -> int:
+        t = minute - profile.start_min
+        end_of_ramp = profile.ramp_min
+        end_of_plateau = profile.ramp_min + profile.plateau_min
+        teardown_len = max(1, profile.ramp_min // 2)
+        if t < 0:
+            return 0
+        if t < end_of_ramp:
+            base = profile.peak_machines * (t / profile.ramp_min)
+        elif t < end_of_plateau:
+            # Bursty plateau: slow sinusoidal drift plus random jitter.
+            drift = math.sin(t / 45.0) * profile.burstiness / 2
+            jitter = rng.uniform(-profile.burstiness, profile.burstiness) / 2
+            base = profile.peak_machines * (1 + drift + jitter)
+        elif t < end_of_plateau + teardown_len:
+            remaining = 1 - (t - end_of_plateau) / teardown_len
+            base = profile.peak_machines * remaining
+        else:
+            return 0
+        return max(0, min(self.pool_size, int(round(base))))
+
+    # ------------------------------------------------------------------
+    # Figure 2(b) inspection helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def job_names(self) -> list[str]:
+        return sorted(self.series)
+
+    def peak_usage(self, job: str) -> int:
+        """Maximum machines the job ever used."""
+        return max(machines for _, machines in self.series[job])
+
+    def active_window(self, job: str) -> tuple[int, int]:
+        """(first, last) minute with non-zero usage."""
+        active = [minute for minute, machines in self.series[job] if machines]
+        return (active[0], active[-1])
+
+    def churn_events(self, job: str) -> list[tuple[int, int]]:
+        """(minute, delta_machines) at each step -- the group-churn signal a
+        monitoring system would observe."""
+        events = []
+        points = self.series[job]
+        for (_, prev), (minute, current) in zip(points, points[1:]):
+            if current != prev:
+                events.append((minute, current - prev))
+        return events

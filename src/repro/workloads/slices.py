@@ -1,0 +1,85 @@
+"""Synthetic PlanetLab slice-size trace (paper Figure 2(a)).
+
+The paper analyzes a CoTop snapshot of ~400 slices: "As many as 50% of the
+400 slices have fewer than 10 assigned nodes ... If we consider only nodes
+that were actually in use ..., as many as 100 out of 170 slices have fewer
+than 10 active nodes."  The real snapshot is not available, so this module
+generates a Zipf-like distribution calibrated to those quoted facts;
+``tests/workloads/test_slices.py`` asserts the calibration.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["SliceTrace"]
+
+
+@dataclass
+class SliceTrace:
+    """Assigned and in-use node counts for a population of slices."""
+
+    num_slices: int = 400
+    num_nodes: int = 700  # PlanetLab's approximate size in 2008
+    max_slice_size: int = 450
+    seed: int = 0
+    #: slice name -> number of assigned nodes
+    assigned: dict[str, int] = field(default_factory=dict)
+    #: slice name -> number of nodes actually in use (> 1 process running)
+    in_use: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.assigned:
+            self._generate()
+
+    def _generate(self) -> None:
+        rng = random.Random(f"slices-{self.seed}")
+        for index in range(self.num_slices):
+            name = f"slice{index:03d}"
+            # Zipf-like assigned sizes: a heavy head of large slices and a
+            # long tail of tiny ones; rank-size exponent tuned so ~half the
+            # slices stay below 10 assigned nodes as in the CoTop snapshot.
+            rank = index + 1
+            base = self.max_slice_size / (rank**0.72)
+            noise = rng.uniform(0.6, 1.4)
+            size = max(1, min(self.max_slice_size, int(base * noise)))
+            self.assigned[name] = size
+            # Large slices are likelier to be actively used; active slices
+            # run processes on a sizeable fraction of their assignment.
+            # Tuned to the paper's "100 out of 170 slices have fewer than
+            # 10 active nodes".
+            p_active = 0.6 if size >= 10 else 0.28
+            if rng.random() < p_active:
+                used = max(1, int(size * rng.uniform(0.3, 0.95)))
+                self.in_use[name] = min(used, size)
+
+    # ------------------------------------------------------------------
+    # Figure 2(a) series and the quoted statistics
+    # ------------------------------------------------------------------
+
+    def ranked_assigned(self) -> list[int]:
+        """Assigned sizes sorted descending (the Figure 2(a) x-axis)."""
+        return sorted(self.assigned.values(), reverse=True)
+
+    def ranked_in_use(self) -> list[int]:
+        """In-use sizes sorted descending."""
+        return sorted(self.in_use.values(), reverse=True)
+
+    def fraction_assigned_below(self, threshold: int) -> float:
+        """Fraction of slices with fewer than ``threshold`` assigned nodes."""
+        small = sum(1 for size in self.assigned.values() if size < threshold)
+        return small / len(self.assigned)
+
+    def count_in_use_below(self, threshold: int) -> tuple[int, int]:
+        """(slices with < threshold active nodes, active slices total)."""
+        small = sum(1 for size in self.in_use.values() if size < threshold)
+        return small, len(self.in_use)
+
+    def sample_slice_members(
+        self, name: str, node_ids: list[int], seed: int = 0
+    ) -> list[int]:
+        """Choose which physical nodes host a slice (for deployments)."""
+        size = min(self.assigned[name], len(node_ids))
+        rng = random.Random(f"slice-members-{self.seed}-{seed}-{name}")
+        return rng.sample(node_ids, size)

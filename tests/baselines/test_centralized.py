@@ -1,0 +1,71 @@
+"""Tests for the centralized-aggregator baseline (Figure 15's "Central")."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CentralizedSystem
+from repro.sim import WANLatencyModel
+
+
+def test_query_all_nodes() -> None:
+    system = CentralizedSystem(40, seed=1)
+    for i, node_id in enumerate(system.node_ids):
+        system.set_attribute(node_id, "x", float(i))
+        system.set_attribute(node_id, "g", i < 10)
+    result = system.query("SELECT COUNT(*) WHERE g = true")
+    assert result.value == 10
+    # Centralized always pays 2N regardless of group size.
+    assert result.message_cost == 2 * 40
+
+
+def test_sum_over_subgroup() -> None:
+    system = CentralizedSystem(20, seed=2)
+    for i, node_id in enumerate(system.node_ids):
+        system.set_attribute(node_id, "v", 2.0)
+        system.set_attribute(node_id, "g", i % 2 == 0)
+    assert system.query("SELECT SUM(v) WHERE g = true").value == 20.0
+
+
+def test_arrival_profile_recorded() -> None:
+    nodes = [1000 + i for i in range(30)]
+    system = CentralizedSystem(
+        30,
+        seed=3,
+        latency_model=WANLatencyModel(nodes + [-2], seed=3),
+        node_ids=nodes,
+    )
+    for node_id in system.node_ids:
+        system.set_attribute(node_id, "g", True)
+    result = system.query("SELECT COUNT(*) WHERE g = true")
+    profile = system.last_arrival_profile()
+    assert len(profile) == 30
+    assert profile == sorted(profile)
+    assert result.latency == pytest.approx(profile[-1])
+    assert profile[0] > 0.0
+
+
+def test_straggler_dominates_completion() -> None:
+    """The "tortoise and hare" effect: completion waits for the slowest
+    node even though most responses arrive quickly."""
+    nodes = [1000 + i for i in range(50)]
+    model = WANLatencyModel(
+        nodes + [-2], straggler_fraction=0.1, seed=4,
+        straggler_service=(1.0, 2.0),
+    )
+    system = CentralizedSystem(50, seed=4, latency_model=model, node_ids=nodes)
+    for node_id in system.node_ids:
+        system.set_attribute(node_id, "g", True)
+    system.query("SELECT COUNT(*) WHERE g = true")
+    profile = system.last_arrival_profile()
+    median = profile[len(profile) // 2]
+    assert profile[-1] > 5 * median
+
+
+def test_missing_attribute_no_contribution() -> None:
+    system = CentralizedSystem(10, seed=5)
+    for node_id in system.node_ids[:5]:
+        system.set_attribute(node_id, "g", True)
+    result = system.query("SELECT SUM(v) WHERE g = true")  # v missing
+    assert result.value is None
+    assert result.contributors == 0

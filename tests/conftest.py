@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pastry import IdSpace, Overlay
+from repro.sim import Engine, MessageStats, Network, ZeroLatencyModel
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def network(engine: Engine) -> Network:
+    return Network(engine, ZeroLatencyModel(), MessageStats())
+
+
+@pytest.fixture
+def small_space() -> IdSpace:
+    """The paper's Figure 3 configuration: 3-bit IDs, 1-bit digits."""
+    return IdSpace(bits=3, digit_bits=1)
+
+
+@pytest.fixture
+def default_space() -> IdSpace:
+    return IdSpace()
+
+
+def build_overlay(num_nodes: int, seed: int = 0, space: IdSpace | None = None) -> Overlay:
+    """Construct an overlay with ``num_nodes`` random distinct IDs."""
+    overlay = Overlay(space or IdSpace())
+    overlay.bulk_join(overlay.generate_ids(num_nodes, seed=seed))
+    return overlay
+
+
+@pytest.fixture
+def overlay_64() -> Overlay:
+    return build_overlay(64, seed=7)

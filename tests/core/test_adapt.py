@@ -1,0 +1,179 @@
+"""Unit tests for the dynamic-maintenance adaptation policy (Figure 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adapt import AdaptationConfig, Adaptor, MaintenancePolicy
+
+
+def adaptor(k_update: int = 1, k_no_update: int = 3, policy=MaintenancePolicy.ADAPTIVE) -> Adaptor:
+    return Adaptor(
+        AdaptationConfig(policy=policy, k_update=k_update, k_no_update=k_no_update)
+    )
+
+
+def test_starts_in_no_update() -> None:
+    """Procedure 2: "in the beginning, a node receives every query"."""
+    assert adaptor().update is False
+
+
+def test_always_update_policy_pins_true() -> None:
+    a = adaptor(policy=MaintenancePolicy.ALWAYS_UPDATE)
+    assert a.update is True
+    for _ in range(10):
+        a.record_change()
+    assert a.update is True
+
+
+def test_never_update_policy_pins_false() -> None:
+    a = adaptor(policy=MaintenancePolicy.NEVER_UPDATE)
+    for _ in range(10):
+        a.record_query(contributing=False)
+    assert a.update is False
+
+
+def test_query_moves_to_update() -> None:
+    """Figure 4(b): (NO-UPDATE, NO-SAT) + query -> UPDATE (2*qn > c)."""
+    a = adaptor(k_update=1, k_no_update=1)
+    flipped = a.record_query(contributing=False)
+    assert flipped and a.update is True
+
+
+def test_change_moves_to_no_update() -> None:
+    """Figure 4(b): a change in UPDATE with k_UPDATE=1 -> NO-UPDATE."""
+    a = adaptor(k_update=1, k_no_update=1)
+    a.record_query(contributing=False)  # enter UPDATE
+    flipped = a.record_change()
+    assert flipped and a.update is False
+
+
+def test_sat_node_receiving_queries_stays_no_update() -> None:
+    """Figure 4(b): with k=1, (UPDATE, SAT) is unreachable -- a node that
+    contributes receives queries anyway, so sending updates buys nothing
+    (2*qn = 0 = c: no transition)."""
+    a = adaptor(k_update=1, k_no_update=1)
+    assert a.record_query(contributing=True) is False
+    assert a.update is False
+
+
+def test_paper_example_update_node_goes_silent_on_change() -> None:
+    """"for kUPDATE = 1, when a node in UPDATE undergoes a local change,
+    it immediately switches to NO-UPDATE, and sends no more messages"."""
+    a = adaptor(k_update=1, k_no_update=3)
+    a.record_query(contributing=False)  # enter UPDATE
+    assert a.update is True
+    assert a.record_change() is True  # window of 1: [change] -> 0 < 1
+    assert a.update is False
+
+
+def test_no_update_with_default_window_needs_queries_to_dominate() -> None:
+    a = adaptor(k_update=1, k_no_update=3)
+    # Alternate change/query: within a window of 3, 2*qn vs c hovers.
+    a.record_change()  # window [c]: 2*0 < 1 -> stays NO-UPDATE
+    assert a.update is False
+    a.record_query(contributing=False)  # [c, q]: 2*1 > 1 -> UPDATE
+    assert a.update is True
+
+
+def test_equality_means_no_transition() -> None:
+    # Construct 2*qn == c exactly: window [q, c, c] with k_no_update=3.
+    a = adaptor(k_update=10, k_no_update=3)
+    a.record_query(contributing=False)
+    assert a.update is True  # 2 > 0
+    # k_update=10 window: add changes until 2*qn < c flips it back.
+    a.record_change()  # [q, c]: 2 > 1, stays UPDATE
+    assert a.update is True
+    a.record_change()  # [q, c, c]: 2*1 == 2 -> no change (hysteresis-free)
+    assert a.update is True
+    a.record_change()  # [q, c, c, c]: 2 < 3 -> NO-UPDATE
+    assert a.update is False
+
+
+def test_missed_queries_count_as_qn() -> None:
+    """Sequence-number gaps from pruned periods feed qn (Section 4)."""
+    a = adaptor(k_update=1, k_no_update=3)
+    a.record_query(contributing=False)
+    # Three changes with k_update=1: flip to NO-UPDATE.
+    a.record_change()
+    assert a.update is False
+    # A query with a gap of 5 missed queries: qn dominates instantly.
+    a.record_query(contributing=True, missed=5)
+    assert a.update is True
+
+
+def test_missed_gap_capped_at_window() -> None:
+    a = adaptor(k_update=2, k_no_update=2)
+    a.record_query(contributing=False, missed=10_000)  # must not blow up
+    qn, qs, c = a.counts()
+    assert qn + qs + c <= 2
+
+
+def test_counts_reflect_current_window() -> None:
+    a = adaptor(k_update=2, k_no_update=4)
+    a.record_query(contributing=True)
+    a.record_query(contributing=False)
+    a.record_change()
+    qn, qs, c = a.counts()  # UPDATE state after queries: window = last 2
+    assert a.update is True
+    assert (qn, qs, c) == (1, 0, 1)
+
+
+def test_window_length_validation() -> None:
+    with pytest.raises(ValueError):
+        AdaptationConfig(k_update=0)
+    with pytest.raises(ValueError):
+        AdaptationConfig(k_no_update=0)
+
+
+class _ReferenceAdaptor:
+    """An independent, deliberately naive re-implementation of Procedure 2
+    used as an oracle: keep the full event history, look at the last-k slice
+    for the *current* state, apply the 2*qn-vs-c rule once per event."""
+
+    def __init__(self, k_update: int, k_no_update: int) -> None:
+        self.k_update = k_update
+        self.k_no_update = k_no_update
+        self.update = False
+        self.history: list[str] = []
+        self.maxlen = max(k_update, k_no_update)
+
+    def record(self, event: str) -> None:
+        self.history.append(event)
+        self.history = self.history[-self.maxlen :]
+        k = self.k_update if self.update else self.k_no_update
+        window = self.history[-k:]
+        qn = window.count("qn")
+        c = window.count("c")
+        if 2 * qn < c:
+            self.update = False
+        elif 2 * qn > c:
+            self.update = True
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("q"), st.booleans()),
+            st.tuples(st.just("c"), st.booleans()),
+        ),
+        max_size=50,
+    ),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=5),
+)
+def test_matches_reference_model(events, k_update, k_no_update) -> None:
+    """The windowed deque bookkeeping agrees with a naive oracle."""
+    a = adaptor(k_update=k_update, k_no_update=k_no_update)
+    ref = _ReferenceAdaptor(k_update, k_no_update)
+    for kind, flag in events:
+        if kind == "q":
+            a.record_query(contributing=flag)
+            ref.record("qs" if flag else "qn")
+        else:
+            a.record_change()
+            ref.record("c")
+        assert a.update == ref.update

@@ -1,0 +1,169 @@
+"""Unit and property tests for partially aggregatable functions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.aggregation import (
+    Average,
+    BottomK,
+    Count,
+    Enumerate,
+    Maximum,
+    Minimum,
+    StdDev,
+    Sum,
+    TopK,
+    get_function,
+    merge_partials,
+    registered_functions,
+)
+from repro.core.errors import UnknownAggregateError
+
+# (value, node_id) pairs as they would occur across distinct nodes
+values = st.lists(
+    st.tuples(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    min_size=1,
+    max_size=30,
+    unique_by=lambda pair: pair[1],
+)
+
+ALL_FUNCTIONS = [
+    Count(),
+    Sum(),
+    Minimum(),
+    Maximum(),
+    Average(),
+    StdDev(),
+    TopK(3),
+    BottomK(2),
+    Enumerate(),
+]
+
+
+@pytest.mark.parametrize("fn", ALL_FUNCTIONS, ids=lambda f: f.name)
+def test_none_is_identity(fn) -> None:
+    partial = fn.lift(5.0, 1)
+    assert fn.merge(None, partial) == partial
+    assert fn.merge(partial, None) == partial
+    assert fn.merge(None, None) is None
+
+
+@pytest.mark.parametrize("fn", ALL_FUNCTIONS, ids=lambda f: f.name)
+@given(data=values)
+def test_merge_order_independent(fn, data) -> None:
+    """Partial aggregation must not depend on the aggregation-tree shape.
+
+    Merging left-to-right, right-to-left, and in a balanced binary split
+    must agree; this is the paper's "partially aggregatable" requirement.
+    """
+    partials = [fn.lift(v, n) for v, n in data]
+    left = merge_partials(fn, partials)
+    right = merge_partials(fn, list(reversed(partials)))
+
+    def tree_merge(items):
+        if len(items) == 1:
+            return items[0]
+        mid = len(items) // 2
+        return fn.merge(tree_merge(items[:mid]), tree_merge(items[mid:]))
+
+    tree = tree_merge(partials)
+    final_left = fn.finalize(left)
+    final_right = fn.finalize(right)
+    final_tree = fn.finalize(tree)
+    if isinstance(final_left, float):
+        assert final_right == pytest.approx(final_left, rel=1e-6, abs=1e-6)
+        assert final_tree == pytest.approx(final_left, rel=1e-6, abs=1e-6)
+    else:
+        assert final_left == final_right == final_tree
+
+
+def test_count() -> None:
+    fn = Count()
+    partials = [fn.lift(object(), i) for i in range(7)]
+    assert fn.finalize(merge_partials(fn, partials)) == 7
+    assert fn.finalize(None) == 0
+
+
+def test_sum_and_avg() -> None:
+    data = [(2.0, 1), (4.0, 2), (9.0, 3)]
+    s = Sum()
+    assert s.finalize(merge_partials(s, [s.lift(v, n) for v, n in data])) == 15.0
+    a = Average()
+    assert a.finalize(merge_partials(a, [a.lift(v, n) for v, n in data])) == 5.0
+    assert a.finalize(None) is None
+
+
+def test_min_max() -> None:
+    data = [(3.0, 5), (1.0, 2), (10.0, 9)]
+    mn, mx = Minimum(), Maximum()
+    assert mn.finalize(merge_partials(mn, [mn.lift(v, n) for v, n in data])) == 1.0
+    assert mx.finalize(merge_partials(mx, [mx.lift(v, n) for v, n in data])) == 10.0
+    assert mn.finalize(None) is None
+
+
+def test_std() -> None:
+    fn = StdDev()
+    data = [(2.0, 1), (4.0, 2), (4.0, 3), (4.0, 4), (5.0, 5), (5.0, 6), (7.0, 7), (9.0, 8)]
+    result = fn.finalize(merge_partials(fn, [fn.lift(v, n) for v, n in data]))
+    assert result == pytest.approx(2.0)
+
+
+def test_topk_truncates_and_orders() -> None:
+    fn = TopK(3)
+    data = [(v, i) for i, v in enumerate([5.0, 1.0, 9.0, 7.0, 3.0])]
+    result = fn.finalize(merge_partials(fn, [fn.lift(v, n) for v, n in data]))
+    assert result == [(9.0, 2), (7.0, 3), (5.0, 0)]
+
+
+def test_bottomk() -> None:
+    fn = BottomK(2)
+    data = [(v, i) for i, v in enumerate([5.0, 1.0, 9.0, 7.0, 3.0])]
+    result = fn.finalize(merge_partials(fn, [fn.lift(v, n) for v, n in data]))
+    assert result == [(1.0, 1), (3.0, 4)]
+
+
+def test_topk_tie_break_deterministic() -> None:
+    fn = TopK(2)
+    partials = [fn.lift(5.0, n) for n in (9, 3, 7)]
+    assert fn.finalize(merge_partials(fn, partials)) == [(5.0, 3), (5.0, 7)]
+
+
+def test_enumerate_collects_all() -> None:
+    fn = Enumerate()
+    data = [(True, 3), (False, 1), (True, 2)]
+    result = fn.finalize(merge_partials(fn, [fn.lift(v, n) for v, n in data]))
+    assert result == [(1, False), (2, True), (3, True)]
+
+
+def test_invalid_k() -> None:
+    with pytest.raises(ValueError):
+        TopK(0)
+    with pytest.raises(ValueError):
+        BottomK(-1)
+
+
+def test_get_function_lookup() -> None:
+    assert get_function("count").name == "count"
+    assert get_function("AVG").name == "avg"
+    assert get_function("average").name == "avg"
+    assert get_function("mean").name == "avg"
+    assert get_function("enum").name == "list"
+    assert isinstance(get_function("top3"), TopK)
+    assert get_function("top-5").k == 5
+    assert get_function("TOP_7").k == 7
+    assert get_function("bottom2").k == 2
+    with pytest.raises(UnknownAggregateError):
+        get_function("median")
+
+
+def test_registered_functions() -> None:
+    names = registered_functions()
+    assert {"count", "sum", "min", "max", "avg", "std", "list"} <= set(names)

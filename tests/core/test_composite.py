@@ -1,0 +1,155 @@
+"""Composite-query execution (Section 6): covers, probes, deduplication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MoaraCluster
+from repro.core import messages as mt
+from repro.core.frontend import ProbePolicy
+from repro.core.planner import SemanticContext
+from repro.core.relations import Relation
+from repro.core.parser import parse_predicate
+
+
+@pytest.fixture
+def cluster() -> MoaraCluster:
+    c = MoaraCluster(96, seed=40)
+    ids = c.node_ids
+    c.set_group("big", ids[:40])  # 40 members
+    c.set_group("small", ids[30:38])  # 8 members, overlapping big by 8
+    c.set_group("other", ids[60:80])  # disjoint from small
+    for rank, node_id in enumerate(ids):
+        c.set_attribute(node_id, "load", float(rank))
+    return c
+
+
+def test_intersection_queries_single_cheaper_group(cluster: MoaraCluster) -> None:
+    # Warm both trees so size probes see real costs.
+    cluster.query("SELECT COUNT(*) WHERE big = true")
+    cluster.query("SELECT COUNT(*) WHERE small = true")
+    result = cluster.query("SELECT COUNT(*) WHERE big = true AND small = true")
+    assert result.value == 8
+    assert result.cover == ["(small = true)"]  # the cheaper group
+    assert result.probed_costs["(small = true)"] < result.probed_costs["(big = true)"]
+
+
+def test_intersection_correct_even_when_probing_cold_trees(cluster: MoaraCluster) -> None:
+    result = cluster.query("SELECT COUNT(*) WHERE big = true AND other = true")
+    assert result.value == len(
+        cluster.members_satisfying("big = true AND other = true")
+    )
+
+
+def test_union_contacts_all_groups_and_deduplicates(cluster: MoaraCluster) -> None:
+    """Nodes in both groups must answer exactly once (Section 6.2)."""
+    result = cluster.query("SELECT COUNT(*) WHERE big = true OR small = true")
+    # big ∪ small = 40 (small ⊂ big by construction)
+    assert result.value == 40
+    assert set(result.cover) == {"(big = true)", "(small = true)"}
+
+
+def test_union_sum_not_double_counted(cluster: MoaraCluster) -> None:
+    expected = sum(
+        float(rank)
+        for rank, node_id in enumerate(cluster.node_ids)
+        if node_id in cluster.members_satisfying("big = true OR small = true")
+    )
+    result = cluster.query("SELECT SUM(load) WHERE big = true OR small = true")
+    assert result.value == pytest.approx(expected)
+
+
+def test_complex_nested_query(cluster: MoaraCluster) -> None:
+    text = (
+        "SELECT COUNT(*) WHERE (big = true OR other = true) "
+        "AND (small = true OR other = true)"
+    )
+    expected = len(
+        cluster.members_satisfying(
+            "(big = true OR other = true) AND (small = true OR other = true)"
+        )
+    )
+    result = cluster.query(text)
+    assert result.value == expected
+
+
+def test_unsatisfiable_query_short_circuits(cluster: MoaraCluster) -> None:
+    before = cluster.stats.total_messages
+    result = cluster.query("SELECT COUNT(*) WHERE load < 10 AND load > 90")
+    assert result.value == 0
+    assert result.short_circuited
+    assert cluster.stats.total_messages == before  # zero network traffic
+
+
+def test_numeric_range_composite(cluster: MoaraCluster) -> None:
+    result = cluster.query("SELECT COUNT(*) WHERE load >= 10 AND load < 20")
+    assert result.value == 10
+    # The planner must have chosen exactly one of the two range groups.
+    assert len(result.cover) == 1
+
+
+def test_probe_traffic_accounted(cluster: MoaraCluster) -> None:
+    cluster.query("SELECT COUNT(*) WHERE big = true")
+    before = cluster.stats.snapshot()
+    cluster.query("SELECT COUNT(*) WHERE big = true AND small = true")
+    delta = cluster.stats.delta_since(before)
+    assert delta.messages_of(mt.SIZE_PROBE) == 2
+    assert delta.messages_of(mt.SIZE_RESPONSE) == 2
+
+
+def test_probe_policy_never(cluster_factory=None) -> None:
+    c = MoaraCluster(48, seed=41, probe_policy=ProbePolicy.NEVER)
+    c.set_group("x", c.node_ids[:5])
+    c.set_group("y", c.node_ids[3:20])
+    result = c.query("SELECT COUNT(*) WHERE x = true AND y = true")
+    assert result.value == 2
+    assert c.stats.by_type.get(mt.SIZE_PROBE, 0) == 0
+
+
+def test_probe_policy_multi_cover_skips_pure_unions() -> None:
+    c = MoaraCluster(48, seed=42, probe_policy=ProbePolicy.MULTI_COVER)
+    c.set_group("x", c.node_ids[:5])
+    c.set_group("y", c.node_ids[10:20])
+    c.query("SELECT COUNT(*) WHERE x = true OR y = true")
+    assert c.stats.by_type.get(mt.SIZE_PROBE, 0) == 0
+    c.query("SELECT COUNT(*) WHERE x = true AND y = true")
+    assert c.stats.by_type.get(mt.SIZE_PROBE, 0) == 2
+
+
+def test_user_semantics_prune_cover(cluster: MoaraCluster) -> None:
+    semantics = SemanticContext()
+    semantics.declare(
+        parse_predicate("small = true"),
+        parse_predicate("other = true"),
+        Relation.DISJOINT,
+    )
+    c = MoaraCluster(48, seed=43, semantics=semantics)
+    c.set_group("small", c.node_ids[:4])
+    c.set_group("other", c.node_ids[10:20])
+    before = c.stats.total_messages
+    result = c.query("SELECT COUNT(*) WHERE small = true AND other = true")
+    assert result.value == 0
+    assert result.short_circuited
+    assert c.stats.total_messages == before
+
+
+def test_three_way_intersection(cluster: MoaraCluster) -> None:
+    result = cluster.query(
+        "SELECT COUNT(*) WHERE big = true AND small = true AND other = true"
+    )
+    assert result.value == 0  # small and other are disjoint by construction
+    assert len(result.cover) <= 1
+
+
+def test_results_match_ground_truth_on_many_shapes(cluster: MoaraCluster) -> None:
+    texts = [
+        "big = true AND (small = true OR other = true)",
+        "(big = true AND small = true) OR other = true",
+        "big = true OR (small = true AND other = true)",
+        "NOT big = true AND load < 50",
+        "(load < 30 OR load >= 70) AND big = true",
+    ]
+    for text in texts:
+        expected = len(cluster.members_satisfying(text))
+        result = cluster.query(f"SELECT COUNT(*) WHERE {text}")
+        assert result.value == expected, text

@@ -1,0 +1,100 @@
+"""Tests for derived attributes (Section 3.1's query-model extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AttributeStore, DerivedAttribute, MoaraCluster, install_derived
+
+
+def test_derived_materializes_and_tracks_inputs() -> None:
+    store = AttributeStore({"cpu-available": 4.0, "cpu-needed": 2.0})
+    derived = DerivedAttribute(
+        "can-host-app",
+        inputs=["cpu-available", "cpu-needed"],
+        program=lambda a: a["cpu-available"] > a["cpu-needed"],
+    )
+    install_derived(store, derived)
+    assert store["can-host-app"] is True
+    store.set("cpu-available", 1.0)
+    assert store["can-host-app"] is False
+    store.set("cpu-needed", 0.5)
+    assert store["can-host-app"] is True
+
+
+def test_missing_inputs_mean_undefined() -> None:
+    store = AttributeStore({"a": 1})
+    derived = DerivedAttribute(
+        "ratio", inputs=["a", "b"], program=lambda at: at["a"] / at["b"]
+    )
+    install_derived(store, derived)
+    assert "ratio" not in store  # KeyError inside the program -> undefined
+    store.set("b", 4)
+    assert store["ratio"] == 0.25
+    store.delete("b")
+    assert "ratio" not in store
+
+
+def test_unrelated_changes_do_not_recompute() -> None:
+    calls = {"n": 0}
+
+    def program(attrs):
+        calls["n"] += 1
+        return attrs["x"] * 2
+
+    store = AttributeStore({"x": 1})
+    install_derived(store, DerivedAttribute("double", ["x"], program))
+    baseline = calls["n"]
+    store.set("unrelated", 99)
+    assert calls["n"] == baseline
+
+
+def test_validation() -> None:
+    with pytest.raises(ValueError):
+        DerivedAttribute("d", [], lambda a: 1)
+    with pytest.raises(ValueError):
+        DerivedAttribute("d", ["d"], lambda a: 1)
+
+
+def test_derived_group_predicate_end_to_end() -> None:
+    """The paper's example: att = (CPU-Available > CPU-Needed-For-App-A),
+    then att used as a group predicate."""
+    cluster = MoaraCluster(32, seed=95)
+    derived = DerivedAttribute(
+        "fits-app-a",
+        inputs=["cpu-available"],
+        program=lambda a: a["cpu-available"] > 2.0,
+    )
+    for rank, node_id in enumerate(cluster.node_ids):
+        node = cluster.nodes[node_id]
+        node.attributes.set("cpu-available", float(rank % 8))
+        install_derived(node.attributes, derived)
+    expected = sum(1 for rank in range(32) if float(rank % 8) > 2.0)
+    result = cluster.query("SELECT COUNT(*) WHERE fits-app-a = true")
+    assert result.value == expected
+
+    # Changing a *base* attribute moves nodes between derived groups --
+    # ordinary group churn as far as the protocol is concerned.
+    victim = cluster.node_ids[0]  # rank 0: cpu 0.0, not in group
+    cluster.set_attribute(victim, "cpu-available", 7.0)
+    cluster.run_until_idle()
+    result = cluster.query("SELECT COUNT(*) WHERE fits-app-a = true")
+    assert result.value == expected + 1
+
+
+def test_derived_as_query_attribute() -> None:
+    """A derived value can also be the aggregated quantity."""
+    cluster = MoaraCluster(16, seed=96)
+    headroom = DerivedAttribute(
+        "headroom",
+        inputs=["capacity", "load"],
+        program=lambda a: a["capacity"] - a["load"],
+    )
+    for rank, node_id in enumerate(cluster.node_ids):
+        node = cluster.nodes[node_id]
+        node.attributes.set("capacity", 10.0)
+        node.attributes.set("load", float(rank))
+        install_derived(node.attributes, headroom)
+    result = cluster.query("SELECT SUM(headroom) WHERE headroom > 0")
+    expected = sum(10.0 - r for r in range(16) if 10.0 - r > 0)
+    assert result.value == pytest.approx(expected)

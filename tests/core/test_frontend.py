@@ -1,0 +1,74 @@
+"""Front-end behaviour: async API, callbacks, result bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MoaraCluster, QueryResult
+from repro.core.errors import ParseError
+
+
+@pytest.fixture
+def cluster() -> MoaraCluster:
+    c = MoaraCluster(32, seed=70)
+    c.set_group("g", c.node_ids[:6])
+    return c
+
+
+def test_async_submit_and_poll(cluster: MoaraCluster) -> None:
+    qid = cluster.query_async("SELECT COUNT(*) WHERE g = true")
+    assert cluster.result(qid) is None  # not yet executed
+    cluster.run_until_idle()
+    result = cluster.result(qid)
+    assert result is not None and result.value == 6
+    assert cluster.result(qid) is None  # consumed
+
+
+def test_callback_invoked(cluster: MoaraCluster) -> None:
+    seen: list[QueryResult] = []
+    cluster.frontend.submit("SELECT COUNT(*) WHERE g = true", callback=seen.append)
+    cluster.run_until_idle()
+    assert len(seen) == 1
+    assert seen[0].value == 6
+
+
+def test_multiple_outstanding_queries(cluster: MoaraCluster) -> None:
+    qids = [
+        cluster.query_async("SELECT COUNT(*) WHERE g = true"),
+        cluster.query_async("SELECT COUNT(*) WHERE g = false"),
+        cluster.query_async("SELECT COUNT(*)"),
+    ]
+    cluster.run_until_idle()
+    values = [cluster.result(qid).value for qid in qids]
+    assert values == [6, 26, 32]
+
+
+def test_is_idle_tracks_outstanding_work(cluster: MoaraCluster) -> None:
+    assert cluster.frontend.is_idle()
+    cluster.query_async("SELECT COUNT(*) WHERE g = true")
+    assert not cluster.frontend.is_idle()
+    cluster.run_until_idle()
+    assert cluster.frontend.is_idle()
+
+
+def test_parse_error_propagates(cluster: MoaraCluster) -> None:
+    with pytest.raises(ParseError):
+        cluster.query("THIS IS NOT A QUERY @@@")
+
+
+def test_query_ids_unique(cluster: MoaraCluster) -> None:
+    qid1 = cluster.query_async("SELECT COUNT(*)")
+    qid2 = cluster.query_async("SELECT COUNT(*)")
+    assert qid1 != qid2
+
+
+def test_interleaved_queries_do_not_cross_answers(cluster: MoaraCluster) -> None:
+    """Two identical-shape queries in flight must not merge each other's
+    partials (dedup is per query id)."""
+    for node_id in cluster.node_ids:
+        cluster.set_attribute(node_id, "v", 1.0)
+    qid1 = cluster.query_async("SELECT SUM(v) WHERE g = true")
+    qid2 = cluster.query_async("SELECT SUM(v) WHERE g = true")
+    cluster.run_until_idle()
+    assert cluster.result(qid1).value == pytest.approx(6.0)
+    assert cluster.result(qid2).value == pytest.approx(6.0)

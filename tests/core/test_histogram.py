@@ -1,0 +1,79 @@
+"""Tests for the histogram aggregation function."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Histogram, MoaraCluster
+from repro.core.aggregation import merge_partials
+from repro.core.parser import parse_predicate
+from repro.core.query import Query
+
+
+def test_bucketing() -> None:
+    fn = Histogram(0.0, 100.0, buckets=10)
+    data = [5.0, 15.0, 15.5, 95.0, -3.0, 150.0]
+    partial = merge_partials(fn, [fn.lift(v, i) for i, v in enumerate(data)])
+    result = fn.finalize(partial)
+    assert result["total"] == 6
+    assert result["underflow"] == 1
+    assert result["overflow"] == 1
+    assert result["counts"][0] == 1  # [0, 10)
+    assert result["counts"][1] == 2  # [10, 20)
+    assert result["counts"][9] == 1  # [90, 100)
+
+
+def test_empty_histogram() -> None:
+    fn = Histogram(0.0, 10.0, buckets=5)
+    result = fn.finalize(None)
+    assert result["total"] == 0
+    assert result["approx_median"] is None
+
+
+def test_approx_median_centers_on_mass() -> None:
+    fn = Histogram(0.0, 100.0, buckets=10)
+    data = [42.0] * 9 + [90.0]
+    partial = merge_partials(fn, [fn.lift(v, i) for i, v in enumerate(data)])
+    median = fn.finalize(partial)["approx_median"]
+    assert 40.0 <= median <= 50.0
+
+
+def test_validation() -> None:
+    with pytest.raises(ValueError):
+        Histogram(0.0, 10.0, buckets=0)
+    with pytest.raises(ValueError):
+        Histogram(10.0, 10.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-50, max_value=150, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_merge_order_invariant(values) -> None:
+    fn = Histogram(0.0, 100.0, buckets=7)
+    partials = [fn.lift(v, i) for i, v in enumerate(values)]
+    forward = merge_partials(fn, partials)
+    backward = merge_partials(fn, list(reversed(partials)))
+    assert forward == backward
+    assert fn.finalize(forward)["total"] == len(values)
+
+
+def test_histogram_over_cluster() -> None:
+    cluster = MoaraCluster(40, seed=103)
+    for rank, node_id in enumerate(cluster.node_ids):
+        cluster.set_attribute(node_id, "cpu", float(rank * 2.5))
+        cluster.set_attribute(node_id, "g", rank % 2 == 0)
+    query = Query(
+        attr="cpu",
+        function=Histogram(0.0, 100.0, buckets=4),
+        predicate=parse_predicate("g = true"),
+    )
+    result = cluster.query(query)
+    assert result.value["total"] == 20
+    assert sum(result.value["counts"]) + result.value["overflow"] == 20

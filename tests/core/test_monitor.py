@@ -1,0 +1,81 @@
+"""Tests for periodic one-shot monitoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MoaraCluster, PeriodicMonitor
+
+
+def test_samples_collected_on_schedule() -> None:
+    cluster = MoaraCluster(24, seed=97)
+    cluster.set_group("g", cluster.node_ids[:5])
+    monitor = PeriodicMonitor(
+        cluster, "SELECT COUNT(*) WHERE g = true", period=10.0
+    )
+    monitor.start()
+    cluster.run(seconds=55.0)
+    assert len(monitor.samples) == 5
+    assert monitor.values == [5, 5, 5, 5, 5]
+    times = [t for t, _ in monitor.samples]
+    assert times == pytest.approx([10.0, 20.0, 30.0, 40.0, 50.0], abs=1e-6)
+
+
+def test_monitor_observes_group_churn() -> None:
+    cluster = MoaraCluster(24, seed=98)
+    cluster.set_group("g", cluster.node_ids[:5])
+    monitor = PeriodicMonitor(
+        cluster, "SELECT COUNT(*) WHERE g = true", period=5.0
+    )
+    monitor.start()
+    cluster.run(seconds=12.0)
+    cluster.set_group("g", cluster.node_ids[:9])
+    cluster.run(seconds=10.0)
+    assert monitor.values[0] == 5
+    assert monitor.values[-1] == 9
+
+
+def test_stop_halts_sampling() -> None:
+    cluster = MoaraCluster(16, seed=99)
+    cluster.set_group("g", cluster.node_ids[:3])
+    monitor = PeriodicMonitor(
+        cluster, "SELECT COUNT(*) WHERE g = true", period=5.0
+    )
+    monitor.start()
+    cluster.run(seconds=11.0)
+    monitor.stop()
+    cluster.run(seconds=30.0)
+    assert len(monitor.samples) == 2
+
+
+def test_callback_invoked_per_sample() -> None:
+    cluster = MoaraCluster(16, seed=100)
+    cluster.set_group("g", cluster.node_ids[:3])
+    seen = []
+    monitor = PeriodicMonitor(
+        cluster,
+        "SELECT COUNT(*) WHERE g = true",
+        period=5.0,
+        callback=lambda result: seen.append(result.value),
+    )
+    monitor.start()
+    cluster.run(seconds=16.0)
+    assert seen == [3, 3, 3]
+
+
+def test_invalid_period_rejected() -> None:
+    cluster = MoaraCluster(4, seed=101)
+    with pytest.raises(ValueError):
+        PeriodicMonitor(cluster, "SELECT COUNT(*)", period=0.0)
+
+
+def test_start_is_idempotent() -> None:
+    cluster = MoaraCluster(8, seed=102)
+    cluster.set_group("g", cluster.node_ids[:2])
+    monitor = PeriodicMonitor(
+        cluster, "SELECT COUNT(*) WHERE g = true", period=5.0
+    )
+    monitor.start()
+    monitor.start()  # must not double-schedule
+    cluster.run(seconds=11.0)
+    assert len(monitor.samples) == 2

@@ -1,0 +1,157 @@
+"""Unit tests for the query-language parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregation import Average, Maximum, TopK
+from repro.core.errors import ParseError, UnknownAggregateError
+from repro.core.parser import parse_predicate, parse_query
+from repro.core.predicates import And, Comparison, Or, SimplePredicate, TruePredicate
+
+
+def test_basic_select() -> None:
+    q = parse_query("SELECT AVG(Mem-Util) WHERE ServiceX = true")
+    assert q.attr == "Mem-Util"
+    assert isinstance(q.function, Average)
+    assert q.predicate == SimplePredicate("ServiceX", Comparison.EQ, True)
+
+
+def test_select_keyword_optional() -> None:
+    q = parse_query("max(CPU-Usage) where ServiceX = true")
+    assert q.attr == "CPU-Usage"
+    assert isinstance(q.function, Maximum)
+
+
+def test_no_where_targets_all_nodes() -> None:
+    q = parse_query("SELECT COUNT(*)")
+    assert q.attr == "*"
+    assert isinstance(q.predicate, TruePredicate)
+    assert q.targets_all_nodes()
+
+
+def test_paper_intro_query() -> None:
+    """"find top-3 loaded hosts where (ServiceX = true) and (Apache = true)"."""
+    q = parse_query(
+        "SELECT TOP3(Load) WHERE (ServiceX = true) AND (Apache = true)"
+    )
+    assert isinstance(q.function, TopK)
+    assert q.function.k == 3
+    assert isinstance(q.predicate, And)
+    assert len(q.predicate.parts) == 2
+
+
+def test_triple_form() -> None:
+    q = parse_query("(CPU-Usage, MAX, ServiceX = true)")
+    assert q.attr == "CPU-Usage"
+    assert isinstance(q.function, Maximum)
+    assert q.predicate == SimplePredicate("ServiceX", Comparison.EQ, True)
+
+
+def test_triple_form_with_composite_predicate() -> None:
+    q = parse_query("(Mem-Util, avg, ServiceX = true and Apache = true)")
+    assert isinstance(q.predicate, And)
+
+
+def test_triple_form_star() -> None:
+    q = parse_query("(*, count, CPU-Util > 90)")
+    assert q.attr == "*"
+
+
+def test_operators() -> None:
+    cases = {
+        "a < 1": Comparison.LT,
+        "a > 1": Comparison.GT,
+        "a <= 1": Comparison.LE,
+        "a >= 1": Comparison.GE,
+        "a = 1": Comparison.EQ,
+        "a == 1": Comparison.EQ,
+        "a != 1": Comparison.NE,
+        "a <> 1": Comparison.NE,
+    }
+    for text, op in cases.items():
+        pred = parse_predicate(text)
+        assert isinstance(pred, SimplePredicate)
+        assert pred.op is op
+
+
+def test_value_types() -> None:
+    assert parse_predicate("a = 5").value == 5
+    assert parse_predicate("a = 5.5").value == 5.5
+    assert parse_predicate("a = -3").value == -3
+    assert parse_predicate("a = true").value is True
+    assert parse_predicate("a = FALSE").value is False
+    assert parse_predicate("a = 'hello world'").value == "hello world"
+    assert parse_predicate('a = "dq"').value == "dq"
+    assert parse_predicate("a = Linux").value == "Linux"  # bare word
+
+
+def test_precedence_and_binds_tighter_than_or() -> None:
+    pred = parse_predicate("a = 1 or b = 2 and c = 3")
+    assert isinstance(pred, Or)
+    assert len(pred.parts) == 2
+    and_part = next(p for p in pred.parts if isinstance(p, And))
+    assert len(and_part.parts) == 2
+
+
+def test_parentheses_override_precedence() -> None:
+    pred = parse_predicate("(a = 1 or b = 2) and c = 3")
+    assert isinstance(pred, And)
+
+
+def test_not_pushed_into_leaves() -> None:
+    pred = parse_predicate("not a < 5")
+    assert pred == SimplePredicate("a", Comparison.GE, 5)
+    pred = parse_predicate("not (a = 1 and b = 2)")
+    assert isinstance(pred, Or)
+    assert set(pred.parts) == {
+        SimplePredicate("a", Comparison.NE, 1),
+        SimplePredicate("b", Comparison.NE, 2),
+    }
+    pred = parse_predicate("not not a = 1")
+    assert pred == SimplePredicate("a", Comparison.EQ, 1)
+
+
+def test_dashed_attribute_names() -> None:
+    pred = parse_predicate("CPU-Util < 50")
+    assert pred.attr == "CPU-Util"
+
+
+def test_errors() -> None:
+    with pytest.raises(ParseError):
+        parse_query("")
+    with pytest.raises(ParseError):
+        parse_query("SELECT WHERE a = 1")
+    with pytest.raises(ParseError):
+        parse_query("SELECT COUNT(*) WHERE")
+    with pytest.raises(ParseError):
+        parse_query("COUNT(*) trailing garbage")
+    with pytest.raises(ParseError):
+        parse_predicate("a = ")
+    with pytest.raises(ParseError):
+        parse_predicate("a ! 5")
+    with pytest.raises(ParseError):
+        parse_predicate("= 5")
+    with pytest.raises(ParseError):
+        parse_predicate("a = and")
+    with pytest.raises(UnknownAggregateError):
+        parse_query("SELECT MEDIAN(x) WHERE a = 1")
+
+
+def test_error_position_reported() -> None:
+    try:
+        parse_predicate("a @ 5")
+    except ParseError as exc:
+        assert exc.position == 2
+    else:  # pragma: no cover
+        raise AssertionError("expected ParseError")
+
+
+def test_keywords_case_insensitive() -> None:
+    q = parse_query("select count(*) WHERE a = 1 AND b = 2 Or c = 3")
+    assert isinstance(q.predicate, Or)
+
+
+def test_keyword_cannot_be_value() -> None:
+    with pytest.raises(ParseError):
+        parse_predicate("a = where")

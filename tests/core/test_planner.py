@@ -1,0 +1,279 @@
+"""Unit and property tests for the composite-query planner (Section 6)."""
+
+from __future__ import annotations
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import PlanningError
+from repro.core.planner import (
+    SemanticContext,
+    choose_cover,
+    plan_predicate,
+)
+from repro.core.predicates import (
+    And,
+    Comparison,
+    Or,
+    SimplePredicate,
+    TruePredicate,
+)
+from repro.core.relations import Relation
+
+
+def sp(attr: str, op: str = "=", value=True) -> SimplePredicate:
+    return SimplePredicate(attr, Comparison(op), value)
+
+
+A, B, C, D = sp("A"), sp("B"), sp("C"), sp("D")
+
+
+def canon(clauses):
+    return {frozenset(p.canonical() for p in clause) for clause in clauses}
+
+
+# ----------------------------------------------------------------------
+# structural covers (Section 6.2 / 6.3)
+# ----------------------------------------------------------------------
+
+
+def test_simple_predicate_single_cover() -> None:
+    plan = plan_predicate(A)
+    assert canon(plan.clauses) == {frozenset({A.canonical()})}
+    assert not plan.needs_probes()
+
+
+def test_intersection_two_candidate_covers() -> None:
+    """cover(A and B) = {A} or {B}: query whichever is cheaper."""
+    plan = plan_predicate(And(A, B))
+    assert canon(plan.clauses) == {
+        frozenset({A.canonical()}),
+        frozenset({B.canonical()}),
+    }
+    assert plan.needs_probes()
+
+
+def test_union_single_cover_with_both() -> None:
+    """cover(A or B) = {A, B}: both groups must be contacted."""
+    plan = plan_predicate(Or(A, B))
+    assert canon(plan.clauses) == {
+        frozenset({A.canonical(), B.canonical()})
+    }
+    assert not plan.needs_probes()
+
+
+def test_paper_figure6_covers() -> None:
+    """((A or B) and (A or C)) or D -> {A,B,D} and {A,C,D}."""
+    pred = Or(And(Or(A, B), Or(A, C)), D)
+    plan = plan_predicate(pred)
+    assert canon(plan.clauses) == {
+        frozenset({A.canonical(), B.canonical(), D.canonical()}),
+        frozenset({A.canonical(), C.canonical(), D.canonical()}),
+    }
+
+
+def test_global_group() -> None:
+    plan = plan_predicate(TruePredicate())
+    assert plan.global_group and not plan.clauses
+
+
+# ----------------------------------------------------------------------
+# Figure 7 semantic optimizations
+# ----------------------------------------------------------------------
+
+
+def test_disjoint_intersection_is_unsatisfiable() -> None:
+    """Figure 7 row 1: (A and B) with A ∩ B = ∅ -> cover {}."""
+    low = sp("cpu", "<", 20)
+    high = sp("cpu", ">", 80)
+    plan = plan_predicate(And(low, high))
+    assert plan.unsatisfiable
+
+
+def test_equivalent_groups_collapse() -> None:
+    """Figure 7 row 2: A = B -> single cover {A} for both or/and."""
+    a = sp("cpu", "<", 50)
+    b = sp("cpu", "<", 50)
+    for pred in (And(a, b), Or(a, b)):
+        plan = plan_predicate(pred)
+        assert len(plan.clauses) == 1
+        assert len(plan.clauses[0]) == 1
+
+
+def test_inclusion_in_or_keeps_superset() -> None:
+    """Figure 7 row 3: (A or B) with B ⊆ A -> {A}."""
+    big = sp("cpu", "<", 50)
+    small = sp("cpu", "<", 20)
+    plan = plan_predicate(Or(big, small))
+    assert canon(plan.clauses) == {frozenset({big.canonical()})}
+
+
+def test_inclusion_in_and_keeps_subset() -> None:
+    """Figure 7 row 3: (A and B) with B ⊆ A -> {B}."""
+    big = sp("cpu", "<", 50)
+    small = sp("cpu", "<", 20)
+    plan = plan_predicate(And(big, small))
+    assert canon(plan.clauses) == {frozenset({small.canonical()})}
+
+
+def test_tautological_or_clause_dropped() -> None:
+    """(cpu < 50 or cpu >= 50) and A  ->  cover {A}."""
+    pred = And(Or(sp("cpu", "<", 50), sp("cpu", ">=", 50)), A)
+    plan = plan_predicate(pred)
+    assert canon(plan.clauses) == {frozenset({A.canonical()})}
+
+
+def test_whole_predicate_tautology_is_global() -> None:
+    plan = plan_predicate(Or(sp("cpu", "<", 50), sp("cpu", ">=", 50)))
+    assert plan.global_group
+
+
+def test_paper_not_rule_one() -> None:
+    """(A or B) and (A or C) = A, if C = not B."""
+    b = sp("cpu", "<", 50)
+    c = sp("cpu", ">=", 50)
+    plan = plan_predicate(And(Or(A, b), Or(A, c)))
+    assert canon(plan.clauses) == {frozenset({A.canonical()})}
+
+
+def test_paper_not_rule_two() -> None:
+    """(A or C) and B = A and B, if C = not B."""
+    b = sp("cpu", "<", 50)
+    c = sp("cpu", ">=", 50)
+    plan = plan_predicate(And(Or(A, c), b))
+    assert canon(plan.clauses) == {
+        frozenset({A.canonical()}),
+        frozenset({b.canonical()}),
+    }
+
+
+def test_paper_not_rule_three() -> None:
+    """(A or B) and C = A and not(B), if C = not B -> covers {A}, {C}."""
+    b = sp("cpu", "<", 50)
+    c = sp("cpu", ">=", 50)
+    plan = plan_predicate(And(Or(A, b), c))
+    assert canon(plan.clauses) == {
+        frozenset({A.canonical()}),
+        frozenset({c.canonical()}),
+    }
+
+
+def test_user_supplied_semantics() -> None:
+    """Slices declared disjoint by the operator shrink covers."""
+    slice_a, slice_b = sp("sliceA"), sp("sliceB")
+    semantics = SemanticContext()
+    semantics.declare(slice_a, slice_b, Relation.DISJOINT)
+    plan = plan_predicate(And(slice_a, slice_b), semantics)
+    assert plan.unsatisfiable
+
+
+def test_user_semantics_inclusion() -> None:
+    parent_group, child_group = sp("org"), sp("team")
+    semantics = SemanticContext()
+    semantics.declare(child_group, parent_group, Relation.SUBSET)
+    plan = plan_predicate(Or(parent_group, child_group), semantics)
+    assert canon(plan.clauses) == {frozenset({parent_group.canonical()})}
+
+
+# ----------------------------------------------------------------------
+# cover choice (cost model)
+# ----------------------------------------------------------------------
+
+
+def test_choose_cover_minimizes_cost() -> None:
+    plan = plan_predicate(And(A, B))
+    cover = choose_cover(plan, {A.canonical(): 100, B.canonical(): 10})
+    assert {p.canonical() for p in cover} == {B.canonical()}
+    cover = choose_cover(plan, {A.canonical(): 5, B.canonical(): 10})
+    assert {p.canonical() for p in cover} == {A.canonical()}
+
+
+def test_choose_cover_figure6_example() -> None:
+    """min(|A| + |B| + |D|, |A| + |C| + |D|)."""
+    plan = plan_predicate(Or(And(Or(A, B), Or(A, C)), D))
+    costs = {
+        A.canonical(): 10,
+        B.canonical(): 50,
+        C.canonical(): 20,
+        D.canonical(): 5,
+    }
+    cover = choose_cover(plan, costs)
+    assert {p.canonical() for p in cover} == {
+        A.canonical(),
+        C.canonical(),
+        D.canonical(),
+    }
+
+
+def test_choose_cover_ties_prefer_fewer_groups() -> None:
+    plan = plan_predicate(And(Or(A, B), C))
+    cover = choose_cover(
+        plan, {A.canonical(): 1, B.canonical(): 1, C.canonical(): 2}
+    )
+    assert {p.canonical() for p in cover} == {C.canonical()}
+
+
+def test_choose_cover_requires_candidates() -> None:
+    plan = plan_predicate(TruePredicate())
+    with pytest.raises(PlanningError):
+        choose_cover(plan, {})
+
+
+def test_unknown_costs_default() -> None:
+    plan = plan_predicate(And(A, B))
+    cover = choose_cover(plan, {})  # both default: deterministic tie-break
+    assert len(cover) == 1
+
+
+# ----------------------------------------------------------------------
+# property: covers are complete (any satisfying node is reachable)
+# ----------------------------------------------------------------------
+
+attr_pool = ["p", "q", "r"]
+simple_preds = st.builds(
+    SimplePredicate,
+    attr=st.sampled_from(attr_pool),
+    op=st.sampled_from([Comparison.LT, Comparison.GE, Comparison.EQ, Comparison.NE]),
+    value=st.integers(min_value=0, max_value=3),
+)
+
+
+def predicates(depth: int):
+    if depth == 0:
+        return simple_preds
+    sub = predicates(depth - 1)
+    return st.one_of(
+        simple_preds,
+        st.builds(lambda ps: And(*ps), st.lists(sub, min_size=1, max_size=3)),
+        st.builds(lambda ps: Or(*ps), st.lists(sub, min_size=1, max_size=3)),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(pred=predicates(2))
+def test_every_clause_is_a_complete_cover(pred) -> None:
+    """For every attribute assignment satisfying the predicate, every
+    candidate cover contains at least one group the node belongs to --
+    i.e., the query would reach that node.  Also: unsatisfiable plans are
+    truly unsatisfiable over the test domain."""
+    plan = plan_predicate(pred)
+    domain = [0, 1, 2, 3, 0.5, 1.5, 2.5, -1.0]
+    satisfying = [
+        dict(zip(attr_pool, combo))
+        for combo in product(domain, repeat=len(attr_pool))
+        if pred.evaluate(dict(zip(attr_pool, combo)))
+    ]
+    if plan.unsatisfiable:
+        assert not satisfying
+        return
+    if plan.global_group:
+        return  # trivially complete
+    for attrs in satisfying:
+        for clause in plan.clauses:
+            assert any(literal.evaluate(attrs) for literal in clause), (
+                f"cover {sorted(p.canonical() for p in clause)} misses "
+                f"satisfying node {attrs} for {pred.canonical()}"
+            )

@@ -1,0 +1,154 @@
+"""Bandwidth behaviour of dynamic tree maintenance (Section 4).
+
+These tests assert the *economic* properties of Figure 9: pruned trees make
+repeat queries cheap, the Global policy pays per query but nothing for
+churn, Always-Update pays per churn event but little per query, and the
+adaptive policy tracks the better of the two.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import MoaraCluster
+from repro.core.adapt import AdaptationConfig, MaintenancePolicy
+from repro.core.moara_node import MoaraConfig
+from repro.core import messages as mt
+
+
+def make_cluster(policy: MaintenancePolicy, num_nodes: int = 128, **kwargs) -> MoaraCluster:
+    config = MoaraConfig(adaptation=AdaptationConfig(policy=policy), **kwargs)
+    cluster = MoaraCluster(num_nodes, seed=20, config=config)
+    cluster.set_group("A", cluster.node_ids[:8], 1, 0)
+    return cluster
+
+
+QUERY = "SELECT COUNT(*) WHERE A = 1"
+
+
+def test_first_query_reaches_everyone_then_prunes() -> None:
+    cluster = make_cluster(MaintenancePolicy.ADAPTIVE)
+    first = cluster.query(QUERY)
+    assert first.value == 8
+    # Every node received the first query (no pruning state existed).
+    assert first.message_cost >= 2 * len(cluster)
+    second = cluster.query(QUERY)
+    assert second.value == 8
+    # After pruning, cost is proportional to the group, not the system.
+    assert second.message_cost < len(cluster) // 2
+    assert second.message_cost >= 2 * 8
+
+
+def test_global_policy_never_prunes() -> None:
+    cluster = make_cluster(MaintenancePolicy.NEVER_UPDATE)
+    costs = [cluster.query(QUERY).message_cost for _ in range(3)]
+    for cost in costs:
+        assert cost >= 2 * len(cluster)
+    # ... and sends no maintenance traffic at all.
+    assert cluster.stats.by_type.get(mt.STATUS_UPDATE, 0) == 0
+
+
+def test_global_policy_churn_is_free() -> None:
+    cluster = make_cluster(MaintenancePolicy.NEVER_UPDATE)
+    cluster.query(QUERY)
+    before = cluster.stats.total_messages
+    rng = random.Random(1)
+    for _ in range(50):
+        node = rng.choice(cluster.node_ids)
+        current = cluster.nodes[node].attributes.get("A", 0)
+        cluster.set_attribute(node, "A", 1 - current)
+    cluster.run_until_idle()
+    assert cluster.stats.total_messages == before
+
+
+def test_always_update_pays_for_churn() -> None:
+    cluster = make_cluster(MaintenancePolicy.ALWAYS_UPDATE)
+    cluster.query(QUERY)
+    before = cluster.stats.total_messages
+    node = cluster.node_ids[0]  # a group member: flipping changes its state
+    cluster.set_attribute(node, "A", 0)
+    cluster.run_until_idle()
+    assert cluster.stats.total_messages > before
+
+
+def test_adaptive_suppresses_repeated_churn() -> None:
+    """A node whose attribute flaps falls silent (NO-UPDATE) instead of
+    spamming its parent (the CPU-util-fluctuating-around-50% example)."""
+    cluster = make_cluster(MaintenancePolicy.ADAPTIVE)
+    cluster.query(QUERY)
+    cluster.query(QUERY)
+    flapper = cluster.node_ids[0]
+    # Flap the attribute many times with no intervening queries.
+    costs = []
+    for i in range(12):
+        before = cluster.stats.total_messages
+        cluster.set_attribute(flapper, "A", i % 2)
+        cluster.run_until_idle()
+        costs.append(cluster.stats.total_messages - before)
+    # The first flap may send updates; later flaps must go quiet.
+    assert sum(costs[-6:]) <= 2, f"churn kept costing messages: {costs}"
+
+
+def test_trees_go_silent_when_queries_stop() -> None:
+    """Section 6.1: "Moara trees become silent and incur zero bandwidth
+    cost if not used".
+
+    Each node still in UPDATE state pays for its *first* post-query change
+    (flipping to NO-UPDATE, possibly announcing NO-PRUNE so it keeps
+    receiving queries); after every node has seen a change, continued churn
+    must cost exactly nothing.
+    """
+    cluster = make_cluster(MaintenancePolicy.ADAPTIVE)
+    for _ in range(3):
+        cluster.query(QUERY)
+    costs = []
+    for _round in range(5):
+        before = cluster.stats.total_messages
+        for node in cluster.node_ids:  # churn touches every node
+            current = cluster.nodes[node].attributes.get("A", 0)
+            cluster.set_attribute(node, "A", 1 - current)
+        cluster.run_until_idle()
+        costs.append(cluster.stats.total_messages - before)
+    assert costs[-1] == 0, f"churn traffic did not die out: {costs}"
+    assert costs[-2] == 0, f"churn traffic did not die out: {costs}"
+
+
+def test_adaptive_beats_global_under_query_heavy_load() -> None:
+    adaptive = make_cluster(MaintenancePolicy.ADAPTIVE)
+    global_ = make_cluster(MaintenancePolicy.NEVER_UPDATE)
+    for cluster in (adaptive, global_):
+        cluster.stats.reset()
+        for _ in range(20):
+            cluster.query(QUERY)
+    assert adaptive.stats.total_messages < global_.stats.total_messages / 2
+
+
+def test_global_beats_always_update_under_churn_heavy_load() -> None:
+    always = make_cluster(MaintenancePolicy.ALWAYS_UPDATE)
+    global_ = make_cluster(MaintenancePolicy.NEVER_UPDATE)
+    rng = random.Random(3)
+    flips = [
+        (rng.choice(always.node_ids), i % 2) for i in range(100)
+    ]
+    for cluster in (always, global_):
+        cluster.query(QUERY)  # create state everywhere
+        cluster.stats.reset()
+        for node_index, value in flips:
+            cluster.set_attribute(node_index, "A", value)
+            cluster.run_until_idle()
+    assert global_.stats.total_messages == 0
+    assert always.stats.total_messages > 0
+
+
+def test_status_updates_flow_to_parents_only() -> None:
+    """Maintenance traffic is strictly child->parent along the tree."""
+    cluster = make_cluster(MaintenancePolicy.ADAPTIVE, num_nodes=32)
+    cluster.query(QUERY)
+    key = cluster.overlay.space.hash_name("A")
+    tree = cluster.overlay.tree(key)
+    for node_id, node in cluster.nodes.items():
+        for state in node.states.values():
+            if state.sent_update_set is not None:
+                assert state.known_parent == tree.parent_of(node_id)

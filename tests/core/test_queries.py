@@ -1,0 +1,154 @@
+"""End-to-end query correctness over simulated deployments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MoaraCluster
+from repro.core.query import Query
+from repro.core.aggregation import get_function
+from repro.core.parser import parse_predicate
+
+
+@pytest.fixture(scope="module")
+def cluster() -> MoaraCluster:
+    """A 64-node deployment with a varied attribute population."""
+    c = MoaraCluster(64, seed=10)
+    ids = c.node_ids
+    for rank, node_id in enumerate(ids):
+        c.set_attribute(node_id, "rank", rank)
+        c.set_attribute(node_id, "cpu", float(rank % 10) * 10.0)
+        c.set_attribute(node_id, "os", "Linux" if rank % 3 else "BSD")
+        c.set_attribute(node_id, "ServiceX", rank < 12)
+        c.set_attribute(node_id, "Apache", rank % 2 == 0)
+    return c
+
+
+def expected_members(cluster: MoaraCluster, text: str) -> set[int]:
+    return cluster.members_satisfying(parse_predicate(text))
+
+
+def test_count_group(cluster: MoaraCluster) -> None:
+    result = cluster.query("SELECT COUNT(*) WHERE ServiceX = true")
+    assert result.value == 12
+    assert result.contributors == 12
+
+
+def test_count_all_nodes(cluster: MoaraCluster) -> None:
+    result = cluster.query("SELECT COUNT(*)")
+    assert result.value == 64
+
+
+def test_sum_and_avg(cluster: MoaraCluster) -> None:
+    members = expected_members(cluster, "ServiceX = true")
+    ranks = {n: list(cluster.node_ids).index(n) for n in members}
+    expected_sum = sum(float(r % 10) * 10.0 for r in ranks.values())
+    result = cluster.query("SELECT SUM(cpu) WHERE ServiceX = true")
+    assert result.value == pytest.approx(expected_sum)
+    result = cluster.query("SELECT AVG(cpu) WHERE ServiceX = true")
+    assert result.value == pytest.approx(expected_sum / len(members))
+
+
+def test_min_max(cluster: MoaraCluster) -> None:
+    assert cluster.query("SELECT MIN(rank) WHERE os = 'Linux'").value == 1
+    assert cluster.query("SELECT MAX(rank) WHERE os = 'BSD'").value == 63
+
+
+def test_numeric_range_predicate(cluster: MoaraCluster) -> None:
+    result = cluster.query("SELECT COUNT(*) WHERE cpu >= 50")
+    expected = len(expected_members(cluster, "cpu >= 50"))
+    assert result.value == expected
+
+
+def test_topk(cluster: MoaraCluster) -> None:
+    result = cluster.query("SELECT TOP3(rank) WHERE Apache = true")
+    values = [v for v, _node in result.value]
+    assert values == [62, 60, 58]
+
+
+def test_enumeration(cluster: MoaraCluster) -> None:
+    result = cluster.query("SELECT LIST(os) WHERE rank < 4")
+    assert len(result.value) == 4
+    assert {os for _n, os in result.value} == {"Linux", "BSD"}
+
+
+def test_triple_form_query(cluster: MoaraCluster) -> None:
+    result = cluster.query("(cpu, max, ServiceX = true and Apache = true)")
+    members = expected_members(cluster, "ServiceX = true and Apache = true")
+    ranks = {list(cluster.node_ids).index(n) for n in members}
+    assert result.value == max(float(r % 10) * 10.0 for r in ranks)
+
+
+def test_query_object_api(cluster: MoaraCluster) -> None:
+    query = Query(
+        attr="cpu",
+        function=get_function("avg"),
+        predicate=parse_predicate("os = 'BSD'"),
+    )
+    result = cluster.query(query)
+    members = expected_members(cluster, "os = 'BSD'")
+    ranks = {list(cluster.node_ids).index(n) for n in members}
+    assert result.value == pytest.approx(
+        sum(float(r % 10) * 10.0 for r in ranks) / len(ranks)
+    )
+
+
+def test_empty_group_returns_identity(cluster: MoaraCluster) -> None:
+    result = cluster.query("SELECT COUNT(*) WHERE cpu > 1000")
+    assert result.value == 0
+    result = cluster.query("SELECT MAX(cpu) WHERE cpu > 1000")
+    assert result.value is None
+    result = cluster.query("SELECT TOP3(cpu) WHERE cpu > 1000")
+    assert result.value == []
+
+
+def test_missing_query_attribute_contributes_nothing(cluster: MoaraCluster) -> None:
+    # Nodes satisfy the predicate but lack the queried attribute.
+    result = cluster.query("SELECT SUM(no-such-attr) WHERE ServiceX = true")
+    assert result.value is None
+    assert result.contributors == 0
+
+
+def test_not_operator(cluster: MoaraCluster) -> None:
+    result = cluster.query("SELECT COUNT(*) WHERE NOT os = 'Linux'")
+    expected = len(expected_members(cluster, "os != 'Linux'"))
+    assert result.value == expected
+
+
+def test_repeat_queries_consistent(cluster: MoaraCluster) -> None:
+    first = cluster.query("SELECT COUNT(*) WHERE Apache = true")
+    for _ in range(3):
+        again = cluster.query("SELECT COUNT(*) WHERE Apache = true")
+        assert again.value == first.value
+
+
+def test_latency_and_message_cost_reported(cluster: MoaraCluster) -> None:
+    result = cluster.query("SELECT COUNT(*) WHERE ServiceX = true")
+    assert result.message_cost > 0
+    assert result.latency >= 0.0
+
+
+def test_single_node_cluster() -> None:
+    c = MoaraCluster(1, seed=3)
+    c.set_attribute(c.node_ids[0], "x", 5)
+    assert c.query("SELECT SUM(x) WHERE x = 5").value == 5
+    assert c.query("SELECT COUNT(*)").value == 1
+
+
+def test_two_node_cluster() -> None:
+    c = MoaraCluster(2, seed=4)
+    for n in c.node_ids:
+        c.set_attribute(n, "x", 1)
+    assert c.query("SELECT COUNT(*) WHERE x = 1").value == 2
+
+
+def test_attribute_updates_reflected_in_answers() -> None:
+    c = MoaraCluster(16, seed=5)
+    c.set_group("g", c.node_ids[:4])
+    assert c.query("SELECT COUNT(*) WHERE g = true").value == 4
+    c.set_attribute(c.node_ids[10], "g", True)
+    c.run_until_idle()
+    assert c.query("SELECT COUNT(*) WHERE g = true").value == 5
+    c.set_attribute(c.node_ids[0], "g", False)
+    c.run_until_idle()
+    assert c.query("SELECT COUNT(*) WHERE g = true").value == 4

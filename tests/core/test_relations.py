@@ -1,0 +1,188 @@
+"""Unit and property tests for semantic-relation inference (Figure 8)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.predicates import Comparison, SimplePredicate
+from repro.core.relations import IntervalSet, Relation, relation
+
+
+def sp(attr: str, op: str, value) -> SimplePredicate:
+    return SimplePredicate(attr, Comparison(op), value)
+
+
+# ----------------------------------------------------------------------
+# the paper's Figure 8 rows
+# ----------------------------------------------------------------------
+
+
+def test_figure8_intersection_without_inclusion() -> None:
+    assert relation(sp("cpu", "<", 50), sp("cpu", ">", 20)) is Relation.OVERLAP
+
+
+def test_figure8_equivalence() -> None:
+    assert relation(sp("cpu", "<", 50), sp("cpu", "<", 50)) is Relation.EQUIVALENT
+
+
+def test_figure8_inclusion() -> None:
+    assert relation(sp("cpu", "<", 20), sp("cpu", "<", 50)) is Relation.SUBSET
+    assert relation(sp("cpu", "<", 50), sp("cpu", "<", 20)) is Relation.SUPERSET
+    # the "discontinuous intersection" example (CPU < 50), (CPU = 20):
+    assert relation(sp("cpu", "=", 20), sp("cpu", "<", 50)) is Relation.SUBSET
+
+
+def test_figure8_disjointedness() -> None:
+    assert relation(sp("cpu", "<", 50), sp("cpu", ">", 80)) is Relation.DISJOINT
+
+
+def test_complement_detection() -> None:
+    assert relation(sp("cpu", "<", 50), sp("cpu", ">=", 50)) is Relation.COMPLEMENT
+    assert relation(sp("cpu", "=", 50), sp("cpu", "!=", 50)) is Relation.COMPLEMENT
+    assert relation(sp("cpu", "<=", 50), sp("cpu", ">", 50)) is Relation.COMPLEMENT
+    # Disjoint but not complement: 50 itself is uncovered.
+    assert relation(sp("cpu", "<", 50), sp("cpu", ">", 50)) is Relation.DISJOINT
+
+
+def test_memory_example_from_paper() -> None:
+    """A = {memory < 2G}, B = {memory < 1G}  =>  B ⊆ A."""
+    a = sp("memory", "<", 2_000_000_000)
+    b = sp("memory", "<", 1_000_000_000)
+    assert relation(b, a) is Relation.SUBSET
+
+
+# ----------------------------------------------------------------------
+# boolean domain
+# ----------------------------------------------------------------------
+
+
+def test_boolean_equivalence_through_negation() -> None:
+    assert relation(sp("svc", "=", True), sp("svc", "!=", False)) is Relation.EQUIVALENT
+    assert relation(sp("svc", "=", False), sp("svc", "!=", True)) is Relation.EQUIVALENT
+
+
+def test_boolean_complement() -> None:
+    assert relation(sp("svc", "=", True), sp("svc", "=", False)) is Relation.COMPLEMENT
+
+
+def test_boolean_same() -> None:
+    assert relation(sp("svc", "=", True), sp("svc", "=", True)) is Relation.EQUIVALENT
+
+
+# ----------------------------------------------------------------------
+# strings and incomparables
+# ----------------------------------------------------------------------
+
+
+def test_string_relations() -> None:
+    assert relation(sp("os", "=", "Linux"), sp("os", "=", "Linux")) is Relation.EQUIVALENT
+    assert relation(sp("os", "=", "Linux"), sp("os", "=", "BSD")) is Relation.DISJOINT
+    assert relation(sp("os", "=", "Linux"), sp("os", "!=", "Linux")) is Relation.COMPLEMENT
+    assert relation(sp("os", "<", "M"), sp("os", "=", "BSD")) is Relation.SUPERSET
+
+
+def test_different_attributes_unknown() -> None:
+    assert relation(sp("a", "=", 1), sp("b", "=", 1)) is Relation.UNKNOWN
+
+
+def test_mixed_value_types_unknown() -> None:
+    assert relation(sp("a", "=", 1), sp("a", "=", "one")) is Relation.UNKNOWN
+    assert relation(sp("a", "=", True), sp("a", "=", 1)) is Relation.UNKNOWN
+
+
+# ----------------------------------------------------------------------
+# property test: inference agrees with brute-force over a dense domain
+# ----------------------------------------------------------------------
+
+ops = st.sampled_from(list(Comparison))
+bounds = st.integers(min_value=0, max_value=6)
+
+
+def _dense_domain() -> list[Fraction]:
+    """Sample points including half-integers, so strict/inclusive bounds and
+    gaps between integers are all distinguishable (the algebra assumes a
+    dense domain)."""
+    return [Fraction(n, 2) for n in range(-2, 15)]
+
+
+def _truth_set(pred: SimplePredicate) -> frozenset:
+    return frozenset(
+        point for point in _dense_domain() if pred.op.apply(point, pred.value)
+    )
+
+
+@settings(max_examples=500, deadline=None)
+@given(op_a=ops, val_a=bounds, op_b=ops, val_b=bounds)
+def test_relation_matches_brute_force(op_a, val_a, op_b, val_b) -> None:
+    a = SimplePredicate("x", op_a, val_a)
+    b = SimplePredicate("x", op_b, val_b)
+    rel = relation(a, b)
+    set_a, set_b = _truth_set(a), _truth_set(b)
+    if rel is Relation.EQUIVALENT:
+        assert set_a == set_b
+    elif rel is Relation.SUBSET:
+        assert set_a < set_b
+    elif rel is Relation.SUPERSET:
+        assert set_a > set_b
+    elif rel in (Relation.DISJOINT, Relation.COMPLEMENT):
+        assert not (set_a & set_b)
+    elif rel is Relation.OVERLAP:
+        assert set_a & set_b
+        assert set_a - set_b and set_b - set_a
+    else:  # pragma: no cover
+        raise AssertionError(f"unexpected relation {rel}")
+
+
+@settings(max_examples=200, deadline=None)
+@given(op_a=ops, val_a=bounds, op_b=ops, val_b=bounds)
+def test_relation_is_symmetric_up_to_mirroring(op_a, val_a, op_b, val_b) -> None:
+    a = SimplePredicate("x", op_a, val_a)
+    b = SimplePredicate("x", op_b, val_b)
+    forward = relation(a, b)
+    backward = relation(b, a)
+    mirror = {
+        Relation.SUBSET: Relation.SUPERSET,
+        Relation.SUPERSET: Relation.SUBSET,
+    }
+    assert backward == mirror.get(forward, forward)
+
+
+# ----------------------------------------------------------------------
+# IntervalSet internals
+# ----------------------------------------------------------------------
+
+
+def test_interval_set_basics() -> None:
+    lt5 = IntervalSet.from_predicate(sp("x", "<", 5))
+    ge5 = IntervalSet.from_predicate(sp("x", ">=", 5))
+    assert lt5.intersect(ge5).is_empty()
+    assert lt5.union(ge5).is_universe()
+    assert not lt5.is_universe()
+    assert IntervalSet.empty().is_empty()
+    assert IntervalSet.universe().is_universe()
+
+
+def test_interval_set_ne_has_two_pieces() -> None:
+    ne = IntervalSet.from_predicate(sp("x", "!=", 3))
+    assert len(ne.intervals) == 2
+    point = IntervalSet.from_predicate(sp("x", "=", 3))
+    assert ne.union(point).is_universe()
+
+
+def test_interval_containment() -> None:
+    small = IntervalSet.from_predicate(sp("x", "<", 2))
+    big = IntervalSet.from_predicate(sp("x", "<", 7))
+    assert big.contains_set(small)
+    assert not small.contains_set(big)
+
+
+def test_adjacent_intervals_merge() -> None:
+    le = IntervalSet.from_predicate(sp("x", "<=", 4))
+    gt = IntervalSet.from_predicate(sp("x", ">", 4))
+    assert le.union(gt).is_universe()
+    lt = IntervalSet.from_predicate(sp("x", "<", 4))
+    assert not lt.union(gt).is_universe()

@@ -1,0 +1,137 @@
+"""Unit tests for per-predicate tree state (Sections 4-5 derivations)."""
+
+from __future__ import annotations
+
+from repro.core.adapt import AdaptationConfig, Adaptor
+from repro.core.predicates import Comparison, SimplePredicate
+from repro.core.tree_state import ChildInfo, PredicateTreeState
+
+PRED = SimplePredicate("A", Comparison.EQ, 1)
+
+
+def make_state(node_id: int = 10, threshold: int = 2) -> PredicateTreeState:
+    return PredicateTreeState(
+        predicate=PRED,
+        tree_key=123,
+        node_id=node_id,
+        adaptor=Adaptor(AdaptationConfig()),
+        threshold=threshold,
+    )
+
+
+def test_silent_children_must_receive_queries() -> None:
+    """Procedure 1's default: no state on a child means forward to it."""
+    state = make_state()
+    children = [1, 2, 3]
+    assert state.q_set(children) == {1, 2, 3}
+    assert state.forward_targets(children) == {1, 2, 3}
+    assert state.sat(children) is True
+
+
+def test_pruned_children_are_skipped() -> None:
+    state = make_state()
+    state.record_child_report(1, frozenset(), 0)  # PRUNE
+    state.record_child_report(2, frozenset([2]), 1)  # NO-PRUNE
+    assert state.forward_targets([1, 2]) == {2}
+    assert state.q_set([1, 2]) == {2}
+
+
+def test_bypassed_descendants_in_qset() -> None:
+    """Section 5: a child's updateSet may carry grandchildren directly."""
+    state = make_state()
+    state.record_child_report(1, frozenset([101, 102]), 2)
+    assert state.forward_targets([1]) == {101, 102}
+
+
+def test_local_satisfaction_joins_qset_but_not_targets() -> None:
+    state = make_state()
+    state.local_sat = True
+    state.record_child_report(1, frozenset(), 0)
+    assert state.q_set([1]) == {state.node_id}
+    # We never forward a query to ourselves.
+    assert state.forward_targets([1]) == set()
+    assert state.sat([1]) is True
+
+
+def test_update_set_below_threshold_is_qset() -> None:
+    state = make_state(threshold=3)
+    state.record_child_report(1, frozenset([101]), 1)
+    state.record_child_report(2, frozenset(), 0)
+    assert state.compute_update_set([1, 2]) == frozenset([101])
+
+
+def test_update_set_at_threshold_collapses_to_self() -> None:
+    state = make_state(threshold=2)
+    state.record_child_report(1, frozenset([101]), 1)
+    state.record_child_report(2, frozenset([102]), 1)
+    assert state.compute_update_set([1, 2]) == frozenset([state.node_id])
+
+
+def test_threshold_one_always_collapses_when_nonempty() -> None:
+    """threshold=1 degenerates to the plain Section 4 pruned tree."""
+    state = make_state(threshold=1)
+    state.record_child_report(1, frozenset([101]), 1)
+    assert state.compute_update_set([1]) == frozenset([state.node_id])
+    # Empty qSet stays empty (PRUNE).
+    state.record_child_report(1, frozenset(), 0)
+    assert state.compute_update_set([1]) == frozenset()
+
+
+def test_prune_requires_update_state() -> None:
+    """Procedure 3: update = 0 implies prune = 0."""
+    state = make_state()
+    state.record_child_report(1, frozenset(), 0)
+    assert state.sat([1]) is False
+    assert state.prune([1]) is False  # NO-UPDATE default
+    state.adaptor.update = True
+    assert state.prune([1]) is True
+    state.local_sat = True
+    assert state.prune([1]) is False
+
+
+def test_effective_sent_set_defaults_to_self() -> None:
+    state = make_state()
+    assert state.effective_sent_set() == frozenset([state.node_id])
+    assert state.would_receive_queries() is True
+    state.sent_update_set = frozenset()
+    assert state.would_receive_queries() is False
+    state.sent_update_set = frozenset([101])
+    assert state.would_receive_queries() is False
+    state.sent_update_set = frozenset([state.node_id])
+    assert state.would_receive_queries() is True
+
+
+def test_subtree_recv_estimates() -> None:
+    state = make_state()
+    # Root always receives; silent children estimated at 1 each.
+    assert state.subtree_recv([1, 2], is_root=True) == 3
+    state.record_child_report(1, frozenset([101]), 5)
+    assert state.subtree_recv([1, 2], is_root=True) == 7
+    # A non-root that is bypassed does not count itself.
+    state.sent_update_set = frozenset([101])
+    assert state.subtree_recv([1, 2], is_root=False) == 6
+
+
+def test_forget_children() -> None:
+    state = make_state()
+    state.record_child_report(1, frozenset([1]), 1)
+    state.record_child_report(2, frozenset([2]), 1)
+    assert state.forget_children({1, 99}) is True
+    assert state.forget_children({1}) is False
+    assert set(state.children) == {2}
+
+
+def test_child_report_partial_updates() -> None:
+    state = make_state()
+    state.record_child_report(1, frozenset([1]), None)
+    assert state.children[1].update_set == frozenset([1])
+    assert state.children[1].subtree_recv == 1  # default retained
+    state.record_child_report(1, None, 7)
+    assert state.children[1].update_set == frozenset([1])  # retained
+    assert state.children[1].subtree_recv == 7
+
+
+def test_child_info_defaults() -> None:
+    info = ChildInfo()
+    assert info.update_set is None
+    assert info.subtree_recv == 1

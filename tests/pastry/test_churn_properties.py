@@ -1,0 +1,59 @@
+"""Property tests: overlay invariants survive arbitrary churn sequences."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.pastry import IdSpace, Overlay
+
+churn_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("join"), st.integers(min_value=0, max_value=2**32 - 1)),
+        st.tuples(st.just("leave"), st.integers(min_value=0, max_value=63)),
+    ),
+    max_size=40,
+)
+
+
+@settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(ops=churn_ops)
+def test_trees_stay_valid_under_arbitrary_churn(ops) -> None:
+    space = IdSpace(bits=32, digit_bits=4)
+    overlay = Overlay(space)
+    overlay.bulk_join(overlay.generate_ids(16, seed=1))
+    key = space.hash_name("churn-prop")
+    for op in ops:
+        if op[0] == "join":
+            candidate = op[1] % space.size
+            if candidate not in overlay:
+                overlay.add_node(candidate)
+        else:
+            ids = overlay.node_ids
+            if len(ids) > 2:
+                overlay.remove_node(ids[op[1] % len(ids)])
+        tree = overlay.tree(key)
+        # Invariants after every single membership change:
+        assert sorted(tree.nodes) == overlay.node_ids
+        assert tree.root == overlay.root(key)
+        roots = [n for n in tree.nodes if tree.parent_of(n) is None]
+        assert roots == [tree.root]
+        for node in tree.nodes:
+            assert tree.path_to_root(node)[-1] == tree.root
+
+
+@settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(seed=st.integers(min_value=0, max_value=9999))
+def test_root_changes_only_when_affected(seed: int) -> None:
+    """Removing a non-root node never changes a key's root."""
+    overlay = Overlay(IdSpace())
+    overlay.bulk_join(overlay.generate_ids(24, seed=seed))
+    key = overlay.space.hash_name(f"k{seed}")
+    root = overlay.root(key)
+    victim = next(n for n in overlay.node_ids if n != root)
+    overlay.remove_node(victim)
+    assert overlay.root(key) == root

@@ -1,0 +1,135 @@
+"""Tests for the implicit DHT aggregation tree (paper Section 3.2, Fig. 3)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.pastry import IdSpace, Overlay
+from tests.conftest import build_overlay
+
+
+def test_tree_spans_all_nodes() -> None:
+    overlay = build_overlay(128, seed=1)
+    key = overlay.space.hash_name("ServiceX")
+    tree = overlay.tree(key)
+    assert sorted(tree.nodes) == overlay.node_ids
+    assert tree.root == overlay.root(key)
+    # Every node reaches the root: the parent map is a spanning tree.
+    for node in tree.nodes:
+        assert tree.path_to_root(node)[-1] == tree.root
+
+
+def test_tree_is_acyclic_with_single_root() -> None:
+    overlay = build_overlay(200, seed=2)
+    tree = overlay.tree(overlay.space.hash_name("Apache"))
+    roots = [n for n in tree.nodes if tree.parent_of(n) is None]
+    assert roots == [tree.root]
+    # node count = edges + 1 for a tree
+    edges = sum(len(tree.children_of(n)) for n in tree.nodes)
+    assert edges == len(tree.nodes) - 1
+
+
+def test_children_inverse_of_parent() -> None:
+    overlay = build_overlay(64, seed=3)
+    tree = overlay.tree(12345)
+    for node in tree.nodes:
+        for child in tree.children_of(node):
+            assert tree.parent_of(child) == node
+
+
+def test_depth_and_height() -> None:
+    overlay = build_overlay(256, seed=4)
+    tree = overlay.tree(9999)
+    assert tree.depth_of(tree.root) == 0
+    assert tree.height() >= 1
+    # Pastry trees are logarithmically shallow.
+    assert tree.height() <= overlay.space.num_digits + 1
+
+
+def test_subtree_nodes_partition() -> None:
+    overlay = build_overlay(64, seed=5)
+    tree = overlay.tree(4242)
+    all_from_root = tree.subtree_nodes(tree.root)
+    assert sorted(all_from_root) == sorted(tree.nodes)
+    # Sibling subtrees are disjoint.
+    children = tree.children_of(tree.root)
+    seen: set[int] = set()
+    for child in children:
+        sub = set(tree.subtree_nodes(child))
+        assert not (sub & seen)
+        seen |= sub
+
+
+def test_tree_cache_and_invalidation() -> None:
+    overlay = build_overlay(32, seed=6)
+    key = 777
+    t1 = overlay.tree(key)
+    assert overlay.tree(key) is t1  # cached
+    newcomer = overlay.generate_ids(1, seed=99)[0]
+    overlay.add_node(newcomer)
+    t2 = overlay.tree(key)
+    assert t2 is not t1
+    assert newcomer in t2
+
+
+def test_parent_children_helpers_match_tree() -> None:
+    overlay = build_overlay(50, seed=7)
+    key = 31337
+    tree = overlay.tree(key)
+    for node in overlay.node_ids:
+        assert overlay.parent(node, key) == tree.parent_of(node)
+        assert overlay.children(node, key) == tree.children_of(node)
+
+
+def test_paper_figure3_topology() -> None:
+    """Structural reproduction of Figure 3: the tree for key 000 over the
+    8-node, 1-bit-digit overlay.
+
+    We check the properties the figure illustrates: the tree is rooted at
+    000, spans all 8 nodes, and every edge climbs toward the key by fixing
+    at least one more prefix bit (one-bit prefix correction), except for a
+    possible final numeric hop into the root's neighborhood.
+    """
+    space = IdSpace(bits=3, digit_bits=1)
+    overlay = Overlay(space)
+    overlay.bulk_join(range(8))
+    key = 0b000
+    tree = overlay.tree(key)
+    assert tree.root == 0b000
+    assert len(tree) == 8
+    for node in tree.nodes:
+        parent = tree.parent_of(node)
+        if parent is None or parent == tree.root:
+            continue
+        assert space.common_prefix_len(parent, key) > space.common_prefix_len(
+            node, key
+        )
+    # With one-bit correction the tree is at most 3+1 levels deep.
+    assert tree.height() <= 4
+
+
+def test_different_keys_give_different_roots() -> None:
+    """Root load-balancing: distinct group attributes hash to distinct
+    roots with high probability (this is why SDIMS/Moara scale with the
+    number of attributes)."""
+    overlay = build_overlay(128, seed=8)
+    roots = {
+        overlay.root(overlay.space.hash_name(f"attribute-{i}"))
+        for i in range(64)
+    }
+    assert len(roots) > 30  # well spread over 128 nodes
+
+
+def test_cycle_detection_guard() -> None:
+    overlay = build_overlay(8, seed=9)
+    tree = overlay.tree(1)
+    # Corrupt the parent map to force a cycle and ensure we detect it.
+    nodes = tree.nodes
+    tree._parent[nodes[0]] = nodes[1]
+    tree._parent[nodes[1]] = nodes[0]
+    with pytest.raises(RuntimeError):
+        tree.depth_of(nodes[0])
+    with pytest.raises(RuntimeError):
+        tree.path_to_root(nodes[0])

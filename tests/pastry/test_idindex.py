@@ -1,0 +1,125 @@
+"""Unit and property tests for the sorted ID index."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pastry import IdIndex, IdSpace
+
+SPACE = IdSpace(bits=16, digit_bits=4)
+id_sets = st.sets(
+    st.integers(min_value=0, max_value=SPACE.size - 1), min_size=1, max_size=40
+)
+ids = st.integers(min_value=0, max_value=SPACE.size - 1)
+
+
+def test_add_remove_contains() -> None:
+    index = IdIndex(SPACE)
+    index.add(5)
+    index.add(10)
+    assert 5 in index and 10 in index and 7 not in index
+    assert len(index) == 2
+    index.remove(5)
+    assert 5 not in index
+    with pytest.raises(KeyError):
+        index.remove(5)
+    with pytest.raises(ValueError):
+        index.add(10)
+
+
+def test_version_bumps_on_mutation() -> None:
+    index = IdIndex(SPACE)
+    v0 = index.version
+    index.add(1)
+    assert index.version == v0 + 1
+    index.remove(1)
+    assert index.version == v0 + 2
+
+
+def test_ids_in_range() -> None:
+    index = IdIndex(SPACE, [1, 5, 9, 12])
+    assert index.ids_in_range(2, 10) == [5, 9]
+    assert index.count_in_range(0, 100) == 4
+    assert index.ids_in_range(6, 6) == []
+
+
+@given(id_sets, ids)
+def test_closest_to_is_global_argmin(members: set[int], key: int) -> None:
+    index = IdIndex(SPACE, members)
+    closest = index.closest_to(key)
+    expected = min(members, key=lambda m: (SPACE.ring_distance(m, key), m))
+    assert closest == expected
+
+
+@given(id_sets, ids)
+def test_closest_to_with_exclusion(members: set[int], key: int) -> None:
+    index = IdIndex(SPACE, members)
+    excluded = index.closest_to(key)
+    rest = members - {excluded}
+    result = index.closest_to(key, exclude=excluded)
+    if not rest:
+        assert result is None or result == excluded  # singleton: nothing else
+    else:
+        expected = min(rest, key=lambda m: (SPACE.ring_distance(m, key), m))
+        assert result == expected
+
+
+def test_closest_to_empty_index() -> None:
+    assert IdIndex(SPACE).closest_to(5) is None
+
+
+@given(id_sets, ids, st.integers(min_value=0, max_value=SPACE.num_digits))
+def test_closest_with_prefix_brute_force(
+    members: set[int], key: int, prefix_len: int
+) -> None:
+    index = IdIndex(SPACE, members)
+    near = key  # arbitrary reference point
+    result = index.closest_with_prefix(key, prefix_len, near=near)
+    candidates = [
+        m for m in members if SPACE.common_prefix_len(m, key) >= prefix_len
+    ]
+    if not candidates:
+        assert result is None
+    else:
+        expected = min(
+            candidates, key=lambda m: (SPACE.ring_distance(m, near), m)
+        )
+        assert result == expected
+
+
+@given(id_sets, st.integers(min_value=0, max_value=SPACE.num_digits))
+def test_any_with_prefix_consistent(members: set[int], prefix_len: int) -> None:
+    index = IdIndex(SPACE, members)
+    key = next(iter(members))
+    assert index.any_with_prefix(key, prefix_len) is True  # key itself matches
+    others = [
+        m
+        for m in members
+        if m != key and SPACE.common_prefix_len(m, key) >= prefix_len
+    ]
+    assert index.any_with_prefix(key, prefix_len, exclude=key) == bool(others)
+
+
+def test_ring_neighbors() -> None:
+    index = IdIndex(SPACE, [10, 20, 30, 40])
+    assert index.neighbors_clockwise(20, 2) == [30, 40]
+    assert index.neighbors_counterclockwise(20, 2) == [10, 40]
+    # Wraparound.
+    assert index.neighbors_clockwise(40, 2) == [10, 20]
+    # Never include the node itself, never loop past all members.
+    assert index.neighbors_clockwise(10, 10) == [20, 30, 40]
+    assert index.neighbors_counterclockwise(10, 10) == [40, 30, 20]
+
+
+def test_neighbors_for_nonmember_key() -> None:
+    index = IdIndex(SPACE, [10, 20, 30])
+    assert index.neighbors_clockwise(25, 2) == [30, 10]
+    assert index.neighbors_counterclockwise(25, 2) == [20, 10]
+
+
+def test_neighbors_empty_index() -> None:
+    index = IdIndex(SPACE)
+    assert index.neighbors_clockwise(5, 3) == []
+    assert index.neighbors_counterclockwise(5, 3) == []

@@ -1,0 +1,126 @@
+"""Unit and property tests for identifier-space arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pastry import IdSpace
+
+SPACE = IdSpace(bits=64, digit_bits=4)
+ids = st.integers(min_value=0, max_value=SPACE.size - 1)
+
+
+def test_dimensions() -> None:
+    assert SPACE.size == 2**64
+    assert SPACE.num_digits == 16
+    assert SPACE.digit_base == 16
+
+
+def test_invalid_configuration_rejected() -> None:
+    with pytest.raises(ValueError):
+        IdSpace(bits=10, digit_bits=4)
+    with pytest.raises(ValueError):
+        IdSpace(bits=0, digit_bits=1)
+
+
+def test_validate_range() -> None:
+    SPACE.validate(0)
+    SPACE.validate(SPACE.size - 1)
+    with pytest.raises(ValueError):
+        SPACE.validate(-1)
+    with pytest.raises(ValueError):
+        SPACE.validate(SPACE.size)
+
+
+def test_digit_extraction() -> None:
+    space = IdSpace(bits=8, digit_bits=2)
+    # 0b11_01_00_10
+    value = 0b11010010
+    assert [space.digit(value, i) for i in range(4)] == [3, 1, 0, 2]
+    with pytest.raises(IndexError):
+        space.digit(value, 4)
+
+
+def test_common_prefix_examples() -> None:
+    space = IdSpace(bits=8, digit_bits=2)
+    assert space.common_prefix_len(0b11010010, 0b11010010) == 4
+    assert space.common_prefix_len(0b11010010, 0b11010001) == 3
+    assert space.common_prefix_len(0b11010010, 0b00010010) == 0
+    assert space.common_prefix_len(0b11010010, 0b11110010) == 1
+
+
+@given(ids, ids)
+def test_common_prefix_matches_digitwise_scan(a: int, b: int) -> None:
+    expected = 0
+    for i in range(SPACE.num_digits):
+        if SPACE.digit(a, i) != SPACE.digit(b, i):
+            break
+        expected += 1
+    assert SPACE.common_prefix_len(a, b) == expected
+
+
+@given(ids, st.integers(min_value=0, max_value=SPACE.num_digits))
+def test_prefix_range_contains_exactly_prefix_sharers(a: int, p: int) -> None:
+    lo, hi = SPACE.prefix_range(a, p)
+    assert lo <= a < hi
+    # Boundary IDs share the prefix; the ones just outside do not.
+    assert SPACE.common_prefix_len(a, lo) >= p
+    assert SPACE.common_prefix_len(a, hi - 1) >= p
+    if lo > 0:
+        assert SPACE.common_prefix_len(a, lo - 1) < p
+    if hi < SPACE.size:
+        assert SPACE.common_prefix_len(a, hi) < p
+
+
+@given(ids, ids)
+def test_ring_distance_symmetric_and_bounded(a: int, b: int) -> None:
+    d = SPACE.ring_distance(a, b)
+    assert d == SPACE.ring_distance(b, a)
+    assert 0 <= d <= SPACE.size // 2
+    assert (d == 0) == (a == b)
+
+
+@given(ids, ids)
+def test_clockwise_plus_counterclockwise_is_full_circle(a: int, b: int) -> None:
+    if a == b:
+        assert SPACE.clockwise_distance(a, b) == 0
+    else:
+        assert (
+            SPACE.clockwise_distance(a, b) + SPACE.clockwise_distance(b, a)
+            == SPACE.size
+        )
+
+
+@given(
+    ids,
+    st.integers(min_value=0, max_value=SPACE.num_digits - 1),
+    st.integers(min_value=0, max_value=SPACE.digit_base - 1),
+)
+def test_with_digit_sets_exactly_one_digit(a: int, index: int, digit: int) -> None:
+    modified = SPACE.with_digit(a, index, digit)
+    assert SPACE.digit(modified, index) == digit
+    for i in range(SPACE.num_digits):
+        if i != index:
+            assert SPACE.digit(modified, i) == SPACE.digit(a, i)
+
+
+def test_hash_name_stable_and_in_range() -> None:
+    h1 = SPACE.hash_name("ServiceX")
+    h2 = SPACE.hash_name("ServiceX")
+    h3 = SPACE.hash_name("Apache")
+    assert h1 == h2
+    assert h1 != h3
+    assert 0 <= h1 < SPACE.size
+
+
+def test_format_id_small_space() -> None:
+    space = IdSpace(bits=3, digit_bits=1)
+    assert space.format_id(0b000) == "000"
+    assert space.format_id(0b101) == "101"
+
+
+def test_format_id_hex_space() -> None:
+    space = IdSpace(bits=16, digit_bits=4)
+    assert space.format_id(0xBEEF) == "beef"

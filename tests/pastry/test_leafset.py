@@ -1,0 +1,65 @@
+"""Tests for the materialized leaf set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pastry import IdIndex, IdSpace, LeafSet
+
+SPACE = IdSpace(bits=16, digit_bits=4)
+
+
+def test_build_collects_both_sides() -> None:
+    index = IdIndex(SPACE, [100, 200, 300, 400, 500])
+    leafset = LeafSet.build(index, 300, size=4)
+    assert leafset.smaller == [200, 100]
+    assert leafset.larger == [400, 500]
+    assert leafset.members() == {100, 200, 400, 500}
+
+
+def test_build_wraps_around_ring() -> None:
+    index = IdIndex(SPACE, [10, 20, SPACE.size - 10, SPACE.size - 20])
+    leafset = LeafSet.build(index, 10, size=2)
+    assert leafset.smaller == [SPACE.size - 10]
+    assert leafset.larger == [20]
+
+
+def test_invalid_size_rejected() -> None:
+    index = IdIndex(SPACE, [1, 2])
+    with pytest.raises(ValueError):
+        LeafSet.build(index, 1, size=3)
+    with pytest.raises(ValueError):
+        LeafSet.build(index, 1, size=0)
+
+
+def test_small_overlay_leafset_covers_everything() -> None:
+    index = IdIndex(SPACE, [100, 200, 300])
+    leafset = LeafSet.build(index, 200, size=16)
+    for key in (0, 150, 250, 65535):
+        assert leafset.covers(key)
+
+
+def test_covers_limited_span_in_large_overlay() -> None:
+    members = list(range(0, SPACE.size, SPACE.size // 64))  # 64 evenly spaced
+    index = IdIndex(SPACE, members)
+    owner = members[32]
+    leafset = LeafSet.build(index, owner, size=4)
+    assert leafset.covers(owner + 1)
+    far_key = (owner + SPACE.size // 2) % SPACE.size
+    assert not leafset.covers(far_key)
+
+
+def test_closest_to_prefers_true_nearest() -> None:
+    index = IdIndex(SPACE, [100, 200, 300, 400, 500])
+    leafset = LeafSet.build(index, 300, size=4)
+    assert leafset.closest_to(290) == 300
+    assert leafset.closest_to(210) == 200
+    assert leafset.closest_to(460) == 500
+
+
+def test_singleton_owner_covers_all() -> None:
+    index = IdIndex(SPACE, [42])
+    leafset = LeafSet.build(index, 42, size=8)
+    assert leafset.members() == set()
+    assert leafset.covers(0) and leafset.covers(SPACE.size - 1)
+    assert leafset.closest_to(7) == 42

@@ -1,0 +1,89 @@
+"""Tests for node-local (table-based) routing vs. index-based routing."""
+
+from __future__ import annotations
+
+import random
+
+from repro.pastry import IdSpace, Overlay, PastryNode, RoutingTable
+from tests.conftest import build_overlay
+
+
+def test_routing_table_slots_hold_correct_prefixes() -> None:
+    overlay = build_overlay(128, seed=11)
+    space = overlay.space
+    owner = overlay.node_ids[0]
+    table = RoutingTable.build(overlay.index, owner)
+    for row in range(space.num_digits):
+        for col in range(space.digit_base):
+            entry = table.entry(row, col)
+            if entry is None:
+                continue
+            assert space.common_prefix_len(entry, owner) >= row
+            assert space.digit(entry, row) == col
+            assert space.digit(owner, row) != col
+
+
+def test_routing_table_lookup_matches_prefix_rule() -> None:
+    overlay = build_overlay(64, seed=12)
+    space = overlay.space
+    owner = overlay.node_ids[5]
+    table = RoutingTable.build(overlay.index, owner)
+    rng = random.Random(0)
+    for _ in range(50):
+        key = space.random_id(rng)
+        entry = table.lookup(key)
+        if entry is not None:
+            assert space.common_prefix_len(entry, key) > space.common_prefix_len(
+                owner, key
+            )
+
+
+def test_populated_slots_scale_with_overlay() -> None:
+    small = build_overlay(16, seed=13)
+    large = build_overlay(512, seed=13)
+    owner_small = small.node_ids[0]
+    owner_large = large.node_ids[0]
+    slots_small = RoutingTable.build(small.index, owner_small).populated_slots()
+    slots_large = RoutingTable.build(large.index, owner_large).populated_slots()
+    assert slots_large > slots_small
+
+
+def test_local_routing_reaches_same_root_as_index_routing() -> None:
+    overlay = build_overlay(100, seed=14)
+    space = overlay.space
+    nodes = {
+        node_id: PastryNode(space, node_id, overlay.index)
+        for node_id in overlay.node_ids
+    }
+    rng = random.Random(1)
+    for _ in range(30):
+        key = space.random_id(rng)
+        expected_root = overlay.root(key)
+        current = rng.choice(overlay.node_ids)
+        for _ in range(space.num_digits + 4):
+            nxt = nodes[current].local_next_hop(key)
+            if nxt is None:
+                break
+            current = nxt
+        else:
+            raise AssertionError("local routing did not converge")
+        assert current == expected_root
+
+
+def test_local_state_rebuilds_after_churn() -> None:
+    overlay = build_overlay(32, seed=15)
+    node_id = overlay.node_ids[0]
+    node = PastryNode(overlay.space, node_id, overlay.index)
+    before = node.routing_table.known_nodes()
+    # Remove every known neighbor that isn't the owner.
+    for neighbor in list(before)[:5]:
+        overlay.remove_node(neighbor)
+    after = node.routing_table.known_nodes()
+    assert not (set(list(before)[:5]) & after)
+
+
+def test_known_nodes_excludes_owner() -> None:
+    overlay = build_overlay(64, seed=16)
+    owner = overlay.node_ids[3]
+    table = RoutingTable.build(overlay.index, owner)
+    assert owner not in table.known_nodes()

@@ -1,0 +1,148 @@
+"""Routing correctness and scaling tests for the overlay."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pastry import IdSpace, Overlay
+from tests.conftest import build_overlay
+
+
+def test_empty_overlay_cannot_route() -> None:
+    overlay = Overlay()
+    with pytest.raises(RuntimeError):
+        overlay.root(123)
+
+
+def test_singleton_overlay_routes_to_self() -> None:
+    overlay = Overlay()
+    overlay.add_node(42)
+    assert overlay.root(999) == 42
+    assert overlay.next_hop(42, 999) is None
+    assert overlay.route(42, 999) == [42]
+
+
+def test_root_is_ring_closest(overlay_64: Overlay) -> None:
+    space = overlay_64.space
+    rng = random.Random(1)
+    for _ in range(50):
+        key = space.random_id(rng)
+        root = overlay_64.root(key)
+        expected = min(
+            overlay_64.node_ids,
+            key=lambda n: (space.ring_distance(n, key), n),
+        )
+        assert root == expected
+
+
+def test_route_always_terminates_at_root(overlay_64: Overlay) -> None:
+    space = overlay_64.space
+    rng = random.Random(2)
+    for _ in range(100):
+        key = space.random_id(rng)
+        src = rng.choice(overlay_64.node_ids)
+        path = overlay_64.route(src, key)
+        assert path[0] == src
+        assert path[-1] == overlay_64.root(key)
+        assert len(path) == len(set(path)), "route must be loop-free"
+
+
+def test_prefix_improves_along_route(overlay_64: Overlay) -> None:
+    """Every hop except possibly the final numeric hop extends the prefix."""
+    space = overlay_64.space
+    rng = random.Random(3)
+    for _ in range(100):
+        key = space.random_id(rng)
+        src = rng.choice(overlay_64.node_ids)
+        path = overlay_64.route(src, key)
+        for i in range(len(path) - 2):  # all but the last hop
+            p_here = space.common_prefix_len(path[i], key)
+            p_next = space.common_prefix_len(path[i + 1], key)
+            assert p_next > p_here
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_routing_from_every_node_reaches_same_root(num_nodes: int, seed: int) -> None:
+    overlay = build_overlay(num_nodes, seed=seed)
+    rng = random.Random(seed + 1)
+    key = overlay.space.random_id(rng)
+    root = overlay.root(key)
+    for src in overlay.node_ids:
+        assert overlay.route(src, key)[-1] == root
+
+
+def test_hop_count_scales_logarithmically() -> None:
+    """Average route length grows ~log_16(N), the Pastry guarantee."""
+    rng = random.Random(9)
+    avg_hops = {}
+    for num_nodes in (64, 1024):
+        overlay = build_overlay(num_nodes, seed=4)
+        key_samples = [overlay.space.random_id(rng) for _ in range(20)]
+        hops = [
+            len(overlay.route(src, key)) - 1
+            for key in key_samples
+            for src in rng.sample(overlay.node_ids, 20)
+        ]
+        avg_hops[num_nodes] = sum(hops) / len(hops)
+    # 16x more nodes should cost about one extra digit of routing, not 16x.
+    assert avg_hops[1024] < avg_hops[64] + 2.0
+    assert avg_hops[1024] <= 4.0
+
+
+def test_route_caps_at_digit_budget() -> None:
+    overlay = build_overlay(512, seed=6)
+    rng = random.Random(7)
+    for _ in range(50):
+        key = overlay.space.random_id(rng)
+        src = rng.choice(overlay.node_ids)
+        assert len(overlay.route(src, key)) <= overlay.space.num_digits + 2
+
+
+def test_membership_changes_update_routing() -> None:
+    overlay = build_overlay(16, seed=8)
+    key = overlay.space.hash_name("ServiceX")
+    old_root = overlay.root(key)
+    overlay.remove_node(old_root)
+    new_root = overlay.root(key)
+    assert new_root != old_root
+    # All remaining nodes route to the new root.
+    for src in overlay.node_ids:
+        assert overlay.route(src, key)[-1] == new_root
+
+
+def test_listener_notified_on_join_and_leave() -> None:
+    overlay = Overlay()
+    events: list[tuple[set[int], set[int]]] = []
+    overlay.add_listener(lambda joined, left: events.append((joined, left)))
+    overlay.add_node(5)
+    overlay.remove_node(5)
+    overlay.bulk_join([1, 2, 3])
+    assert events == [({5}, set()), (set(), {5}), ({1, 2, 3}, set())]
+
+
+def test_generate_ids_distinct_and_seeded() -> None:
+    overlay = Overlay()
+    ids_a = overlay.generate_ids(100, seed=3)
+    ids_b = overlay.generate_ids(100, seed=3)
+    assert ids_a == ids_b
+    assert len(set(ids_a)) == 100
+
+
+def test_small_space_paper_figure3_routing() -> None:
+    """The Figure 3 configuration: 8 nodes, 3-bit IDs, 1-bit digits."""
+    space = IdSpace(bits=3, digit_bits=1)
+    overlay = Overlay(space)
+    overlay.bulk_join(range(8))
+    key = 0b000
+    assert overlay.root(key) == 0b000
+    # 111 shares no prefix with 000: its next hop must fix the first bit.
+    hop = overlay.next_hop(0b111, key)
+    assert hop is not None and space.digit(hop, 0) == 0

@@ -1,0 +1,67 @@
+"""Tests for the continuous (aggregate-on-write) SDIMS mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregation import get_function
+from repro.sdims import ContinuousAggregationSystem
+
+
+def test_sum_aggregates_continuously() -> None:
+    system = ContinuousAggregationSystem(32, seed=1)
+    system.install("load", get_function("sum"))
+    for i, node_id in enumerate(system.node_ids):
+        system.set_value(node_id, "load", float(i))
+    system.settle()
+    assert system.read("load") == sum(range(32))
+
+
+def test_updates_refresh_the_root() -> None:
+    system = ContinuousAggregationSystem(16, seed=2)
+    system.install("x", get_function("max"))
+    for node_id in system.node_ids:
+        system.set_value(node_id, "x", 1.0)
+    system.settle()
+    assert system.read("x") == 1.0
+    system.set_value(system.node_ids[3], "x", 99.0)
+    system.settle()
+    assert system.read("x") == 99.0
+
+
+def test_reads_are_cheap_updates_are_not() -> None:
+    """The trade-off Moara's design argues about: each write costs O(depth)
+    messages, but reads are O(1)."""
+    system = ContinuousAggregationSystem(64, seed=3)
+    system.install("v", get_function("sum"))
+    for node_id in system.node_ids:
+        system.set_value(node_id, "v", 1.0)
+    system.settle()
+    write_messages = system.stats.total_messages
+    assert write_messages >= 63  # at least one message per non-root node
+    before = system.stats.total_messages
+    for _ in range(10):
+        system.read("v")
+    assert system.stats.total_messages - before == 20  # 2 per read
+
+
+def test_unchanged_partials_suppressed() -> None:
+    system = ContinuousAggregationSystem(16, seed=4)
+    system.install("x", get_function("max"))
+    root = system.overlay.root(system.overlay.space.hash_name("x"))
+    for node_id in system.node_ids:
+        system.set_value(node_id, "x", 5.0)
+    system.settle()
+    before = system.stats.total_messages
+    # Setting a smaller value on a non-root node cannot change any subtree
+    # max, so (almost) no propagation should occur.
+    victim = next(n for n in system.node_ids if n != root)
+    system.set_value(victim, "x", 1.0)
+    system.settle()
+    assert system.stats.total_messages - before <= 1
+
+
+def test_read_on_uninstalled_attribute_fails() -> None:
+    system = ContinuousAggregationSystem(8, seed=5)
+    with pytest.raises(KeyError):
+        system.read("missing")

@@ -1,0 +1,44 @@
+"""Tests for the SDIMS global-broadcast baseline."""
+
+from __future__ import annotations
+
+from repro.core import messages as mt
+from repro.sdims import SDIMSCluster
+
+
+def test_queries_are_correct() -> None:
+    cluster = SDIMSCluster(64, seed=1)
+    cluster.set_group("g", cluster.node_ids[:7])
+    assert cluster.query("SELECT COUNT(*) WHERE g = true").value == 7
+
+
+def test_every_query_is_a_global_broadcast() -> None:
+    cluster = SDIMSCluster(64, seed=2)
+    cluster.set_group("g", cluster.node_ids[:3])
+    costs = []
+    for _ in range(4):
+        costs.append(cluster.query("SELECT COUNT(*) WHERE g = true").message_cost)
+    for cost in costs:
+        # query + response for all 64 nodes, plus front-end round trip
+        assert cost >= 2 * 64
+    # No adaptation: the cost never shrinks.
+    assert max(costs) - min(costs) <= 2
+
+
+def test_no_maintenance_traffic_ever() -> None:
+    cluster = SDIMSCluster(64, seed=3)
+    cluster.set_group("g", cluster.node_ids[:3])
+    cluster.query("SELECT COUNT(*) WHERE g = true")
+    for node_id in cluster.node_ids:
+        cluster.set_attribute(node_id, "g", True)
+    cluster.run_until_idle()
+    assert cluster.stats.by_type.get(mt.STATUS_UPDATE, 0) == 0
+    assert cluster.stats.by_type.get(mt.SIZE_PROBE, 0) == 0
+
+
+def test_composite_queries_still_work() -> None:
+    cluster = SDIMSCluster(48, seed=4)
+    cluster.set_group("a", cluster.node_ids[:10])
+    cluster.set_group("b", cluster.node_ids[5:20])
+    result = cluster.query("SELECT COUNT(*) WHERE a = true AND b = true")
+    assert result.value == 5

@@ -1,0 +1,129 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Engine
+
+
+def test_clock_starts_at_zero(engine: Engine) -> None:
+    assert engine.now == 0.0
+    assert engine.events_processed == 0
+
+
+def test_events_fire_in_time_order(engine: Engine) -> None:
+    fired: list[str] = []
+    engine.schedule(2.0, fired.append, "late")
+    engine.schedule(1.0, fired.append, "early")
+    engine.schedule(3.0, fired.append, "latest")
+    engine.run_until_idle()
+    assert fired == ["early", "late", "latest"]
+    assert engine.now == 3.0
+
+
+def test_ties_break_by_schedule_order(engine: Engine) -> None:
+    fired: list[int] = []
+    for i in range(10):
+        engine.schedule(1.0, fired.append, i)
+    engine.run_until_idle()
+    assert fired == list(range(10))
+
+
+def test_negative_delay_rejected(engine: Engine) -> None:
+    with pytest.raises(ValueError):
+        engine.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected(engine: Engine) -> None:
+    engine.schedule(1.0, lambda: None)
+    engine.run_until_idle()
+    with pytest.raises(ValueError):
+        engine.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_events_do_not_fire(engine: Engine) -> None:
+    fired: list[str] = []
+    handle = engine.schedule(1.0, fired.append, "cancelled")
+    engine.schedule(2.0, fired.append, "kept")
+    handle.cancel()
+    engine.run_until_idle()
+    assert fired == ["kept"]
+
+
+def test_cancel_is_idempotent(engine: Engine) -> None:
+    handle = engine.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    engine.run_until_idle()
+    assert engine.events_processed == 0
+
+
+def test_run_until_time_bound(engine: Engine) -> None:
+    fired: list[float] = []
+    for t in (1.0, 2.0, 3.0):
+        engine.schedule(t, lambda t=t: fired.append(t))
+    engine.run(until=2.0)
+    assert fired == [1.0, 2.0]
+    assert engine.now == 2.0
+    engine.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_run_until_advances_clock_when_idle(engine: Engine) -> None:
+    engine.run(until=5.0)
+    assert engine.now == 5.0
+
+
+def test_events_can_schedule_events(engine: Engine) -> None:
+    fired: list[float] = []
+
+    def chain(depth: int) -> None:
+        fired.append(engine.now)
+        if depth:
+            engine.schedule(1.0, chain, depth - 1)
+
+    engine.schedule(0.0, chain, 3)
+    engine.run_until_idle()
+    assert fired == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_run_until_predicate(engine: Engine) -> None:
+    counter = {"n": 0}
+
+    def tick() -> None:
+        counter["n"] += 1
+        engine.schedule(1.0, tick)
+
+    engine.schedule(0.0, tick)
+    assert engine.run_until(lambda: counter["n"] >= 5)
+    assert counter["n"] == 5
+
+
+def test_run_until_idle_guards_livelock(engine: Engine) -> None:
+    def forever() -> None:
+        engine.schedule(0.0, forever)
+
+    engine.schedule(0.0, forever)
+    with pytest.raises(RuntimeError):
+        engine.run_until_idle(max_events=100)
+
+
+def test_step_returns_false_when_empty(engine: Engine) -> None:
+    assert engine.step() is False
+
+
+def test_pending_excludes_cancelled(engine: Engine) -> None:
+    h1 = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    assert engine.pending == 2
+    h1.cancel()
+    assert engine.pending == 1
+
+
+def test_max_events_budget(engine: Engine) -> None:
+    fired: list[int] = []
+    for i in range(10):
+        engine.schedule(float(i), fired.append, i)
+    engine.run(max_events=4)
+    assert fired == [0, 1, 2, 3]

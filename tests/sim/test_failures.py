@@ -1,0 +1,54 @@
+"""Unit tests for failure injection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim import Engine, Message, Network, ZeroLatencyModel
+from repro.sim.failures import FailureInjector
+
+
+@dataclass
+class Sink:
+    node_id: int
+    received: list[Message] = field(default_factory=list)
+
+    def handle_message(self, message: Message) -> None:
+        self.received.append(message)
+
+
+def test_scheduled_crash_and_recovery() -> None:
+    engine = Engine()
+    network = Network(engine, ZeroLatencyModel())
+    sink = Sink(1)
+    network.attach(sink)
+    network.attach(Sink(2))
+    injector = FailureInjector(network)
+    injector.crash_at(1.0, 1)
+    injector.recover_at(2.0, 1)
+
+    engine.schedule(0.5, network.send, 2, 1, "EARLY", None)
+    engine.schedule(1.5, network.send, 2, 1, "DURING", None)
+    engine.schedule(2.5, network.send, 2, 1, "AFTER", None)
+    engine.run_until_idle()
+
+    types = [m.mtype for m in sink.received]
+    assert types == ["EARLY", "AFTER"]
+    assert [e.kind for e in injector.history] == ["crash", "recover"]
+    assert [e.time for e in injector.history] == [1.0, 2.0]
+
+
+def test_callbacks_invoked() -> None:
+    engine = Engine()
+    network = Network(engine, ZeroLatencyModel())
+    network.attach(Sink(7))
+    crashes: list[int] = []
+    recoveries: list[int] = []
+    injector = FailureInjector(
+        network, on_crash=crashes.append, on_recover=recoveries.append
+    )
+    injector.crash_now(7)
+    injector.recover_at(1.0, 7)
+    engine.run_until_idle()
+    assert crashes == [7]
+    assert recoveries == [7]

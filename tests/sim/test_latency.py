@@ -1,0 +1,90 @@
+"""Unit tests for latency models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    LANLatencyModel,
+    UniformLatencyModel,
+    WANLatencyModel,
+    ZeroLatencyModel,
+)
+
+
+def test_zero_model_is_free() -> None:
+    model = ZeroLatencyModel()
+    assert model.wire_delay(1, 2) == 0.0
+    assert model.send_service_time(1) == 0.0
+    assert model.receive_service_time(1) == 0.0
+    assert model.rtt(1, 2) == 0.0
+
+
+def test_uniform_range_respected() -> None:
+    model = UniformLatencyModel(0.01, 0.05, seed=11)
+    for a in range(10):
+        for b in range(a + 1, 10):
+            delay = model.wire_delay(a, b)
+            assert 0.01 <= delay <= 0.05
+
+
+def test_uniform_invalid_range() -> None:
+    with pytest.raises(ValueError):
+        UniformLatencyModel(-1.0, 2.0)
+    with pytest.raises(ValueError):
+        UniformLatencyModel(2.0, 1.0)
+
+
+def test_uniform_seed_determinism() -> None:
+    m1 = UniformLatencyModel(0.0, 1.0, seed=5)
+    m2 = UniformLatencyModel(0.0, 1.0, seed=5)
+    m3 = UniformLatencyModel(0.0, 1.0, seed=6)
+    assert m1.wire_delay(1, 2) == m2.wire_delay(1, 2)
+    assert m1.wire_delay(1, 2) != m3.wire_delay(1, 2)
+
+
+def test_lan_service_dominates_wire() -> None:
+    model = LANLatencyModel()
+    assert model.send_service_time(1) > model.wire_delay(1, 2)
+
+
+def test_wan_clusters_and_stragglers() -> None:
+    nodes = list(range(100))
+    model = WANLatencyModel(nodes, straggler_fraction=0.1, seed=2)
+    assert len(model.stragglers) == 10
+    for straggler in model.stragglers:
+        # Jittered per message, but always far above the healthy baseline.
+        samples = [model.send_service_time(straggler) for _ in range(20)]
+        assert sum(samples) / len(samples) > 0.05
+    normal = next(n for n in nodes if n not in model.stragglers)
+    assert model.send_service_time(normal) < 0.01
+    # Per-message jitter: consecutive samples differ for a straggler.
+    straggler = next(iter(model.stragglers))
+    samples = {model.send_service_time(straggler) for _ in range(5)}
+    assert len(samples) > 1
+
+
+def test_wan_intra_cluster_faster_than_inter() -> None:
+    nodes = list(range(200))
+    model = WANLatencyModel(nodes, num_clusters=4, seed=3)
+    intra_delays, inter_delays = [], []
+    for a in range(50):
+        for b in range(a + 1, 50):
+            delay = model.wire_delay(a, b)
+            if model.cluster_of(a) == model.cluster_of(b):
+                intra_delays.append(delay)
+            else:
+                inter_delays.append(delay)
+    assert intra_delays and inter_delays
+    assert max(intra_delays) <= 0.02
+    assert min(inter_delays) >= 0.04
+
+
+def test_wan_straggler_fraction_validation() -> None:
+    with pytest.raises(ValueError):
+        WANLatencyModel([1, 2, 3], straggler_fraction=1.5)
+
+
+def test_rtt_is_sum_of_both_directions() -> None:
+    model = UniformLatencyModel(0.1, 0.1, seed=0)
+    assert model.rtt(1, 2) == pytest.approx(0.2)

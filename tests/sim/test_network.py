@@ -1,0 +1,180 @@
+"""Unit tests for the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.sim import (
+    Engine,
+    LANLatencyModel,
+    Message,
+    MessageStats,
+    Network,
+    UniformLatencyModel,
+    ZeroLatencyModel,
+)
+
+
+@dataclass
+class Recorder:
+    """A process that remembers everything it receives."""
+
+    node_id: int
+    received: list[Message] = field(default_factory=list)
+    received_at: list[float] = field(default_factory=list)
+    engine: Engine | None = None
+
+    def handle_message(self, message: Message) -> None:
+        self.received.append(message)
+        if self.engine is not None:
+            self.received_at.append(self.engine.now)
+
+
+def make_net(
+    model=None,
+) -> tuple[Engine, Network, Recorder, Recorder]:
+    engine = Engine()
+    network = Network(engine, model or ZeroLatencyModel())
+    a = Recorder(1, engine=engine)
+    b = Recorder(2, engine=engine)
+    network.attach(a)
+    network.attach(b)
+    return engine, network, a, b
+
+
+def test_message_delivered(network: Network) -> None:
+    a = Recorder(1)
+    b = Recorder(2)
+    network.attach(a)
+    network.attach(b)
+    network.send(1, 2, "PING", {"x": 42})
+    network.engine.run_until_idle()
+    assert len(b.received) == 1
+    assert b.received[0].mtype == "PING"
+    assert b.received[0].payload == {"x": 42}
+    assert b.received[0].src == 1
+
+
+def test_duplicate_attach_rejected(network: Network) -> None:
+    network.attach(Recorder(1))
+    with pytest.raises(ValueError):
+        network.attach(Recorder(1))
+
+
+def test_stats_count_messages(network: Network) -> None:
+    a, b = Recorder(1), Recorder(2)
+    network.attach(a)
+    network.attach(b)
+    for _ in range(5):
+        network.send(1, 2, "QUERY")
+    network.send(2, 1, "RESPONSE")
+    network.engine.run_until_idle()
+    stats = network.stats
+    assert stats.total_messages == 6
+    assert stats.by_type["QUERY"] == 5
+    assert stats.by_type["RESPONSE"] == 1
+    assert stats.sent_by_node[1] == 5
+    assert stats.received_by_node[2] == 5
+    assert stats.total_bytes > 0
+
+
+def test_crashed_destination_drops(network: Network) -> None:
+    a, b = Recorder(1), Recorder(2)
+    network.attach(a)
+    network.attach(b)
+    network.crash(2)
+    network.send(1, 2, "QUERY")
+    network.engine.run_until_idle()
+    assert b.received == []
+    assert network.stats.dropped_messages == 1
+    # The send itself is still counted: the bytes left node 1.
+    assert network.stats.total_messages == 1
+
+
+def test_crashed_source_cannot_send(network: Network) -> None:
+    a, b = Recorder(1), Recorder(2)
+    network.attach(a)
+    network.attach(b)
+    network.crash(1)
+    network.send(1, 2, "QUERY")
+    network.engine.run_until_idle()
+    assert b.received == []
+
+
+def test_recovery_restores_delivery(network: Network) -> None:
+    a, b = Recorder(1), Recorder(2)
+    network.attach(a)
+    network.attach(b)
+    network.crash(2)
+    network.recover(2)
+    network.send(1, 2, "QUERY")
+    network.engine.run_until_idle()
+    assert len(b.received) == 1
+
+
+def test_is_alive_tracks_state(network: Network) -> None:
+    network.attach(Recorder(1))
+    assert network.is_alive(1)
+    network.crash(1)
+    assert not network.is_alive(1)
+    network.recover(1)
+    assert network.is_alive(1)
+    assert not network.is_alive(99)
+
+
+def test_wire_delay_applied() -> None:
+    model = UniformLatencyModel(0.5, 0.5, seed=1)
+    engine, network, a, b = make_net(model)
+    network.send(1, 2, "PING")
+    engine.run_until_idle()
+    assert b.received_at == [pytest.approx(0.5)]
+
+
+def test_latency_symmetric_and_stable() -> None:
+    model = UniformLatencyModel(0.01, 0.2, seed=3)
+    d1 = model.wire_delay(5, 9)
+    assert model.wire_delay(9, 5) == d1
+    assert model.wire_delay(5, 9) == d1
+    assert model.wire_delay(5, 5) == 0.0
+
+
+def test_fanout_serializes_at_sender() -> None:
+    """A k-way fan-out should take ~k send service times."""
+    model = LANLatencyModel(wire_low=0.0, wire_high=0.0, service_time=1.0)
+    engine = Engine()
+    network = Network(engine, model)
+    sender = Recorder(0, engine=engine)
+    network.attach(sender)
+    receivers = []
+    for i in range(1, 5):
+        receiver = Recorder(i, engine=engine)
+        network.attach(receiver)
+        receivers.append(receiver)
+    for receiver in receivers:
+        network.send(0, receiver.node_id, "QUERY")
+    engine.run_until_idle()
+    arrival_times = sorted(r.received_at[0] for r in receivers)
+    # Each send occupies the sender for 1s; receive service is 0.5s.
+    assert arrival_times == [
+        pytest.approx(1.5),
+        pytest.approx(2.5),
+        pytest.approx(3.5),
+        pytest.approx(4.5),
+    ]
+
+
+def test_detach_removes_node(network: Network) -> None:
+    network.attach(Recorder(1))
+    network.detach(1)
+    assert 1 not in network.node_ids
+    network.attach(Recorder(1))  # can re-attach after detach
+
+
+def test_live_node_ids(network: Network) -> None:
+    network.attach(Recorder(1))
+    network.attach(Recorder(2))
+    network.crash(1)
+    assert network.live_node_ids == [2]
+    assert sorted(network.node_ids) == [1, 2]

@@ -1,0 +1,42 @@
+"""Byte-accounting tests: message size estimation."""
+
+from __future__ import annotations
+
+from repro.core import MoaraCluster
+from repro.sim.network import Message, estimate_size
+
+
+def test_estimate_size_scalar_types() -> None:
+    assert estimate_size(None) == 1
+    assert estimate_size(True) == 1
+    assert estimate_size(7) == 8
+    assert estimate_size(3.14) == 8
+    assert estimate_size("abcd") == 4
+    assert estimate_size(b"abc") == 3
+
+
+def test_estimate_size_containers_grow_with_content() -> None:
+    small = estimate_size({"a": 1})
+    large = estimate_size({"a": 1, "b": [1, 2, 3], "c": "hello"})
+    assert large > small
+    assert estimate_size([]) == 4
+    assert estimate_size(frozenset({1, 2})) == 20
+
+
+def test_message_size_includes_header() -> None:
+    message = Message(mtype="X", src=1, dst=2, payload={})
+    assert message.size >= 40  # header overhead
+    bigger = Message(mtype="X", src=1, dst=2, payload={"blob": "x" * 100})
+    assert bigger.size > message.size + 90
+
+
+def test_query_bytes_scale_with_tree_size() -> None:
+    """Larger broadcasts move proportionally more bytes."""
+    costs = {}
+    for num_nodes in (16, 64):
+        cluster = MoaraCluster(num_nodes, seed=130)
+        cluster.set_group("g", cluster.node_ids[:4])
+        before = cluster.stats.total_bytes
+        cluster.query("SELECT COUNT(*) WHERE g = true")  # first = broadcast
+        costs[num_nodes] = cluster.stats.total_bytes - before
+    assert costs[64] > 2 * costs[16]

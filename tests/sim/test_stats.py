@@ -1,0 +1,74 @@
+"""Unit tests for message accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import MessageStats
+
+
+def test_record_and_report() -> None:
+    stats = MessageStats()
+    stats.record_send(1, 2, "QUERY", 100)
+    stats.record_send(2, 1, "RESPONSE", 50)
+    stats.record_send(1, 3, "QUERY", 100)
+    assert stats.total_messages == 3
+    assert stats.total_bytes == 250
+    assert stats.by_type == {"QUERY": 2, "RESPONSE": 1}
+    assert stats.sent_by_node[1] == 2
+    assert stats.received_by_node[1] == 1
+
+
+def test_messages_per_node() -> None:
+    stats = MessageStats()
+    for _ in range(30):
+        stats.record_send(1, 2, "X", 1)
+    assert stats.messages_per_node(10) == 3.0
+    with pytest.raises(ValueError):
+        stats.messages_per_node(0)
+
+
+def test_snapshot_is_immutable_copy() -> None:
+    stats = MessageStats()
+    stats.record_send(1, 2, "QUERY", 10)
+    snap = stats.snapshot()
+    stats.record_send(1, 2, "QUERY", 10)
+    assert snap.total_messages == 1
+    assert stats.total_messages == 2
+    assert snap.by_type == {"QUERY": 1}
+
+
+def test_delta_since() -> None:
+    stats = MessageStats()
+    stats.record_send(1, 2, "QUERY", 10)
+    snap = stats.snapshot()
+    stats.record_send(1, 2, "QUERY", 10)
+    stats.record_send(3, 4, "UPDATE", 20)
+    delta = stats.delta_since(snap)
+    assert delta.total_messages == 2
+    assert delta.total_bytes == 30
+    assert delta.by_type == {"QUERY": 1, "UPDATE": 1}
+    assert delta.sent_by_node == {1: 1, 3: 1}
+    assert delta.received_by_node == {2: 1, 4: 1}
+
+
+def test_snapshot_messages_of() -> None:
+    stats = MessageStats()
+    stats.record_send(1, 2, "QUERY", 1)
+    stats.record_send(1, 2, "STATUS_UPDATE", 1)
+    stats.record_send(1, 2, "STATUS_UPDATE", 1)
+    snap = stats.snapshot()
+    assert snap.messages_of("QUERY") == 1
+    assert snap.messages_of("STATUS_UPDATE", "QUERY") == 3
+    assert snap.messages_of("MISSING") == 0
+
+
+def test_reset() -> None:
+    stats = MessageStats()
+    stats.record_send(1, 2, "QUERY", 10)
+    stats.record_drop()
+    stats.reset()
+    assert stats.total_messages == 0
+    assert stats.total_bytes == 0
+    assert stats.dropped_messages == 0
+    assert not stats.by_type

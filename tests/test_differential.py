@@ -1,0 +1,110 @@
+"""Differential testing: Moara vs the baselines on identical workloads.
+
+All three systems -- Moara (adaptive group trees), SDIMS (global broadcast
+trees), and the centralized aggregator -- must return the *same answers*
+for the same attribute population; they differ only in cost.  These tests
+randomize attribute populations and query shapes and require answer
+equality across systems, plus the expected cost ordering.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import CentralizedSystem
+from repro.core import MoaraCluster
+from repro.sdims import SDIMSCluster
+
+NUM_NODES = 48
+
+
+def _populate(system, node_ids, seed: int) -> None:
+    rng = random.Random(f"diff-{seed}")
+    for rank, node_id in enumerate(node_ids):
+        system.set_attribute(node_id, "cpu", float(rng.randrange(0, 100)))
+        system.set_attribute(node_id, "svc", rng.random() < 0.4)
+        system.set_attribute(node_id, "os", rng.choice(["Linux", "BSD"]))
+
+
+QUERIES = [
+    "SELECT COUNT(*) WHERE svc = true",
+    "SELECT COUNT(*) WHERE cpu >= 50",
+    "SELECT SUM(cpu) WHERE svc = true AND cpu < 80",
+    "SELECT MAX(cpu) WHERE os = 'Linux' OR svc = true",
+    "SELECT AVG(cpu) WHERE NOT os = 'BSD'",
+    "SELECT COUNT(*)",
+]
+
+
+@settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_all_three_systems_agree(seed: int) -> None:
+    moara = MoaraCluster(NUM_NODES, seed=104)
+    sdims = SDIMSCluster(NUM_NODES, seed=104)
+    central = CentralizedSystem(NUM_NODES, seed=104)
+    _populate(moara, moara.node_ids, seed)
+    _populate(sdims, sdims.node_ids, seed)
+    _populate(central, central.node_ids, seed)
+    for text in QUERIES:
+        values = [
+            moara.query(text).value,
+            sdims.query(text).value,
+            central.query(text).value,
+        ]
+        floats = [v for v in values if isinstance(v, float)]
+        if len(floats) == 3:
+            assert values[1] == pytest.approx(values[0])
+            assert values[2] == pytest.approx(values[0])
+        else:
+            assert values[0] == values[1] == values[2], text
+
+
+def test_cost_ordering_on_small_groups() -> None:
+    """For a small group and repeated queries: Moara < SDIMS ~= Central."""
+    moara = MoaraCluster(96, seed=105)
+    sdims = SDIMSCluster(96, seed=105)
+    central = CentralizedSystem(96, seed=105)
+    for system in (moara, sdims):
+        system.set_group("g", system.node_ids[:6])
+    for node_id in central.node_ids[:6]:
+        central.set_attribute(node_id, "g", True)
+    for node_id in central.node_ids[6:]:
+        central.set_attribute(node_id, "g", False)
+
+    text = "SELECT COUNT(*) WHERE g = true"
+    for _ in range(6):  # converge Moara's tree
+        moara.query(text)
+    moara_cost = moara.query(text).message_cost
+    sdims_cost = sdims.query(text).message_cost
+    central_cost = central.query(text).message_cost
+    assert moara.query(text).value == 6
+    assert moara_cost * 4 < sdims_cost
+    assert moara_cost * 4 < central_cost
+    # Broadcast and centralized costs are both ~2N.
+    assert abs(sdims_cost - central_cost) < central_cost
+
+
+def test_agreement_survives_group_churn() -> None:
+    moara = MoaraCluster(NUM_NODES, seed=106)
+    central = CentralizedSystem(NUM_NODES, seed=106)
+    rng = random.Random(7)
+    moara_ids, central_ids = moara.node_ids, central.node_ids
+    for node_id in moara_ids:
+        moara.set_attribute(node_id, "hot", False)
+    for node_id in central_ids:
+        central.set_attribute(node_id, "hot", False)
+    text = "SELECT COUNT(*) WHERE hot = true"
+    for _round in range(5):
+        flips = rng.sample(range(NUM_NODES), 8)
+        for index in flips:
+            current = moara.nodes[moara_ids[index]].attributes["hot"]
+            moara.set_attribute(moara_ids[index], "hot", not current)
+            central.set_attribute(central_ids[index], "hot", not current)
+        moara.run_until_idle()
+        assert moara.query(text).value == central.query(text).value

@@ -1,0 +1,45 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+The slower, latency-model-heavy examples (planetlab_slices, dashboard,
+adaptive_maintenance, datacenter_monitoring) are exercised indirectly by
+the benchmarks that share their code paths; here we execute the quick ones
+outright so a broken public API cannot ship.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_quickstart_runs(capsys) -> None:
+    output = run_example("quickstart", capsys)
+    assert "avg CPU over ServiceX nodes" in output
+    assert "machines in the system      : 100" in output
+    assert "after one node joins group  : count = 13" in output
+
+
+def test_composite_queries_runs(capsys) -> None:
+    output = run_example("composite_queries", capsys)
+    assert "cover #0" in output
+    assert "provably empty" in output
+    assert "cover actually queried   : ['(small = true)']" in output

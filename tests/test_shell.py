@@ -1,0 +1,61 @@
+"""Tests for the interactive shell."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MoaraCluster
+from repro.shell import MoaraShell
+
+
+@pytest.fixture(scope="module")
+def shell() -> MoaraShell:
+    cluster = MoaraCluster(30, seed=9)
+    cluster.set_group("ServiceX", cluster.node_ids[:6])
+    for i, node_id in enumerate(cluster.node_ids):
+        cluster.set_attribute(node_id, "cpu-util", float(i))
+    return MoaraShell(cluster)
+
+
+def test_query_execution(shell: MoaraShell) -> None:
+    output = shell.execute("SELECT COUNT(*) WHERE ServiceX = true")
+    assert "value: 6" in output
+    assert "cover: (ServiceX = true)" in output
+
+
+def test_triple_form(shell: MoaraShell) -> None:
+    output = shell.execute("(cpu-util, max, ServiceX = true)")
+    assert "value:" in output
+
+
+def test_parse_error_reported_not_raised(shell: MoaraShell) -> None:
+    output = shell.execute("SELECT nope nope")
+    assert output.startswith("error:")
+
+
+def test_dot_commands(shell: MoaraShell) -> None:
+    assert "30 nodes" in shell.execute(".nodes")
+    assert "total messages" in shell.execute(".stats")
+    assert "6 nodes satisfy" in shell.execute(".groups ServiceX = true")
+    assert "Commands" in shell.execute(".help") or "SELECT" in shell.execute(".help")
+    assert shell.execute("") == ""
+    assert shell.execute(".bogus").startswith("error:")
+
+
+def test_set_command(shell: MoaraShell) -> None:
+    output = shell.execute(".set 0 newattr 42")
+    assert "newattr" in output
+    result = shell.execute("SELECT COUNT(*) WHERE newattr = 42")
+    assert "value: 1" in result
+    assert shell.execute(".set banana x 1").startswith("error:")
+
+
+def test_quit_raises_eof(shell: MoaraShell) -> None:
+    with pytest.raises(EOFError):
+        shell.execute(".quit")
+
+
+def test_default_shell_bootstraps_inventory() -> None:
+    shell = MoaraShell()
+    output = shell.execute("SELECT COUNT(*)")
+    assert "value: 100" in output

@@ -1,0 +1,67 @@
+"""Tests for the periodic group-churn driver (Figures 12(b)/13(a))."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MoaraCluster
+from repro.workloads import GroupChurnDriver
+
+
+def test_group_size_preserved_across_batches() -> None:
+    cluster = MoaraCluster(64, seed=1)
+    driver = GroupChurnDriver(
+        cluster, "g", group_size=20, churn=5, interval=5.0, seed=2
+    )
+    for _ in range(10):
+        before = driver.members
+        driver.apply_batch()
+        after = driver.members
+        assert len(after) == 20
+        assert len(before - after) == 5  # exactly `churn` left
+        assert len(after - before) == 5  # and `churn` joined
+    assert cluster.members_satisfying("g = true") == driver.members
+
+
+def test_periodic_batches_fire_on_schedule() -> None:
+    cluster = MoaraCluster(32, seed=3)
+    driver = GroupChurnDriver(
+        cluster, "g", group_size=10, churn=2, interval=5.0, seed=4
+    )
+    driver.start()
+    cluster.run(seconds=26.0)
+    assert driver.batch_times == pytest.approx([5.0, 10.0, 15.0, 20.0, 25.0])
+    driver.stop()
+    cluster.run(seconds=20.0)
+    assert len(driver.batch_times) == 5  # no more after stop
+
+
+def test_queries_remain_correct_under_churn() -> None:
+    cluster = MoaraCluster(48, seed=5)
+    driver = GroupChurnDriver(
+        cluster, "g", group_size=15, churn=10, interval=1.0, seed=6
+    )
+    for _ in range(5):
+        driver.apply_batch()
+        cluster.run_until_idle()
+        result = cluster.query("SELECT COUNT(*) WHERE g = true")
+        assert result.value == 15
+
+
+def test_full_group_replacement() -> None:
+    """interval=5, churn=group_size: the entire membership rotates."""
+    cluster = MoaraCluster(64, seed=7)
+    driver = GroupChurnDriver(
+        cluster, "g", group_size=20, churn=20, interval=5.0, seed=8
+    )
+    before = driver.members
+    driver.apply_batch()
+    assert not (before & driver.members)
+    cluster.run_until_idle()
+    assert cluster.query("SELECT COUNT(*) WHERE g = true").value == 20
+
+
+def test_group_too_large_rejected() -> None:
+    cluster = MoaraCluster(8, seed=9)
+    with pytest.raises(ValueError):
+        GroupChurnDriver(cluster, "g", group_size=20, churn=1, interval=1.0)

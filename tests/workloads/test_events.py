@@ -1,0 +1,54 @@
+"""Tests for query:churn event mixes and the workload runner."""
+
+from __future__ import annotations
+
+from repro.core import MoaraCluster
+from repro.workloads import EventMix, run_query_churn_workload
+
+
+def test_mix_composition() -> None:
+    mix = EventMix(num_queries=30, num_churn=20, seed=1)
+    schedule = mix.schedule()
+    assert len(schedule) == 50
+    assert schedule.count("query") == 30
+    assert schedule.count("churn") == 20
+    assert mix.label == "30:20"
+
+
+def test_mix_is_shuffled_but_deterministic() -> None:
+    s1 = EventMix(10, 10, seed=1).schedule()
+    s2 = EventMix(10, 10, seed=1).schedule()
+    s3 = EventMix(10, 10, seed=2).schedule()
+    assert s1 == s2
+    assert s1 != s3
+    assert s1 != ["query"] * 10 + ["churn"] * 10  # actually shuffled
+
+
+def test_extreme_ratios() -> None:
+    assert EventMix(0, 500, seed=1).schedule().count("query") == 0
+    assert EventMix(500, 0, seed=1).schedule().count("churn") == 0
+
+
+def test_workload_runner_executes_all_events() -> None:
+    cluster = MoaraCluster(24, seed=2)
+    cluster.set_group("A", cluster.node_ids[:5], 1, 0)
+    mix = EventMix(num_queries=6, num_churn=4, seed=3)
+    results = run_query_churn_workload(
+        cluster, "(A, sum, A = 1)", "A", mix, burst_size=3
+    )
+    assert len(results) == 6
+    # Every answer matches the ground truth at its moment... final check:
+    final = cluster.query("(A, sum, A = 1)")
+    assert final.value == len(cluster.members_satisfying("A = 1")) or (
+        final.value is None and not cluster.members_satisfying("A = 1")
+    )
+
+
+def test_workload_burst_size_larger_than_cluster() -> None:
+    cluster = MoaraCluster(8, seed=4)
+    cluster.set_group("A", cluster.node_ids[:2], 1, 0)
+    mix = EventMix(num_queries=1, num_churn=1, seed=5)
+    results = run_query_churn_workload(
+        cluster, "(A, count, A = 1)", "A", mix, burst_size=100
+    )
+    assert len(results) == 1

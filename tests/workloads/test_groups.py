@@ -1,0 +1,49 @@
+"""Tests for the datacenter inventory and the Figure 1 query catalogue."""
+
+from __future__ import annotations
+
+from repro.core import MoaraCluster
+from repro.workloads import DatacenterInventory
+
+
+def test_populate_assigns_every_node() -> None:
+    cluster = MoaraCluster(40, seed=1)
+    inventory = DatacenterInventory(seed=1)
+    inventory.populate(cluster)
+    assert set(inventory.assignment) == set(cluster.node_ids)
+    sample = inventory.assignment[cluster.node_ids[0]]
+    assert {"floor", "cluster", "rack", "app", "cpu-util"} <= set(sample)
+
+
+def test_every_figure1_query_runs(tmp_path=None) -> None:
+    cluster = MoaraCluster(60, seed=2)
+    DatacenterInventory(seed=2).populate(cluster)
+    for task, text in DatacenterInventory.figure1_queries():
+        result = cluster.query(text)
+        assert result is not None, task
+
+
+def test_figure1_answers_match_ground_truth() -> None:
+    cluster = MoaraCluster(60, seed=3)
+    inventory = DatacenterInventory(seed=3)
+    inventory.populate(cluster)
+    # Spot-check a count query against the recorded assignment.
+    expected = sum(
+        1 for attrs in inventory.assignment.values() if attrs["firewall"]
+    )
+    result = cluster.query("SELECT COUNT(*) WHERE firewall = true")
+    assert result.value == expected
+    # And an average.
+    f0 = [a["cpu-util"] for a in inventory.assignment.values() if a["floor"] == "F0"]
+    result = cluster.query("SELECT AVG(cpu-util) WHERE floor = 'F0'")
+    assert abs(result.value - sum(f0) / len(f0)) < 1e-9
+
+
+def test_hierarchy_is_consistent() -> None:
+    inventory = DatacenterInventory(seed=4)
+    cluster = MoaraCluster(50, seed=4)
+    inventory.populate(cluster)
+    for attrs in inventory.assignment.values():
+        # rack R<floor><cluster><rack> nests inside cluster C<floor><cluster>
+        assert attrs["rack"][1:3] == attrs["cluster"][1:]
+        assert attrs["cluster"][1] == attrs["floor"][1]

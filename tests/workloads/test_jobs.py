@@ -1,0 +1,53 @@
+"""Tests for the HP rendering-job trace (Figure 2(b))."""
+
+from __future__ import annotations
+
+from repro.workloads import RenderingJobTrace
+
+
+def test_two_jobs_over_20_hours() -> None:
+    trace = RenderingJobTrace()
+    assert trace.job_names == ["job0", "job1"]
+    for job in trace.job_names:
+        minutes = [m for m, _ in trace.series[job]]
+        assert minutes[0] == 0
+        assert minutes[-1] >= 1395
+
+
+def test_usage_envelope() -> None:
+    trace = RenderingJobTrace()
+    for job in trace.job_names:
+        peak = trace.peak_usage(job)
+        assert 0 < peak <= trace.pool_size
+        first, last = trace.active_window(job)
+        assert first < last
+    # The two jobs start at different times (the figure's key feature).
+    start0, _ = trace.active_window("job0")
+    start1, _ = trace.active_window("job1")
+    assert abs(start0 - start1) > 120
+
+
+def test_jobs_exhibit_churn() -> None:
+    """Figure 2(b)'s point: group membership is dynamic."""
+    trace = RenderingJobTrace()
+    for job in trace.job_names:
+        events = trace.churn_events(job)
+        assert len(events) > 20
+        deltas = [d for _, d in events]
+        assert any(d > 0 for d in deltas) and any(d < 0 for d in deltas)
+
+
+def test_ramp_up_and_teardown() -> None:
+    trace = RenderingJobTrace()
+    series = dict(trace.series["job0"])
+    peak = trace.peak_usage("job0")
+    first, last = trace.active_window("job0")
+    mid = (first + last) // 2
+    mid_usage = series.get(mid - mid % trace.step_min, 0)
+    assert mid_usage > peak / 2  # plateau holds most of the peak
+    assert series.get(0, 0) == 0  # nothing before the job starts
+
+
+def test_determinism() -> None:
+    assert RenderingJobTrace(seed=1).series == RenderingJobTrace(seed=1).series
+    assert RenderingJobTrace(seed=1).series != RenderingJobTrace(seed=2).series

@@ -1,0 +1,56 @@
+"""Calibration tests for the PlanetLab slice trace (Figure 2(a))."""
+
+from __future__ import annotations
+
+from repro.workloads import SliceTrace
+
+
+def test_population_size() -> None:
+    trace = SliceTrace()
+    assert len(trace.assigned) == 400
+    assert 0 < len(trace.in_use) <= 400
+
+
+def test_paper_quoted_assigned_quantile() -> None:
+    """"As many as 50% of the 400 slices have fewer than 10 assigned
+    nodes" -- calibrated within a few percent."""
+    trace = SliceTrace()
+    assert 0.40 <= trace.fraction_assigned_below(10) <= 0.60
+
+
+def test_paper_quoted_in_use_quantile() -> None:
+    """"as many as 100 out of 170 slices have fewer than 10 active
+    nodes"."""
+    trace = SliceTrace()
+    small, total = trace.count_in_use_below(10)
+    assert 140 <= total <= 200
+    assert 0.50 <= small / total <= 0.75
+
+
+def test_in_use_never_exceeds_assigned() -> None:
+    trace = SliceTrace()
+    for name, used in trace.in_use.items():
+        assert 1 <= used <= trace.assigned[name]
+
+
+def test_ranked_series_monotone() -> None:
+    trace = SliceTrace()
+    ranked = trace.ranked_assigned()
+    assert ranked == sorted(ranked, reverse=True)
+    assert ranked[0] > 100  # a heavy head exists
+    assert ranked[-1] <= 10  # and a long small tail
+
+
+def test_seeded_determinism() -> None:
+    assert SliceTrace(seed=5).assigned == SliceTrace(seed=5).assigned
+    assert SliceTrace(seed=5).assigned != SliceTrace(seed=6).assigned
+
+
+def test_sample_slice_members() -> None:
+    trace = SliceTrace()
+    node_ids = list(range(500))
+    name = next(iter(trace.assigned))
+    members = trace.sample_slice_members(name, node_ids)
+    assert len(members) == min(trace.assigned[name], 500)
+    assert len(set(members)) == len(members)
+    assert set(members) <= set(node_ids)
