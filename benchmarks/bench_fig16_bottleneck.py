@@ -13,7 +13,6 @@ reports the correlation between per-query latency and its bottleneck.
 from __future__ import annotations
 
 from repro.core import MoaraCluster
-from repro.core.moara_node import group_attribute
 from repro.sim import WANLatencyModel
 
 from conftest import full_scale, run_once

@@ -1,0 +1,164 @@
+"""Figure 17 (new): concurrent multi-query front-end throughput.
+
+Beyond the paper: the seed front-end planned and probed every query from
+scratch, so a repeated-query workload (dashboards, periodic monitors) paid
+the full plan + 2-probe + dispatch cost per query.  This benchmark drives a
+large batch of concurrent queries, drawn from a small set of repeated
+composite templates, over a 1000-node overlay, and compares the seed
+behaviour (``FrontendConfig.uncached()``) against the cached/batched
+front-end (plan cache, TTL'd group-size cache fed by piggybacked costs,
+deduplicated probes, shared sub-query fan-out).
+
+Reported per configuration: queries/sec of simulated time, messages per
+query (query-plane messages only, and the all-traffic total), probe
+messages, and latency percentiles from the per-query ledger.  The headline
+acceptance check: the cached/batched front-end must use strictly fewer
+messages per query than the uncached path on the repeated workload.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import MoaraCluster
+from repro.core import messages as mt
+from repro.core.frontend import FrontendConfig
+from repro.sim import LANLatencyModel
+
+from conftest import full_scale, run_once
+
+NUM_NODES = 1000
+NUM_QUERIES = 1000
+#: concurrent queries submitted per wave (all waves reuse the templates)
+WAVE_SIZE = 100 if not full_scale() else 250
+NUM_GROUPS = 12
+GROUP_SIZE = 25
+#: distinct query shapes the workload cycles through (a dashboard's panels)
+NUM_TEMPLATES = 10
+
+QUERY_PLANE_TYPES = (
+    mt.SIZE_PROBE,
+    mt.SIZE_RESPONSE,
+    mt.FRONTEND_QUERY,
+    mt.FRONTEND_RESPONSE,
+    mt.QUERY,
+    mt.QUERY_RESPONSE,
+)
+
+
+def _build(config: FrontendConfig) -> MoaraCluster:
+    cluster = MoaraCluster(
+        NUM_NODES,
+        seed=170,
+        latency_model=LANLatencyModel(seed=170),
+        frontend_config=config,
+    )
+    rng = random.Random(171)
+    for i in range(NUM_GROUPS):
+        cluster.set_group(f"S{i}", rng.sample(cluster.node_ids, GROUP_SIZE))
+    return cluster
+
+
+def _templates() -> list[str]:
+    """Repeated composite shapes: intersections and unions of group pairs."""
+    texts = []
+    for i in range(NUM_TEMPLATES):
+        a, b = i % NUM_GROUPS, (i + 1) % NUM_GROUPS
+        op = "AND" if i % 2 == 0 else "OR"
+        texts.append(f"SELECT COUNT(*) WHERE S{a} = true {op} S{b} = true")
+    return texts
+
+
+def _run(config: FrontendConfig) -> dict[str, float]:
+    cluster = _build(config)
+    templates = _templates()
+    # Warm the group trees once (tree construction is identical in both
+    # configurations and not what this figure measures).
+    for text in templates:
+        cluster.query(text)
+    cluster.stats.reset()
+
+    rng = random.Random(172)
+    started = cluster.now
+    submitted = 0
+    while submitted < NUM_QUERIES:
+        wave = min(WAVE_SIZE, NUM_QUERIES - submitted)
+        batch = [templates[rng.randrange(NUM_TEMPLATES)] for _ in range(wave)]
+        results = cluster.query_concurrent(batch)
+        assert all(r.value >= 0 for r in results)
+        submitted += wave
+    makespan = cluster.now - started
+
+    stats = cluster.stats
+    snapshot = stats.snapshot()
+    query_plane = snapshot.messages_of(*QUERY_PLANE_TYPES)
+    return {
+        "queries": float(submitted),
+        "makespan_s": makespan,
+        "qps": submitted / makespan if makespan > 0 else float("inf"),
+        "msgs_per_query": query_plane / submitted,
+        "total_msgs_per_query": stats.total_messages / submitted,
+        "probe_msgs": float(snapshot.messages_of(mt.SIZE_PROBE)),
+        "frontend_queries": float(snapshot.messages_of(mt.FRONTEND_QUERY)),
+        "shared_queries": float(sum(1 for r in stats.query_log if r.shared)),
+        "p50_latency_ms": stats.query_latency_percentile(0.50) * 1000,
+        "p95_latency_ms": stats.query_latency_percentile(0.95) * 1000,
+    }
+
+
+def _experiment() -> dict[str, dict[str, float]]:
+    return {
+        "uncached": _run(FrontendConfig.uncached()),
+        "cached": _run(FrontendConfig()),
+    }
+
+
+def test_fig17_concurrent_frontend_throughput(benchmark, emit) -> None:
+    rows = run_once(benchmark, _experiment)
+    metrics = [
+        ("queries", "queries run"),
+        ("makespan_s", "makespan (sim s)"),
+        ("qps", "queries/sec (sim)"),
+        ("msgs_per_query", "query-plane msgs/query"),
+        ("total_msgs_per_query", "all msgs/query"),
+        ("probe_msgs", "SIZE_PROBE messages"),
+        ("frontend_queries", "FRONTEND_QUERY messages"),
+        ("shared_queries", "queries served by a share"),
+        ("p50_latency_ms", "p50 latency (ms)"),
+        ("p95_latency_ms", "p95 latency (ms)"),
+    ]
+    lines = [
+        f"Figure 17 -- concurrent front-end throughput "
+        f"(N={NUM_NODES} nodes, {NUM_QUERIES} queries in waves of "
+        f"{WAVE_SIZE}, {NUM_TEMPLATES} repeated templates)",
+        f"{'metric':<28s}{'uncached':>14s}{'cached':>14s}",
+    ]
+    for key, label in metrics:
+        lines.append(
+            f"{label:<28s}{rows['uncached'][key]:>14.2f}"
+            f"{rows['cached'][key]:>14.2f}"
+        )
+    speedup = rows["cached"]["qps"] / rows["uncached"]["qps"]
+    saving = 1 - rows["cached"]["msgs_per_query"] / rows["uncached"]["msgs_per_query"]
+    lines.append(
+        f"throughput gain: {speedup:.1f}x; "
+        f"message saving: {saving:.0%} per query"
+    )
+    emit("fig17_throughput", lines)
+
+    # Acceptance: the cached/batched front-end uses strictly fewer messages
+    # per query than the uncached path on a repeated-query workload.
+    assert (
+        rows["cached"]["msgs_per_query"] < rows["uncached"]["msgs_per_query"]
+    )
+    assert (
+        rows["cached"]["total_msgs_per_query"]
+        < rows["uncached"]["total_msgs_per_query"]
+    )
+    # Caching eliminates the steady-state probe traffic entirely.
+    assert rows["cached"]["probe_msgs"] == 0
+    assert rows["uncached"]["probe_msgs"] > 0
+    # Batching collapses identical concurrent queries into shared dispatches.
+    assert rows["cached"]["frontend_queries"] < rows["uncached"]["frontend_queries"]
+    # And the cached front-end finishes the same workload faster.
+    assert rows["cached"]["qps"] > rows["uncached"]["qps"]

@@ -15,6 +15,14 @@ from repro.core.aggregation import TopK, merge_partials
 from repro.core.parser import parse_predicate
 from repro.pastry import IdSpace, Overlay
 
+from conftest import tiny_scale
+
+#: CI smoke runs (MOARA_BENCH_TINY=1) shrink every population so the whole
+#: file finishes in seconds; default sizes measure steady-state throughput.
+ROUTING_NODES = 128 if tiny_scale() else 1024
+TREE_NODES = 128 if tiny_scale() else 2048
+CLUSTER_NODES = 32 if tiny_scale() else 256
+MERGE_PARTIALS = 100 if tiny_scale() else 1000
 
 COMPLEX_QUERY = (
     "SELECT TOP3(cpu) WHERE (a = true OR b = true) AND (c = true OR d = true) "
@@ -38,14 +46,14 @@ def test_micro_plan_complex_predicate(benchmark) -> None:
 
 def test_micro_aggregate_merge(benchmark) -> None:
     fn = TopK(10)
-    partials = [fn.lift(float(i % 97), i) for i in range(1000)]
+    partials = [fn.lift(float(i % 97), i) for i in range(MERGE_PARTIALS)]
     result = benchmark(merge_partials, fn, partials)
     assert len(result) == 10
 
 
 def test_micro_overlay_routing(benchmark) -> None:
     overlay = Overlay(IdSpace())
-    overlay.bulk_join(overlay.generate_ids(1024, seed=1))
+    overlay.bulk_join(overlay.generate_ids(ROUTING_NODES, seed=1))
     rng = random.Random(2)
     keys = [overlay.space.random_id(rng) for _ in range(100)]
     sources = rng.choices(overlay.node_ids, k=100)
@@ -59,7 +67,7 @@ def test_micro_overlay_routing(benchmark) -> None:
 
 def test_micro_tree_construction(benchmark) -> None:
     overlay = Overlay(IdSpace())
-    overlay.bulk_join(overlay.generate_ids(2048, seed=3))
+    overlay.bulk_join(overlay.generate_ids(TREE_NODES, seed=3))
     key = overlay.space.hash_name("bench-attr")
 
     def build() -> int:
@@ -67,11 +75,11 @@ def test_micro_tree_construction(benchmark) -> None:
         return len(overlay.tree(key))
 
     size = benchmark(build)
-    assert size == 2048
+    assert size == TREE_NODES
 
 
 def test_micro_warm_group_query(benchmark) -> None:
-    cluster = MoaraCluster(256, seed=4)
+    cluster = MoaraCluster(CLUSTER_NODES, seed=4)
     cluster.set_group("g", cluster.node_ids[:16])
     for _ in range(6):
         cluster.query("SELECT COUNT(*) WHERE g = true")

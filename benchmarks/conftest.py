@@ -24,6 +24,15 @@ def full_scale() -> bool:
     return os.environ.get("MOARA_BENCH_FULL", "") not in ("", "0")
 
 
+def tiny_scale() -> bool:
+    """True when CI-smoke parameters were requested (MOARA_BENCH_TINY=1).
+
+    Tiny runs only prove the benchmarks still execute end-to-end and emit
+    their JSON; the numbers are not comparable across runs.
+    """
+    return os.environ.get("MOARA_BENCH_TINY", "") not in ("", "0")
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)

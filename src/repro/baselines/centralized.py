@@ -26,7 +26,7 @@ from repro.core.query import Query, QueryResult, STAR_ATTRIBUTE
 from repro.sim.engine import Engine
 from repro.sim.latency import LatencyModel, ZeroLatencyModel
 from repro.sim.network import Message, Network
-from repro.sim.stats import MessageStats
+from repro.sim.stats import MessageStats, QueryRecord
 
 __all__ = ["CentralizedAggregator", "CentralizedSystem"]
 
@@ -77,7 +77,6 @@ class _PendingCentral:
     partial: Any = None
     contributors: int = 0
     started_at: float = 0.0
-    messages_before: int = 0
     #: node -> arrival time of its response (for completion CDFs)
     arrival_times: dict[int, float] = field(default_factory=dict)
 
@@ -104,7 +103,6 @@ class CentralizedAggregator:
             query=query,
             waiting=set(targets),
             started_at=self.network.engine.now,
-            messages_before=self.network.stats.total_messages,
         )
         self._pending[qid] = pending
         for target in targets:
@@ -134,14 +132,25 @@ class CentralizedAggregator:
         qid = payload["qid"]
         del self._pending[qid]
         now = self.network.engine.now
+        latency = now - pending.started_at
+        # Per-query tagged accounting (the payload qid tags every CENTRAL_*
+        # message), so concurrent central queries attribute cost correctly.
+        message_cost = self.network.stats.pop_tag(qid)
         self.results[qid] = QueryResult(
             query=pending.query,
             value=pending.query.function.finalize(pending.partial),
             cover=["<all nodes>"],
             contributors=pending.contributors,
-            latency=now - pending.started_at,
-            message_cost=self.network.stats.total_messages
-            - pending.messages_before,
+            latency=latency,
+            message_cost=message_cost,
+        )
+        self.network.stats.record_query(
+            QueryRecord(
+                qid=qid,
+                latency=latency,
+                messages=message_cost,
+                completed_at=now,
+            )
         )
         self.arrival_profiles[qid] = sorted(
             t - pending.started_at for t in pending.arrival_times.values()

@@ -47,9 +47,10 @@ from repro.core.errors import (
     QueryTimeoutError,
     UnknownAggregateError,
 )
-from repro.core.frontend import Frontend, ProbePolicy
+from repro.core.frontend import Frontend, FrontendConfig, ProbePolicy
 from repro.core.moara_node import MoaraConfig, MoaraNode
 from repro.core.parser import parse_predicate, parse_query
+from repro.core.plan_cache import CacheStats, GroupSizeCache, PlanCache
 from repro.core.planner import (
     QueryPlan,
     SemanticContext,
@@ -77,13 +78,17 @@ __all__ = [
     "Comparison",
     "DerivedAttribute",
     "Frontend",
+    "FrontendConfig",
+    "CacheStats",
     "GCPolicy",
+    "GroupSizeCache",
     "Histogram",
     "IdleTimeoutGC",
     "KeepLastKGC",
     "LeastFrequentGC",
     "NoGC",
     "PeriodicMonitor",
+    "PlanCache",
     "install_derived",
     "MaintenancePolicy",
     "MoaraCluster",

@@ -46,6 +46,14 @@ class AggregateFunction(ABC):
 
     name: str = ""
 
+    def signature(self) -> str:
+        """Identity string: two functions with equal signatures compute the
+        same aggregate for any input.  Defaults to :attr:`name`, which is
+        sufficient for unparameterized functions; functions whose behaviour
+        depends on constructor parameters not encoded in ``name`` must
+        override this (sub-query sharing keys on it)."""
+        return self.name
+
     @abstractmethod
     def lift(self, value: Any, node_id: int) -> Partial:
         """Convert one node's local value into a partial aggregate."""
@@ -257,6 +265,11 @@ class Histogram(AggregateFunction):
         self.high = high
         self.buckets = buckets
         self.name = f"hist{buckets}"
+
+    def signature(self) -> str:
+        # `name` omits the range, but two histograms with different bounds
+        # bucket the same inputs differently — include everything.
+        return f"hist{self.buckets}[{self.low},{self.high})"
 
     def _bucket_of(self, value: float) -> int:
         """0 = underflow, 1..buckets = in range, buckets+1 = overflow."""

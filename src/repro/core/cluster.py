@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Optional, Union
 
-from repro.core.frontend import Frontend, ProbePolicy
+from repro.core.frontend import Frontend, FrontendConfig, ProbePolicy
 from repro.core.moara_node import MoaraConfig, MoaraNode
 from repro.core.parser import parse_predicate
 from repro.core.planner import SemanticContext
@@ -42,6 +42,7 @@ class MoaraCluster:
         space: Optional[IdSpace] = None,
         probe_policy: ProbePolicy = ProbePolicy.COMPOSITE,
         semantics: Optional[SemanticContext] = None,
+        frontend_config: Optional[FrontendConfig] = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("cluster needs at least one node")
@@ -79,6 +80,7 @@ class MoaraCluster:
             node_id=FRONTEND_ID,
             probe_policy=probe_policy,
             semantics=semantics,
+            config=frontend_config,
         )
 
     # ------------------------------------------------------------------
@@ -88,6 +90,11 @@ class MoaraCluster:
     def _on_membership_change(self, joined: set[int], left: set[int]) -> None:
         for node in self.nodes.values():
             node.on_membership_change(joined, left)
+        # The frontend attaches after the initial bulk join; later churn
+        # must also resolve its in-flight probes/sub-queries (Section 7).
+        frontend = getattr(self, "frontend", None)
+        if frontend is not None:
+            frontend.on_membership_change(joined, left)
 
     @property
     def node_ids(self) -> list[int]:
@@ -159,6 +166,31 @@ class MoaraCluster:
     def query_async(self, query: Union[str, Query]) -> str:
         """Submit without driving the engine; returns the query id."""
         return self.frontend.submit(query)
+
+    def query_concurrent(
+        self,
+        queries: list[Union[str, Query]],
+        max_events: int = 10_000_000,
+    ) -> list[QueryResult]:
+        """Submit a batch of concurrent queries and run them to completion.
+
+        All queries enter the front-end in the same tick, so identical
+        queries share probes and sub-queries; results come back in
+        submission order.
+        """
+        qids = self.frontend.submit_many(queries)
+        wanted = set(qids)
+        done = self.engine.run_until(
+            lambda: wanted <= self.frontend.results.keys(),
+            max_events=max_events,
+        )
+        if not done:
+            missing = [q for q in qids if q not in self.frontend.results]
+            raise QueryTimeoutError(
+                f"{len(missing)} of {len(qids)} concurrent queries did not "
+                f"complete (simulation went idle)"
+            )
+        return [self.frontend.results.pop(qid) for qid in qids]
 
     def result(self, qid: str) -> Optional[QueryResult]:
         """Fetch (and remove) a completed async result, if available."""

@@ -8,12 +8,26 @@ front-end waits until it receives all the results from sub-queries,
 aggregates the results returned by the sub-queries, and returns the final
 aggregate to the user").
 
+Beyond the paper, this front-end is a *concurrent multi-query engine*
+built for repeated, overlapping workloads:
+
+* any number of queries can be in flight at once, keyed by query id;
+* planning goes through a :class:`~repro.core.plan_cache.PlanCache`, so
+  re-issued predicates skip CNF rewriting and semantic simplification;
+* group sizes live in a TTL'd :class:`~repro.core.plan_cache.GroupSizeCache`
+  fed by probe replies and by the cost piggybacked on every sub-query
+  answer, so warm composite queries skip the ``2 * np`` probe round-trip;
+* probes for the same group are deduplicated across concurrent queries;
+* identical concurrent queries share one sub-query per cover group, with
+  the answer fanned back out to every subscriber (batched dispatch).
+
 It attaches to the simulated network as an ordinary process (a client
 machine outside the overlay).
 """
 
 from __future__ import annotations
 
+import copy
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
@@ -22,6 +36,7 @@ from typing import Any, Callable, Optional, Union
 from repro.core import messages as mt
 from repro.core.moara_node import group_attribute
 from repro.core.parser import parse_query
+from repro.core.plan_cache import GroupSizeCache, PlanCache
 from repro.core.planner import (
     QueryPlan,
     SemanticContext,
@@ -32,8 +47,9 @@ from repro.core.predicates import Predicate, TruePredicate
 from repro.core.query import Query, QueryResult
 from repro.pastry.overlay import Overlay
 from repro.sim.network import Message, Network
+from repro.sim.stats import QueryRecord
 
-__all__ = ["Frontend", "ProbePolicy"]
+__all__ = ["Frontend", "FrontendConfig", "ProbePolicy"]
 
 ResultCallback = Callable[[QueryResult], None]
 
@@ -50,34 +66,98 @@ class ProbePolicy(Enum):
     NEVER = "never"
 
 
-@dataclass
-class _PendingProbe:
-    qid: str
-    plan: QueryPlan
-    query: Query
-    waiting: set[str]  # canonical predicate keys awaiting SIZE_RESPONSE
-    costs: dict[str, int] = field(default_factory=dict)
-    started_at: float = 0.0
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Query-plane tunables for the concurrent front-end.
+
+    The defaults enable all caching/batching layers; the all-disabled
+    configuration (:meth:`uncached`) reproduces the seed's
+    plan-and-probe-every-query behaviour for comparison benchmarks.
+    """
+
+    #: LRU size for memoized plans/covers; 0 disables plan caching.
+    plan_cache_size: int = 1024
+    #: Seconds a group-size estimate stays fresh; 0 disables the cache
+    #: (every composite query probes, as in the paper).
+    size_cache_ttl: float = 60.0
+    #: Identical concurrent queries share one sub-query per cover group.
+    share_subqueries: bool = True
+    #: Concurrent queries waiting on the same group share one size probe.
+    dedupe_probes: bool = True
+    #: Feed the size cache from the cost piggybacked on sub-query answers.
+    piggyback_sizes: bool = True
+
+    @classmethod
+    def uncached(cls) -> "FrontendConfig":
+        """The seed front-end: no caches, no batching, probe every time."""
+        return cls(
+            plan_cache_size=0,
+            size_cache_ttl=0.0,
+            share_subqueries=False,
+            dedupe_probes=False,
+            piggyback_sizes=False,
+        )
 
 
 @dataclass
 class _PendingQuery:
+    """One submitted query, from planning to completion."""
+
     qid: str
     query: Query
     plan: QueryPlan
-    waiting: set[str]  # canonical keys of cover groups awaiting answers
+    started_at: float
+    callback: Optional[ResultCallback]
+    plan_cached: bool = False
+    #: canonical group key -> cost estimate known so far (cache or probe)
+    costs: dict[str, float] = field(default_factory=dict)
+    #: canonical group keys still awaiting a probe answer
+    needed: set[str] = field(default_factory=set)
+    cover: list[str] = field(default_factory=list)
+    probe_started: float = 0.0
+    probe_latency: float = 0.0
+    #: marginal messages charged to this query (its own probes; plus the
+    #: shared sub-query's traffic iff this query initiated it)
+    own_messages: int = 0
+    shared: bool = False
+
+
+@dataclass
+class _ProbeInFlight:
+    """One deduplicated size probe for one group."""
+
+    key: str  # canonical group predicate
+    tag: str  # message-accounting tag (the wire probe_id)
+    initiator: str  # qid charged for the probe traffic
+    waiters: list[str]  # qids awaiting this probe's answer
+    root: int = -1  # tree root the probe was sent to
+    #: engine event count at creation; joinable only within the same
+    #: synchronous burst (no events processed in between)
+    created_seq: int = 0
+
+
+@dataclass
+class _SharedSubQuery:
+    """One dispatched (query, cover) execution, shared by identical
+    concurrent queries; the answer fans back out to every subscriber."""
+
+    share_id: str
+    share_key: tuple
+    query: Query
     cover: list[str]
+    waiting: set[str]  # canonical keys of cover groups awaiting answers
+    subscribers: list[str]  # qids, initiator first
     partial: Any = None
     contributors: int = 0
-    started_at: float = 0.0
-    probe_latency: float = 0.0
-    probed_costs: dict[str, int] = field(default_factory=dict)
-    callback: Optional[ResultCallback] = None
-    messages_before: int = 0
+    #: canonical group key -> tree root its sub-query was sent to
+    targets: dict[str, int] = field(default_factory=dict)
+    #: engine event count at dispatch; joinable only within the same
+    #: synchronous burst (no events processed in between)
+    created_seq: int = 0
 
 
 class Frontend:
-    """Client-side query coordinator."""
+    """Client-side concurrent query coordinator."""
 
     def __init__(
         self,
@@ -86,15 +166,30 @@ class Frontend:
         node_id: int = -1,
         probe_policy: ProbePolicy = ProbePolicy.COMPOSITE,
         semantics: Optional[SemanticContext] = None,
+        config: Optional[FrontendConfig] = None,
     ) -> None:
         self.network = network
         self.overlay = overlay
         self.node_id = node_id
         self.probe_policy = probe_policy
         self.semantics = semantics or SemanticContext()
+        self.config = config or FrontendConfig()
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache(self.semantics, self.config.plan_cache_size)
+            if self.config.plan_cache_size > 0
+            else None
+        )
+        self.size_cache = GroupSizeCache(ttl=self.config.size_cache_ttl)
         self._qid_counter = itertools.count(1)
-        self._pending_probes: dict[str, _PendingProbe] = {}
+        self._share_counter = itertools.count(1)
         self._pending_queries: dict[str, _PendingQuery] = {}
+        #: probe tag -> in-flight probe
+        self._probes: dict[str, _ProbeInFlight] = {}
+        #: canonical group key -> tag of the joinable probe (dedup index)
+        self._probe_by_group: dict[str, str] = {}
+        #: (query canonical, cover) -> in-flight shared sub-query
+        self._shares: dict[tuple, _SharedSubQuery] = {}
+        self._share_by_id: dict[str, _SharedSubQuery] = {}
         self.results: dict[str, QueryResult] = {}
         network.attach(self)
 
@@ -109,14 +204,15 @@ class Frontend:
     ) -> str:
         """Parse/plan a query and start executing it; returns the query id.
 
-        The result lands in :attr:`results` (and the callback fires) once
-        all sub-queries answer; drive the simulation engine to completion.
+        Any number of queries may be in flight at once.  The result lands
+        in :attr:`results` (and the callback fires) once all sub-queries
+        answer; drive the simulation engine to completion.
         """
         if isinstance(query, str):
             query = parse_query(query)
         qid = f"fe{self.node_id}-{next(self._qid_counter)}"
         now = self.network.engine.now
-        plan = plan_predicate(query.predicate, self.semantics)
+        plan, plan_cached = self._plan(query.predicate)
 
         if plan.unsatisfiable:
             # Figure 7's "{}" cover: provably no node satisfies the query.
@@ -125,6 +221,12 @@ class Frontend:
                 value=query.function.finalize(None),
                 cover=[],
                 short_circuited=True,
+                plan_cached=plan_cached,
+            )
+            self.network.stats.record_query(
+                QueryRecord(
+                    qid=qid, latency=0.0, messages=0, completed_at=now
+                )
             )
             self._complete(qid, result, callback)
             return qid
@@ -133,34 +235,57 @@ class Frontend:
             qid=qid,
             query=query,
             plan=plan,
-            waiting=set(),
-            cover=[],
             started_at=now,
             callback=callback,
-            messages_before=self.network.stats.total_messages,
+            plan_cached=plan_cached,
         )
         self._pending_queries[qid] = pending
 
         if plan.global_group:
-            self._dispatch(pending, [TruePredicate()])
+            self._resolve_cover(pending, [TruePredicate()])
             return qid
 
-        if self._should_probe(plan):
-            groups = sorted(plan.all_groups(), key=lambda p: p.canonical())
-            probe = _PendingProbe(
-                qid=qid,
-                plan=plan,
-                query=query,
-                waiting={p.canonical() for p in groups},
-                started_at=now,
-            )
-            self._pending_probes[qid] = probe
-            for group in groups:
-                self._send_probe(qid, group)
-        else:
-            cover = choose_cover(plan, {})
-            self._dispatch(pending, sorted(cover, key=lambda p: p.canonical()))
+        # Seed known costs from the group-size cache, then probe only the
+        # groups the cache cannot answer for.
+        groups = sorted(plan.all_groups(), key=lambda p: p.canonical())
+        missing: list[Predicate] = []
+        for group in groups:
+            cached = self.size_cache.get(group.canonical(), now)
+            if cached is None:
+                missing.append(group)
+            else:
+                pending.costs[group.canonical()] = cached
+
+        if not (self._should_probe(plan) and missing):
+            self._finish_planning(pending)
+            return qid
+
+        pending.probe_started = now
+        pending.needed = {g.canonical() for g in missing}
+        for group in missing:
+            self._join_probe(pending.qid, group)
         return qid
+
+    def submit_many(
+        self, queries: list[Union[str, Query]]
+    ) -> list[str]:
+        """Submit a batch of queries in one tick; returns their ids.
+
+        Identical queries in the batch share sub-queries and probes.
+        """
+        return [self.submit(query) for query in queries]
+
+    def _plan(self, predicate: Predicate) -> tuple[QueryPlan, bool]:
+        if self.plan_cache is not None:
+            return self.plan_cache.plan(predicate)
+        return plan_predicate(predicate, self.semantics), False
+
+    def _choose_cover(
+        self, plan: QueryPlan, costs: dict[str, float]
+    ):
+        if self.plan_cache is not None:
+            return self.plan_cache.cover(plan, costs)
+        return choose_cover(plan, costs)
 
     def _should_probe(self, plan: QueryPlan) -> bool:
         if self.probe_policy is ProbePolicy.NEVER:
@@ -170,60 +295,135 @@ class Frontend:
         # COMPOSITE: anything touching more than one group gets probed.
         return len(plan.all_groups()) > 1 or plan.needs_probes()
 
+    @property
+    def inflight(self) -> int:
+        """Number of submitted queries that have not completed."""
+        return len(self._pending_queries)
+
     # ------------------------------------------------------------------
-    # probes
+    # probes (deduplicated across concurrent queries)
     # ------------------------------------------------------------------
 
-    def _send_probe(self, qid: str, group: Predicate) -> None:
+    def _join_probe(self, qid: str, group: Predicate) -> None:
+        key = group.canonical()
+        seq = self.network.engine.events_processed
+        if self.config.dedupe_probes:
+            tag = self._probe_by_group.get(key)
+            if tag is not None:
+                probe = self._probes[tag]
+                # Join only a probe issued in this same synchronous burst
+                # (no engine events processed since).  An older entry may
+                # be slow or lost (crashed root); joining it would let one
+                # dropped SIZE_RESPONSE poison this group key forever.
+                # The older probe stays in `_probes` so a merely-slow
+                # answer still resolves its own waiters.
+                if probe.created_seq == seq:
+                    probe.waiters.append(qid)
+                    return
+        tag = f"pr{self.node_id}-{next(self._share_counter)}"
         root = self.overlay.root(
             self.overlay.space.hash_name(group_attribute(group))
         )
+        self._probes[tag] = _ProbeInFlight(
+            key=key,
+            tag=tag,
+            initiator=qid,
+            waiters=[qid],
+            root=root,
+            created_seq=seq,
+        )
+        if self.config.dedupe_probes:
+            self._probe_by_group[key] = tag
         self.network.send(
             self.node_id,
             root,
             mt.SIZE_PROBE,
-            {"probe_id": qid, "predicate": group},
+            {"probe_id": tag, "predicate": group},
         )
 
     def _handle_size_response(self, message: Message) -> None:
         payload = message.payload
-        probe = self._pending_probes.get(payload["probe_id"])
-        if probe is None:
-            return
         key = payload["pred_key"]
-        if key not in probe.waiting:
-            return
-        probe.waiting.discard(key)
-        probe.costs[key] = payload["cost"]
-        if probe.waiting:
-            return
-        # All probes answered: choose the cheapest cover and fire.
-        del self._pending_probes[probe.qid]
-        pending = self._pending_queries[probe.qid]
-        pending.probe_latency = self.network.engine.now - probe.started_at
-        pending.probed_costs = dict(probe.costs)
-        cover = choose_cover(probe.plan, probe.costs)
-        self._dispatch(pending, sorted(cover, key=lambda p: p.canonical()))
+        cost = payload["cost"]
+        now = self.network.engine.now
+        self.size_cache.put(key, cost, now)
+        probe = self._probes.pop(payload["probe_id"], None)
+        if probe is None:
+            return  # unsolicited/duplicate answer: cache it and move on
+        if self._probe_by_group.get(probe.key) == probe.tag:
+            del self._probe_by_group[probe.key]
+        probe_messages = self.network.stats.pop_tag(probe.tag)
+        for qid in probe.waiters:
+            pending = self._pending_queries.get(qid)
+            if pending is None:
+                continue
+            pending.costs[key] = cost
+            pending.needed.discard(key)
+            if qid == probe.initiator:
+                pending.own_messages += probe_messages
+            if not pending.needed:
+                pending.probe_latency = now - pending.probe_started
+                self._finish_planning(pending)
 
     # ------------------------------------------------------------------
-    # sub-query dispatch and merging
+    # cover choice and shared sub-query dispatch
     # ------------------------------------------------------------------
 
-    def _dispatch(
+    def _finish_planning(self, pending: _PendingQuery) -> None:
+        cover = self._choose_cover(pending.plan, pending.costs)
+        self._resolve_cover(
+            pending, sorted(cover, key=lambda p: p.canonical())
+        )
+
+    def _resolve_cover(
         self, pending: _PendingQuery, cover_groups: list[Predicate]
     ) -> None:
         pending.cover = [g.canonical() for g in cover_groups]
-        pending.waiting = set(pending.cover)
+        # Share identity: attribute + full function signature (not the
+        # display name, which can omit parameters) + predicate + cover.
+        share_key = (
+            pending.query.attr,
+            pending.query.function.signature(),
+            pending.query.predicate.canonical(),
+            tuple(pending.cover),
+        )
+        seq = self.network.engine.events_processed
+        if self.config.share_subqueries:
+            share = self._shares.get(share_key)
+            # Share only with an identical query dispatched in this same
+            # synchronous burst (no engine events processed since).  An
+            # older share may be stuck on a lost response; a new dispatch
+            # below simply replaces it in the share index (the old one
+            # still completes for its own subscribers if its answer is
+            # merely slow).
+            if share is not None and share.created_seq == seq:
+                share.subscribers.append(pending.qid)
+                pending.shared = True
+                return
+        share_id = f"sh{self.node_id}-{next(self._share_counter)}"
+        share = _SharedSubQuery(
+            share_id=share_id,
+            share_key=share_key,
+            query=pending.query,
+            cover=list(pending.cover),
+            waiting=set(pending.cover),
+            subscribers=[pending.qid],
+            created_seq=seq,
+        )
+        if self.config.share_subqueries:
+            self._shares[share_key] = share
+        self._share_by_id[share_id] = share
         for group in cover_groups:
             root = self.overlay.root(
                 self.overlay.space.hash_name(group_attribute(group))
             )
+            share.targets[group.canonical()] = root
             self.network.send(
                 self.node_id,
                 root,
                 mt.FRONTEND_QUERY,
                 {
-                    "qid": pending.qid,
+                    "qid": share_id,
                     "query": pending.query,
                     "predicate": group,
                 },
@@ -231,33 +431,63 @@ class Frontend:
 
     def _handle_frontend_response(self, message: Message) -> None:
         payload = message.payload
-        pending = self._pending_queries.get(payload["qid"])
-        if pending is None:
-            return
-        key = payload["pred_key"]
-        if key not in pending.waiting:
-            return
-        pending.waiting.discard(key)
-        pending.partial = pending.query.function.merge(
-            pending.partial, payload["partial"]
-        )
-        pending.contributors += payload["contributors"]
-        if pending.waiting:
-            return
-        del self._pending_queries[pending.qid]
         now = self.network.engine.now
-        result = QueryResult(
-            query=pending.query,
-            value=pending.query.function.finalize(pending.partial),
-            cover=pending.cover,
-            contributors=pending.contributors,
-            latency=now - pending.started_at,
-            message_cost=self.network.stats.total_messages
-            - pending.messages_before,
-            probed_costs=pending.probed_costs,
-            probe_latency=pending.probe_latency,
+        key = payload["pred_key"]
+        if self.config.piggyback_sizes and "cost" in payload:
+            # Every answered sub-query refreshes the group-size cache.
+            self.size_cache.put(key, payload["cost"], now)
+        share = self._share_by_id.get(payload["qid"])
+        if share is None or key not in share.waiting:
+            return
+        share.waiting.discard(key)
+        share.partial = share.query.function.merge(
+            share.partial, payload["partial"]
         )
-        self._complete(pending.qid, result, pending.callback)
+        share.contributors += payload["contributors"]
+        if share.waiting:
+            return
+        self._fan_out(share)
+
+    def _fan_out(self, share: _SharedSubQuery) -> None:
+        """Deliver a completed shared sub-query to every subscriber."""
+        del self._share_by_id[share.share_id]
+        if self._shares.get(share.share_key) is share:
+            del self._shares[share.share_key]
+        now = self.network.engine.now
+        shared_messages = self.network.stats.pop_tag(share.share_id)
+        value = share.query.function.finalize(share.partial)
+        for index, qid in enumerate(share.subscribers):
+            pending = self._pending_queries.pop(qid, None)
+            if pending is None:
+                continue
+            messages = pending.own_messages
+            if not pending.shared:
+                messages += shared_messages  # the initiator pays
+            result = QueryResult(
+                query=pending.query,
+                # Mutable answers (top-k lists, histogram dicts) must not
+                # alias across subscribers: each result owns its value.
+                value=value if index == 0 else copy.deepcopy(value),
+                cover=list(share.cover),
+                contributors=share.contributors,
+                latency=now - pending.started_at,
+                message_cost=messages,
+                probed_costs=dict(pending.costs),
+                probe_latency=pending.probe_latency,
+                shared=pending.shared,
+                plan_cached=pending.plan_cached,
+            )
+            self.network.stats.record_query(
+                QueryRecord(
+                    qid=qid,
+                    latency=result.latency,
+                    messages=messages,
+                    probe_latency=pending.probe_latency,
+                    shared=pending.shared,
+                    completed_at=now,
+                )
+            )
+            self._complete(qid, result, pending.callback)
 
     def _complete(
         self,
@@ -287,5 +517,55 @@ class Frontend:
             )
 
     def is_idle(self) -> bool:
-        """True when no queries or probes are outstanding."""
-        return not self._pending_probes and not self._pending_queries
+        """True when no queries, probes, or shared sub-queries are
+        outstanding."""
+        return (
+            not self._pending_queries
+            and not self._probes
+            and not self._share_by_id
+        )
+
+    # ------------------------------------------------------------------
+    # reconfiguration (Section 7)
+    # ------------------------------------------------------------------
+
+    def on_membership_change(self, joined: set[int], left: set[int]) -> None:
+        """Resolve in-flight work stuck on departed tree roots.
+
+        Mirrors the node-side convention ("proceed assuming a NULL
+        response"): a probe or sub-query whose root left the overlay is
+        treated as answered empty, so waiting queries terminate with the
+        survivors' data instead of hanging and leaking front-end state.
+        """
+        if not left:
+            return
+        now = self.network.engine.now
+        for probe in [
+            p for p in self._probes.values() if p.root in left
+        ]:
+            del self._probes[probe.tag]
+            if self._probe_by_group.get(probe.key) == probe.tag:
+                del self._probe_by_group[probe.key]
+            probe_messages = self.network.stats.pop_tag(probe.tag)
+            for qid in probe.waiters:
+                pending = self._pending_queries.get(qid)
+                if pending is None:
+                    continue
+                # No cost learned: choose_cover falls back to the default.
+                pending.needed.discard(probe.key)
+                if qid == probe.initiator:
+                    pending.own_messages += probe_messages
+                if not pending.needed:
+                    pending.probe_latency = now - pending.probe_started
+                    self._finish_planning(pending)
+        for share in list(self._share_by_id.values()):
+            gone = {
+                key
+                for key in share.waiting
+                if share.targets.get(key) in left
+            }
+            if not gone:
+                continue
+            share.waiting -= gone
+            if not share.waiting:
+                self._fan_out(share)

@@ -457,20 +457,26 @@ class MoaraNode:
         partial: Any,
         contributors: int,
     ) -> None:
+        is_root = self._is_root(state)
+        subtree_recv = state.subtree_recv(
+            self._dht_children(state), is_root=is_root
+        )
+        payload = {
+            "qid": qid,
+            "pred_key": state.predicate.canonical(),
+            "partial": partial,
+            "contributors": contributors,
+            "subtree_recv": subtree_recv,
+            "last_seen_seq": state.last_seen_seq,
+        }
+        if is_root:
+            # Piggyback the same 2*np query-cost estimate a SIZE_PROBE
+            # would return, so the front-end's group-size cache is fed by
+            # every answered sub-query and repeat queries skip the probe
+            # round-trip entirely (Section 6.3's cost, amortized away).
+            payload["cost"] = 2 * subtree_recv
         self.network.send(
-            self.node_id,
-            reply_to,
-            reply_mtype,
-            {
-                "qid": qid,
-                "pred_key": state.predicate.canonical(),
-                "partial": partial,
-                "contributors": contributors,
-                "subtree_recv": state.subtree_recv(
-                    self._dht_children(state), is_root=self._is_root(state)
-                ),
-                "last_seen_seq": state.last_seen_seq,
-            },
+            self.node_id, reply_to, reply_mtype, payload
         )
 
     def _prune_caches(self, now: float) -> None:

@@ -1,0 +1,201 @@
+"""Query-plane caches: memoized planning and TTL'd group-size estimates.
+
+At the ROADMAP's "millions of users" scale the front-end is the first
+bottleneck: the seed implementation re-ran ``plan_predicate`` /
+``choose_cover`` for every submission and re-probed tree roots for group
+sizes on every composite query (the paper's ``2 * np`` probe cost,
+Section 6.3).  Both inputs are highly repetitive in real monitoring
+workloads -- dashboards and periodic monitors re-issue the same handful of
+query shapes forever -- so this module gives the front-end two caches:
+
+* :class:`PlanCache` memoizes the planner.  Keys are the *normalized*
+  predicate (its canonical form, so syntactic variants of one predicate
+  share an entry) plus the :class:`~repro.core.planner.SemanticContext`
+  version, which the context bumps on every :meth:`declare`; a semantics
+  change therefore invalidates stale plans without any explicit flush.
+* :class:`GroupSizeCache` holds per-group query-cost estimates
+  (``2 * np``) with a TTL.  It is fed by size-probe replies *and* by the
+  cost piggybacked on every sub-query answer from a tree root, so a warm
+  front-end can usually choose a cover without sending a single probe.
+
+Both caches are deliberately synchronous and in-process: the front-end is
+a single simulated client machine and the discrete-event engine already
+serializes access.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.planner import (
+    Clause,
+    QueryPlan,
+    SemanticContext,
+    choose_cover,
+    plan_predicate,
+)
+from repro.core.predicates import Predicate
+
+__all__ = ["CacheStats", "GroupSizeCache", "PlanCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/expiry counters shared by both cache kinds."""
+
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+        self.evictions = 0
+
+
+class PlanCache:
+    """LRU memoization of ``plan_predicate`` and ``choose_cover``.
+
+    A planner entry is keyed on ``(predicate.canonical(), semantics
+    version)``; entries planned under an older semantics version simply
+    stop being reachable and age out of the LRU.  Cover choices are
+    memoized separately because they also depend on the probed costs.
+    """
+
+    def __init__(
+        self, semantics: SemanticContext, maxsize: int = 1024
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(
+                "maxsize must be >= 1; disable plan caching with "
+                "FrontendConfig(plan_cache_size=0) instead"
+            )
+        self.semantics = semantics
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self.cover_stats = CacheStats()
+        self._plans: OrderedDict[tuple[str, int], QueryPlan] = OrderedDict()
+        self._covers: OrderedDict[tuple, Clause] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def plan(self, predicate: Predicate) -> tuple[QueryPlan, bool]:
+        """Plan a predicate; returns ``(plan, was_cache_hit)``."""
+        key = (predicate.canonical(), self.semantics.version)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            self.stats.hits += 1
+            return plan, True
+        self.stats.misses += 1
+        plan = plan_predicate(predicate, self.semantics)
+        self._plans[key] = plan
+        if len(self._plans) > self.maxsize:
+            self._plans.popitem(last=False)
+            self.stats.evictions += 1
+        return plan, False
+
+    def cover(self, plan: QueryPlan, costs: Mapping[str, float]) -> Clause:
+        """Memoized ``choose_cover``: same plan + same costs = same cover."""
+        key = (
+            plan.original.canonical(),
+            self.semantics.version,
+            tuple(sorted(costs.items())),
+        )
+        cover = self._covers.get(key)
+        if cover is not None:
+            self._covers.move_to_end(key)
+            self.cover_stats.hits += 1
+            return cover
+        self.cover_stats.misses += 1
+        cover = choose_cover(plan, costs)
+        self._covers[key] = cover
+        if len(self._covers) > self.maxsize:
+            self._covers.popitem(last=False)
+            self.cover_stats.evictions += 1
+        return cover
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self._covers.clear()
+
+
+class GroupSizeCache:
+    """TTL'd map of canonical group predicate -> query-cost estimate.
+
+    ``ttl <= 0`` disables the cache entirely (every ``get`` misses and
+    ``put`` is a no-op), which is how the front-end exposes the seed's
+    probe-every-query behaviour for comparison benchmarks.
+    """
+
+    def __init__(self, ttl: float = 60.0, maxsize: int = 4096) -> None:
+        self.ttl = ttl
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, tuple[float, float]] = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.ttl > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, key: str, cost: float, now: float) -> None:
+        """Record a fresh cost estimate for a group (probe or piggyback)."""
+        if not self.enabled:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (cost, now + self.ttl)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get(self, key: str, now: float) -> Optional[float]:
+        """Fresh cost estimate for a group, or None on miss/expiry."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        cost, expires_at = entry
+        if now > expires_at:
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return cost
+
+    def purge(self, now: float) -> int:
+        """Drop all expired entries; returns how many were removed."""
+        stale = [
+            key
+            for key, (_, expires_at) in self._entries.items()
+            if now > expires_at
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.stats.expirations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()

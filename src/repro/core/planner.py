@@ -52,9 +52,14 @@ class SemanticContext:
 
     Facts are keyed by the canonical forms of the two predicates; a fact
     overrides the operator-based inference.
+
+    ``version`` increments on every :meth:`declare`.  Plan caches key their
+    entries on it, so declaring a new fact invalidates memoized plans
+    without an explicit flush.
     """
 
     facts: dict[tuple[str, str], Relation] = field(default_factory=dict)
+    version: int = 0
 
     def declare(
         self, a: SimplePredicate, b: SimplePredicate, rel: Relation
@@ -62,6 +67,7 @@ class SemanticContext:
         """Record that ``a rel b`` holds (and the mirrored fact for b, a)."""
         self.facts[(a.canonical(), b.canonical())] = rel
         self.facts[(b.canonical(), a.canonical())] = _mirror(rel)
+        self.version += 1
 
     def relation(self, a: SimplePredicate, b: SimplePredicate) -> Relation:
         fact = self.facts.get((a.canonical(), b.canonical()))

@@ -7,7 +7,7 @@ Paper Section 3.1: "A query in Moara comprises of three parts:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from repro.core.aggregation import AggregateFunction
 from repro.core.predicates import Predicate, TruePredicate
@@ -54,11 +54,20 @@ class QueryResult:
     #: portion of the latency spent waiting for size probes (the paper's
     #: Figure 13(b) reports latency with and without this component)
     probe_latency: float = 0.0
-    #: total network messages attributable to this query (incl. probes)
+    #: *marginal* network messages this query added (its own probes plus,
+    #: for the query that initiated a sub-query, the full sub-query cost;
+    #: a query that joined an in-flight shared sub-query pays 0 for it, so
+    #: message costs sum correctly across a concurrent workload)
     message_cost: int = 0
-    #: estimated per-group query costs returned by size probes (canonical
-    #: predicate -> 2*np estimate); empty when no probes were sent
-    probed_costs: dict[str, int] = field(default_factory=dict)
+    #: True when this query was answered by a shared sub-query initiated by
+    #: an identical concurrent query (batched dispatch)
+    shared: bool = False
+    #: True when the composite plan was served from the front-end plan cache
+    plan_cached: bool = False
+    #: estimated per-group query costs the cover choice used (canonical
+    #: predicate -> 2*np estimate, from size probes or the front-end's
+    #: group-size cache); empty when no estimates were needed
+    probed_costs: dict[str, float] = field(default_factory=dict)
     #: True when the planner proved the predicate unsatisfiable and answered
     #: locally without touching the network
     short_circuited: bool = False

@@ -25,7 +25,7 @@ from repro.sim.latency import (
     ZeroLatencyModel,
 )
 from repro.sim.network import Message, Network, Process
-from repro.sim.stats import MessageStats, StatsSnapshot
+from repro.sim.stats import MessageStats, QueryRecord, StatsSnapshot
 
 __all__ = [
     "Engine",
@@ -36,6 +36,7 @@ __all__ = [
     "MessageStats",
     "Network",
     "Process",
+    "QueryRecord",
     "StatsSnapshot",
     "UniformLatencyModel",
     "WANLatencyModel",

@@ -160,7 +160,10 @@ class Network:
             payload=payload or {},
             sent_at=self.engine.now,
         )
-        self.stats.record_send(src, dst, mtype, message.size)
+        # Per-query attribution: any payload carrying a query or probe id is
+        # charged to that id's tag (see MessageStats.per_query).
+        tag = message.payload.get("qid") or message.payload.get("probe_id")
+        self.stats.record_send(src, dst, mtype, message.size, tag=tag)
         if src in self._crashed:
             # A crashed node cannot actually emit traffic.
             self.stats.record_drop()

@@ -5,15 +5,42 @@ count: "average number of messages per node", "query cost", "update cost".
 :class:`MessageStats` mirrors that accounting.  Counters can be snapshotted
 and diffed so one simulation can serve several measurement windows (e.g.,
 the warm-up join phase is excluded exactly as in the paper's Emulab runs).
+
+Per-query accounting: with many queries in flight at once, "total messages
+between submit and answer" no longer attributes cost to the right query.
+The network therefore tags every message that carries a query/probe id
+(``tag``), and :class:`MessageStats` keeps a per-tag counter that the
+front-end drains into exact per-query message costs; completed queries are
+appended to a :class:`QueryRecord` ledger for throughput/latency analysis.
 """
 
 from __future__ import annotations
 
-from collections import Counter
+import math
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["MessageStats", "StatsSnapshot"]
+#: how many recently closed query tags are remembered so that straggler
+#: messages (late child responses after a timeout) cannot re-create a
+#: drained per-query counter entry
+_CLOSED_TAG_MEMORY = 4096
+
+__all__ = ["MessageStats", "QueryRecord", "StatsSnapshot"]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One completed query, as recorded by a front-end."""
+
+    qid: str
+    latency: float
+    messages: int
+    probe_latency: float = 0.0
+    #: True when the query rode an already-in-flight shared sub-query
+    #: (its marginal message cost is 0 for the shared portion).
+    shared: bool = False
+    completed_at: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -41,18 +68,98 @@ class MessageStats:
     sent_by_node: Counter = field(default_factory=Counter)
     received_by_node: Counter = field(default_factory=Counter)
     dropped_messages: int = 0
+    #: messages attributed to an in-flight query/probe tag; drained by the
+    #: front-end via :meth:`pop_tag` when the query (or probe) completes.
+    per_query: Counter = field(default_factory=Counter)
+    #: completed-query ledger, appended to by front-ends.
+    query_log: list[QueryRecord] = field(default_factory=list)
+    #: ledger bound: when full, the oldest half is dropped (and counted in
+    #: :attr:`query_log_dropped`) so endless monitoring runs stay bounded.
+    max_query_log: int = 100_000
+    query_log_dropped: int = 0
+    #: recently drained tags (LRU set): tagged stragglers arriving after
+    #: :meth:`pop_tag` are counted in the aggregates but not re-attributed.
+    _closed_tags: OrderedDict = field(default_factory=OrderedDict)
 
-    def record_send(self, src: int, dst: int, mtype: str, size: int) -> None:
-        """Count one message leaving ``src`` for ``dst``."""
+    def record_send(
+        self,
+        src: int,
+        dst: int,
+        mtype: str,
+        size: int,
+        tag: Optional[str] = None,
+    ) -> None:
+        """Count one message leaving ``src`` for ``dst``.
+
+        ``tag`` attributes the message to one logical query or probe (the
+        payload's query id); untagged control traffic (status updates,
+        state sync) is counted only in the aggregate counters.
+        """
         self.total_messages += 1
         self.total_bytes += size
         self.by_type[mtype] += 1
         self.sent_by_node[src] += 1
         self.received_by_node[dst] += 1
+        if tag is not None and tag not in self._closed_tags:
+            self.per_query[tag] += 1
 
     def record_drop(self) -> None:
         """Count a message that was lost (e.g., destination crashed)."""
         self.dropped_messages += 1
+
+    # ------------------------------------------------------------------
+    # per-query accounting
+    # ------------------------------------------------------------------
+
+    def tagged(self, tag: str) -> int:
+        """Messages attributed to ``tag`` so far."""
+        return self.per_query.get(tag, 0)
+
+    def pop_tag(self, tag: str) -> int:
+        """Drain and return the message count attributed to ``tag``.
+
+        The tag is tombstoned: stragglers sent after the drain no longer
+        accumulate under it (bounding :attr:`per_query` for long runs).
+        """
+        self._closed_tags[tag] = None
+        if len(self._closed_tags) > _CLOSED_TAG_MEMORY:
+            self._closed_tags.popitem(last=False)
+        return self.per_query.pop(tag, 0)
+
+    def record_query(self, record: QueryRecord) -> None:
+        """Append one completed query to the ledger (bounded)."""
+        if len(self.query_log) >= self.max_query_log:
+            drop = self.max_query_log // 2
+            del self.query_log[:drop]
+            self.query_log_dropped += drop
+        self.query_log.append(record)
+
+    @property
+    def queries_completed(self) -> int:
+        """Total completed queries, including any trimmed off the ledger."""
+        return len(self.query_log) + self.query_log_dropped
+
+    def avg_messages_per_query(self) -> float:
+        """Mean per-query marginal message cost over the ledger."""
+        if not self.query_log:
+            return 0.0
+        return sum(r.messages for r in self.query_log) / len(self.query_log)
+
+    def avg_query_latency(self) -> float:
+        """Mean completion latency over the ledger."""
+        if not self.query_log:
+            return 0.0
+        return sum(r.latency for r in self.query_log) / len(self.query_log)
+
+    def query_latency_percentile(self, fraction: float) -> float:
+        """Latency at the given fraction (0 < fraction <= 1) of the ledger."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if not self.query_log:
+            return 0.0
+        ordered = sorted(r.latency for r in self.query_log)
+        index = max(0, math.ceil(fraction * len(ordered)) - 1)
+        return ordered[index]
 
     def snapshot(self) -> StatsSnapshot:
         """Freeze the current counters."""
@@ -72,6 +179,10 @@ class MessageStats:
         self.sent_by_node.clear()
         self.received_by_node.clear()
         self.dropped_messages = 0
+        self.per_query.clear()
+        self.query_log.clear()
+        self.query_log_dropped = 0
+        self._closed_tags.clear()
 
     def messages_per_node(self, num_nodes: int) -> float:
         """The paper's headline bandwidth metric (Figs. 9 and 10)."""

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import MoaraCluster
 from repro.core import messages as mt
-from repro.core.frontend import ProbePolicy
+from repro.core.frontend import FrontendConfig, ProbePolicy
 from repro.core.planner import SemanticContext
 from repro.core.relations import Relation
 from repro.core.parser import parse_predicate
@@ -88,13 +88,33 @@ def test_numeric_range_composite(cluster: MoaraCluster) -> None:
     assert len(result.cover) == 1
 
 
-def test_probe_traffic_accounted(cluster: MoaraCluster) -> None:
-    cluster.query("SELECT COUNT(*) WHERE big = true")
-    before = cluster.stats.snapshot()
-    cluster.query("SELECT COUNT(*) WHERE big = true AND small = true")
-    delta = cluster.stats.delta_since(before)
+def test_probe_traffic_accounted() -> None:
+    """With caching disabled, every composite query pays 2 probes (paper)."""
+    c = MoaraCluster(96, seed=40, frontend_config=FrontendConfig.uncached())
+    ids = c.node_ids
+    c.set_group("big", ids[:40])
+    c.set_group("small", ids[30:38])
+    c.query("SELECT COUNT(*) WHERE big = true")
+    before = c.stats.snapshot()
+    c.query("SELECT COUNT(*) WHERE big = true AND small = true")
+    delta = c.stats.delta_since(before)
     assert delta.messages_of(mt.SIZE_PROBE) == 2
     assert delta.messages_of(mt.SIZE_RESPONSE) == 2
+
+
+def test_size_cache_skips_probes_on_repeat(cluster: MoaraCluster) -> None:
+    """Warm single-group queries feed the size cache via piggybacked costs,
+    so a later composite query needs no probe round-trip at all."""
+    cluster.query("SELECT COUNT(*) WHERE big = true")
+    cluster.query("SELECT COUNT(*) WHERE small = true")
+    before = cluster.stats.snapshot()
+    result = cluster.query("SELECT COUNT(*) WHERE big = true AND small = true")
+    delta = cluster.stats.delta_since(before)
+    assert delta.messages_of(mt.SIZE_PROBE) == 0
+    assert result.value == 8
+    assert result.probe_latency == 0.0
+    # The cover choice still used real (cached) cost estimates.
+    assert result.probed_costs["(small = true)"] < result.probed_costs["(big = true)"]
 
 
 def test_probe_policy_never(cluster_factory=None) -> None:
@@ -107,7 +127,12 @@ def test_probe_policy_never(cluster_factory=None) -> None:
 
 
 def test_probe_policy_multi_cover_skips_pure_unions() -> None:
-    c = MoaraCluster(48, seed=42, probe_policy=ProbePolicy.MULTI_COVER)
+    c = MoaraCluster(
+        48,
+        seed=42,
+        probe_policy=ProbePolicy.MULTI_COVER,
+        frontend_config=FrontendConfig.uncached(),
+    )
     c.set_group("x", c.node_ids[:5])
     c.set_group("y", c.node_ids[10:20])
     c.query("SELECT COUNT(*) WHERE x = true OR y = true")

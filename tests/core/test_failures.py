@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import MoaraCluster
 from repro.core.moara_node import MoaraConfig

@@ -1,0 +1,218 @@
+"""Plan-cache and group-size-cache behaviour: hit/miss, TTL, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MoaraCluster
+from repro.core import messages as mt
+from repro.core.frontend import FrontendConfig
+from repro.core.parser import parse_predicate
+from repro.core.plan_cache import GroupSizeCache, PlanCache
+from repro.core.planner import SemanticContext, choose_cover, plan_predicate
+from repro.core.relations import Relation
+
+
+# ----------------------------------------------------------------------
+# PlanCache unit behaviour
+# ----------------------------------------------------------------------
+
+
+def test_plan_cache_hit_and_miss() -> None:
+    cache = PlanCache(SemanticContext(), maxsize=8)
+    pred = parse_predicate("a = true AND b = true")
+    plan1, hit1 = cache.plan(pred)
+    plan2, hit2 = cache.plan(pred)
+    assert (hit1, hit2) == (False, True)
+    assert plan1 is plan2
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    other = parse_predicate("a = true OR b = true")
+    _, hit3 = cache.plan(other)
+    assert not hit3
+    assert cache.stats.misses == 2
+
+
+def test_plan_cache_normalizes_syntactic_variants() -> None:
+    """Commuted forms share one canonical key, hence one cache entry."""
+    cache = PlanCache(SemanticContext(), maxsize=8)
+    cache.plan(parse_predicate("a = true AND b = true"))
+    _, hit = cache.plan(parse_predicate("b = true AND a = true"))
+    assert hit
+
+
+def test_plan_cache_matches_uncached_planner() -> None:
+    semantics = SemanticContext()
+    cache = PlanCache(semantics, maxsize=8)
+    for text in [
+        "a = true AND b = true",
+        "a = true OR b = true",
+        "(a = true OR b = true) AND c = true",
+        "x < 10 AND x >= 10",
+    ]:
+        pred = parse_predicate(text)
+        cached, _ = cache.plan(pred)
+        fresh = plan_predicate(pred, semantics)
+        assert cached.clauses == fresh.clauses
+        assert cached.unsatisfiable == fresh.unsatisfiable
+        assert cached.global_group == fresh.global_group
+
+
+def test_plan_cache_lru_eviction() -> None:
+    cache = PlanCache(SemanticContext(), maxsize=2)
+    preds = [parse_predicate(f"g{i} = true AND h{i} = true") for i in range(3)]
+    for pred in preds:
+        cache.plan(pred)
+    assert cache.stats.evictions == 1
+    assert len(cache) == 2
+    # The oldest entry was evicted; re-planning it misses.
+    _, hit = cache.plan(preds[0])
+    assert not hit
+
+
+def test_semantics_declare_invalidates_cached_plans() -> None:
+    semantics = SemanticContext()
+    cache = PlanCache(semantics, maxsize=8)
+    pred = parse_predicate("small = true AND other = true")
+    plan_before, _ = cache.plan(pred)
+    assert not plan_before.unsatisfiable
+
+    semantics.declare(
+        parse_predicate("small = true"),
+        parse_predicate("other = true"),
+        Relation.DISJOINT,
+    )
+    plan_after, hit = cache.plan(pred)
+    assert not hit  # version bump made the old entry unreachable
+    assert plan_after.unsatisfiable
+
+
+def test_cover_memoization_matches_choose_cover() -> None:
+    cache = PlanCache(SemanticContext(), maxsize=8)
+    plan, _ = cache.plan(parse_predicate("a = true AND b = true"))
+    costs = {"(a = true)": 10.0, "(b = true)": 4.0}
+    first = cache.cover(plan, costs)
+    second = cache.cover(plan, costs)
+    assert first == second == choose_cover(plan, costs)
+    assert cache.cover_stats.hits == 1
+
+
+# ----------------------------------------------------------------------
+# GroupSizeCache unit behaviour
+# ----------------------------------------------------------------------
+
+
+def test_size_cache_put_get_within_ttl() -> None:
+    cache = GroupSizeCache(ttl=10.0)
+    cache.put("(g = true)", 42.0, now=0.0)
+    assert cache.get("(g = true)", now=5.0) == 42.0
+    assert cache.stats.hits == 1
+
+
+def test_size_cache_ttl_expiry() -> None:
+    cache = GroupSizeCache(ttl=10.0)
+    cache.put("(g = true)", 42.0, now=0.0)
+    assert cache.get("(g = true)", now=10.5) is None
+    assert cache.stats.expirations == 1
+    assert cache.stats.misses == 1
+    assert len(cache) == 0
+
+
+def test_size_cache_refresh_extends_ttl() -> None:
+    cache = GroupSizeCache(ttl=10.0)
+    cache.put("(g = true)", 40.0, now=0.0)
+    cache.put("(g = true)", 44.0, now=8.0)  # refreshed estimate
+    assert cache.get("(g = true)", now=15.0) == 44.0
+
+
+def test_size_cache_disabled_when_ttl_zero() -> None:
+    cache = GroupSizeCache(ttl=0.0)
+    cache.put("(g = true)", 42.0, now=0.0)
+    assert not cache.enabled
+    assert cache.get("(g = true)", now=0.0) is None
+    assert len(cache) == 0
+
+
+def test_size_cache_purge_counts_expired() -> None:
+    cache = GroupSizeCache(ttl=5.0)
+    cache.put("a", 1.0, now=0.0)
+    cache.put("b", 2.0, now=3.0)
+    assert cache.purge(now=6.0) == 1
+    assert cache.get("b", now=6.0) == 2.0
+
+
+# ----------------------------------------------------------------------
+# Frontend-level integration
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def cluster() -> MoaraCluster:
+    c = MoaraCluster(
+        64,
+        seed=90,
+        frontend_config=FrontendConfig(size_cache_ttl=30.0),
+    )
+    c.set_group("g1", c.node_ids[:10])
+    c.set_group("g2", c.node_ids[5:25])
+    return c
+
+
+QUERY = "SELECT COUNT(*) WHERE g1 = true AND g2 = true"
+
+
+def test_repeat_composite_query_probes_once(cluster: MoaraCluster) -> None:
+    cluster.query(QUERY)
+    assert cluster.stats.by_type[mt.SIZE_PROBE] == 2
+    for _ in range(5):
+        result = cluster.query(QUERY)
+        assert result.value == 5
+    # All five repeats were answered from the size cache: still 2 probes.
+    assert cluster.stats.by_type[mt.SIZE_PROBE] == 2
+    assert cluster.frontend.size_cache.stats.hits >= 10
+
+
+def test_probe_cost_returns_after_ttl_expiry(cluster: MoaraCluster) -> None:
+    cluster.query(QUERY)
+    probes_before = cluster.stats.by_type[mt.SIZE_PROBE]
+    # Idle past the 30 s TTL; the next composite query must re-probe.
+    cluster.run(31.0)
+    cluster.query(QUERY)
+    assert cluster.stats.by_type[mt.SIZE_PROBE] == probes_before + 2
+    assert cluster.frontend.size_cache.stats.expirations >= 2
+
+
+def test_plan_cache_used_across_submissions(cluster: MoaraCluster) -> None:
+    first = cluster.query(QUERY)
+    second = cluster.query(QUERY)
+    assert not first.plan_cached
+    assert second.plan_cached
+    assert cluster.frontend.plan_cache is not None
+    assert cluster.frontend.plan_cache.stats.hits >= 1
+
+
+def test_uncached_config_disables_everything() -> None:
+    c = MoaraCluster(32, seed=91, frontend_config=FrontendConfig.uncached())
+    c.set_group("g1", c.node_ids[:6])
+    c.set_group("g2", c.node_ids[3:12])
+    for _ in range(3):
+        c.query("SELECT COUNT(*) WHERE g1 = true AND g2 = true")
+    # Every composite submission paid the full 2-probe round trip.
+    assert c.stats.by_type[mt.SIZE_PROBE] == 6
+    assert c.frontend.plan_cache is None
+
+
+def test_cached_and_uncached_agree_on_values() -> None:
+    shapes = [
+        "SELECT COUNT(*) WHERE g1 = true AND g2 = true",
+        "SELECT COUNT(*) WHERE g1 = true OR g2 = true",
+        "SELECT COUNT(*)",
+    ]
+    results: dict[bool, list[int]] = {}
+    for cached in (True, False):
+        config = FrontendConfig() if cached else FrontendConfig.uncached()
+        c = MoaraCluster(48, seed=92, frontend_config=config)
+        c.set_group("g1", c.node_ids[:8])
+        c.set_group("g2", c.node_ids[4:20])
+        results[cached] = [c.query(q).value for q in shapes for _ in range(2)]
+    assert results[True] == results[False]

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.core import MoaraCluster
 from repro.core.adapt import AdaptationConfig, MaintenancePolicy

@@ -6,8 +6,8 @@ import random
 
 import pytest
 
-from repro.core import MoaraCluster, QueryTimeoutError
-from repro.core.moara_node import MoaraConfig, group_attribute
+from repro.core import MoaraCluster
+from repro.core.moara_node import group_attribute
 from repro.core.predicates import And, Comparison, SimplePredicate, TruePredicate
 from repro.pastry.idspace import IdSpace
 

@@ -1,0 +1,245 @@
+"""Shared sub-query fan-out: identical concurrent queries batch into one
+sub-query per cover group, and every subscriber gets the correct answer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MoaraCluster
+from repro.core import messages as mt
+from repro.core.frontend import FrontendConfig
+
+
+@pytest.fixture
+def cluster() -> MoaraCluster:
+    c = MoaraCluster(64, seed=80)
+    c.set_group("g", c.node_ids[:12])
+    c.set_group("h", c.node_ids[8:20])
+    for rank, node_id in enumerate(c.node_ids):
+        c.set_attribute(node_id, "load", float(rank))
+    return c
+
+
+def test_identical_concurrent_queries_share_one_subquery(
+    cluster: MoaraCluster,
+) -> None:
+    before = cluster.stats.snapshot()
+    results = cluster.query_concurrent(
+        ["SELECT COUNT(*) WHERE g = true"] * 5
+    )
+    delta = cluster.stats.delta_since(before)
+    # One cover group, five subscribers -> exactly one FRONTEND_QUERY.
+    assert delta.messages_of(mt.FRONTEND_QUERY) == 1
+    assert delta.messages_of(mt.FRONTEND_RESPONSE) == 1
+    assert [r.value for r in results] == [12] * 5
+    assert [r.shared for r in results] == [False, True, True, True, True]
+
+
+def test_union_share_is_one_subquery_per_cover_group(
+    cluster: MoaraCluster,
+) -> None:
+    before = cluster.stats.snapshot()
+    results = cluster.query_concurrent(
+        ["SELECT COUNT(*) WHERE g = true OR h = true"] * 3
+    )
+    delta = cluster.stats.delta_since(before)
+    # Two cover groups shared by three queries -> two FRONTEND_QUERYs.
+    assert delta.messages_of(mt.FRONTEND_QUERY) == 2
+    expected = len(cluster.members_satisfying("g = true OR h = true"))
+    assert [r.value for r in results] == [expected] * 3
+
+
+def test_fanned_out_results_match_sequential_baseline(
+    cluster: MoaraCluster,
+) -> None:
+    text = "SELECT SUM(load) WHERE g = true OR h = true"
+    concurrent = cluster.query_concurrent([text] * 4)
+
+    sequential = MoaraCluster(64, seed=80)
+    sequential.set_group("g", sequential.node_ids[:12])
+    sequential.set_group("h", sequential.node_ids[8:20])
+    for rank, node_id in enumerate(sequential.node_ids):
+        sequential.set_attribute(node_id, "load", float(rank))
+    baseline = sequential.query(text)
+
+    for result in concurrent:
+        assert result.value == pytest.approx(baseline.value)
+        assert result.contributors == baseline.contributors
+
+
+def test_different_queries_do_not_share(cluster: MoaraCluster) -> None:
+    before = cluster.stats.snapshot()
+    results = cluster.query_concurrent(
+        [
+            "SELECT COUNT(*) WHERE g = true",
+            "SELECT SUM(load) WHERE g = true",  # same group, different query
+        ]
+    )
+    delta = cluster.stats.delta_since(before)
+    assert delta.messages_of(mt.FRONTEND_QUERY) == 2
+    assert results[0].value == 12
+    assert results[1].value == pytest.approx(sum(range(12)))
+    assert not results[0].shared and not results[1].shared
+
+
+def test_sharing_disabled_dispatches_per_query() -> None:
+    c = MoaraCluster(
+        48, seed=81, frontend_config=FrontendConfig(share_subqueries=False)
+    )
+    c.set_group("g", c.node_ids[:10])
+    before = c.stats.snapshot()
+    results = c.query_concurrent(["SELECT COUNT(*) WHERE g = true"] * 4)
+    delta = c.stats.delta_since(before)
+    assert delta.messages_of(mt.FRONTEND_QUERY) == 4
+    assert [r.value for r in results] == [10] * 4
+
+
+def test_concurrent_composite_queries_share_probes(
+    cluster: MoaraCluster,
+) -> None:
+    """Cold composite queries deduplicate the probe round-trip too."""
+    before = cluster.stats.snapshot()
+    results = cluster.query_concurrent(
+        ["SELECT COUNT(*) WHERE g = true AND h = true"] * 3
+    )
+    delta = cluster.stats.delta_since(before)
+    # Two candidate groups probed once each, not once per query.
+    assert delta.messages_of(mt.SIZE_PROBE) == 2
+    assert delta.messages_of(mt.FRONTEND_QUERY) == 1
+    expected = len(cluster.members_satisfying("g = true AND h = true"))
+    assert [r.value for r in results] == [expected] * 3
+
+
+def test_marginal_message_accounting_sums_to_tagged_traffic(
+    cluster: MoaraCluster,
+) -> None:
+    """The initiator pays the shared sub-query's traffic; joiners pay 0, so
+    per-query costs sum to the real query-plane message total."""
+    before = cluster.stats.snapshot()
+    results = cluster.query_concurrent(["SELECT COUNT(*) WHERE g = true"] * 5)
+    delta = cluster.stats.delta_since(before)
+    query_plane = delta.messages_of(
+        mt.SIZE_PROBE,
+        mt.SIZE_RESPONSE,
+        mt.FRONTEND_QUERY,
+        mt.FRONTEND_RESPONSE,
+        mt.QUERY,
+        mt.QUERY_RESPONSE,
+    )
+    assert sum(r.message_cost for r in results) == query_plane
+    initiator, *joiners = results
+    assert initiator.message_cost > 0
+    assert all(j.message_cost == 0 for j in joiners)
+
+
+def test_query_ledger_records_every_completion(cluster: MoaraCluster) -> None:
+    cluster.query_concurrent(["SELECT COUNT(*) WHERE g = true"] * 3)
+    cluster.query("SELECT COUNT(*)")
+    log = cluster.stats.query_log
+    assert len(log) == 4
+    assert sum(1 for r in log if r.shared) == 2
+    assert cluster.stats.avg_messages_per_query() > 0
+
+
+def test_interleaved_share_and_callback_delivery(cluster: MoaraCluster) -> None:
+    """Callback consumers and polled consumers can share one sub-query."""
+    seen: list[float] = []
+    cluster.frontend.submit(
+        "SELECT COUNT(*) WHERE g = true", callback=lambda r: seen.append(r.value)
+    )
+    qid = cluster.query_async("SELECT COUNT(*) WHERE g = true")
+    cluster.run_until_idle()
+    assert seen == [12]
+    assert cluster.result(qid).value == 12
+
+
+def test_lost_subquery_does_not_poison_future_queries() -> None:
+    """A sub-query lost to a crashed root must not wedge later identical
+    queries: the stale share/probe entries are bypassed, not joined."""
+    c = MoaraCluster(24, seed=82)
+    c.set_group("g", c.node_ids[:8])
+    c.set_group("h", c.node_ids[4:12])
+    text = "SELECT COUNT(*) WHERE g = true AND h = true"
+    first = c.query(text)  # warms trees; identifies the roots involved
+
+    # Crash the g-tree root so the next submission's messages drop,
+    # then let the failed query go idle unanswered.
+    from repro.core.moara_node import group_attribute
+    from repro.core.parser import parse_predicate
+    victim = c.overlay.root(
+        c.overlay.space.hash_name(group_attribute(parse_predicate("g = true")))
+    )
+    c.network.crash(victim)
+    qid = c.query_async(text)
+    c.run_until_idle()
+    assert c.result(qid) is None  # the in-flight query was lost
+
+    # Recover; a fresh identical query must dispatch anew and succeed.
+    c.network.recover(victim)
+    c.run(61.0)  # idle past the size-cache TTL so stale costs expire too
+    result = c.query(text)
+    assert result.value == first.value
+
+
+def test_parameterized_functions_with_same_name_do_not_share() -> None:
+    """Two histograms differing only in bounds share a display name; the
+    share key must still tell them apart (function signature, not name)."""
+    from repro.core import Query
+    from repro.core.aggregation import Histogram
+    from repro.core.parser import parse_predicate
+
+    c = MoaraCluster(32, seed=84)
+    c.set_group("g", c.node_ids[:10])
+    for rank, node_id in enumerate(c.node_ids):
+        c.set_attribute(node_id, "cpu", float(rank))
+    pred = parse_predicate("g = true")
+    wide = Query(attr="cpu", function=Histogram(0.0, 100.0, 4), predicate=pred)
+    narrow = Query(attr="cpu", function=Histogram(0.0, 10.0, 4), predicate=pred)
+    wide_result, narrow_result = c.query_concurrent([wide, narrow])
+    assert wide_result.value["edges"] != narrow_result.value["edges"]
+    assert not narrow_result.shared  # distinct shares despite equal names
+
+
+def test_fanned_out_mutable_values_do_not_alias() -> None:
+    """Each subscriber owns its result value; mutating one must not
+    corrupt another's."""
+    c = MoaraCluster(32, seed=85)
+    c.set_group("g", c.node_ids[:10])
+    for rank, node_id in enumerate(c.node_ids):
+        c.set_attribute(node_id, "cpu", float(rank))
+    first, second = c.query_concurrent(["SELECT TOP3(cpu) WHERE g = true"] * 2)
+    assert second.shared
+    expected = list(second.value)
+    first.value.clear()  # a consumer trashing its own copy
+    assert second.value == expected
+
+
+def test_detected_root_failure_resolves_inflight_queries() -> None:
+    """Section 7 at the front-end: once the failure detector removes a
+    crashed tree root, stuck sub-queries resolve with a NULL answer and
+    the front-end returns to idle (no leaked shares, probes, or tags)."""
+    c = MoaraCluster(24, seed=83)
+    c.set_group("g", c.node_ids[:8])
+    c.query("SELECT COUNT(*) WHERE g = true")  # warm
+
+    from repro.core.moara_node import group_attribute
+    from repro.core.parser import parse_predicate
+    root = c.overlay.root(
+        c.overlay.space.hash_name(group_attribute(parse_predicate("g = true")))
+    )
+    qids = [c.query_async("SELECT COUNT(*) WHERE g = true") for _ in range(3)]
+    c.crash_node(root, detection_delay=0.1)
+    c.run_until_idle()
+    results = [c.result(qid) for qid in qids]
+    # The queries terminate (possibly with partial data) instead of hanging.
+    assert all(r is not None for r in results)
+    assert c.frontend.is_idle()
+    assert not c.stats.per_query  # all tags drained
+
+
+def test_frontend_idle_after_concurrent_burst(cluster: MoaraCluster) -> None:
+    cluster.query_concurrent(
+        ["SELECT COUNT(*) WHERE g = true AND h = true"] * 4
+    )
+    assert cluster.frontend.is_idle()
+    assert cluster.frontend.inflight == 0

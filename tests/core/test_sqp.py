@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.core import MoaraCluster
 from repro.core import messages as mt

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 
-from repro.pastry import IdSpace, Overlay, PastryNode, RoutingTable
+from repro.pastry import PastryNode, RoutingTable
 from tests.conftest import build_overlay
 
 
