@@ -1,0 +1,208 @@
+"""Root-side result caching & cross-front-end sub-query sharing.
+
+Beyond the paper: PR 1's front-end caches make *one* front-end cheap on
+repeated workloads, but a scaled deployment has many front-ends (load
+balancers, per-region dashboards), and identical queries arriving at a
+tree root from different front-ends each triggered a full tree walk.
+This benchmark drives repeated bursts of identical queries from four
+front-ends sharing one cluster and compares:
+
+* ``frontend-only`` -- PR 1 behaviour (``MoaraConfig.uncached()``): the
+  front-end caches are on, the node-side layer is off;
+* ``root-shared`` -- the in-flight execution table only (cross-front-end
+  subscription, staleness-free);
+* ``root-cached`` -- subscription plus the TTL'd root result cache
+  (repeats within the TTL are answered with zero tree messages).
+
+Reported per configuration: messages per query (query-plane and total),
+tree-walk traffic (``QUERY``/``QUERY_RESPONSE``), latency percentiles,
+and the root-layer counters (cache hits/misses, in-flight
+subscriptions) surfaced through ``sim/stats.py``.
+
+Acceptance: repeated identical bursts from several front-ends must cost
+fewer total messages with the root layer than with frontend-caching
+alone, and disabling the layer must reproduce PR 1 behaviour (zero
+root-layer counter activity).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import MoaraCluster, MoaraConfig
+from repro.core import messages as mt
+from repro.core.frontend import FrontendConfig
+from repro.sim import LANLatencyModel
+
+from conftest import run_once, tiny_scale
+
+NUM_NODES = 100 if tiny_scale() else 600
+NUM_FRONTENDS = 4
+NUM_GROUPS = 4 if tiny_scale() else 8
+GROUP_SIZE = 10 if tiny_scale() else 25
+#: repeated identical bursts (dashboard refresh cycles)
+ROUNDS = 3 if tiny_scale() else 10
+#: seconds between bursts; within the root-cache TTL so repeats hit
+ROUND_GAP = 0.5
+RESULT_CACHE_TTL = 30.0
+
+QUERY_PLANE_TYPES = (
+    mt.SIZE_PROBE,
+    mt.SIZE_RESPONSE,
+    mt.FRONTEND_QUERY,
+    mt.FRONTEND_RESPONSE,
+    mt.QUERY,
+    mt.QUERY_RESPONSE,
+)
+
+
+def _templates() -> list[str]:
+    """A dashboard's panels: group counts and composite intersections
+    (single-group covers, so the root layer can engage)."""
+    texts = []
+    for i in range(NUM_GROUPS):
+        texts.append(f"SELECT COUNT(*) WHERE S{i} = true")
+        texts.append(
+            f"SELECT AVG(load) WHERE S{i} = true AND "
+            f"S{(i + 1) % NUM_GROUPS} = true"
+        )
+    return texts
+
+
+def _build(config: MoaraConfig) -> MoaraCluster:
+    cluster = MoaraCluster(
+        NUM_NODES,
+        seed=180,
+        latency_model=LANLatencyModel(seed=180),
+        config=config,
+        frontend_config=FrontendConfig(),
+        num_frontends=NUM_FRONTENDS,
+    )
+    rng = random.Random(181)
+    for i in range(NUM_GROUPS):
+        cluster.set_group(f"S{i}", rng.sample(cluster.node_ids, GROUP_SIZE))
+    for rank, node_id in enumerate(cluster.node_ids):
+        cluster.set_attribute(node_id, "load", float(rank % 97))
+    return cluster
+
+
+def _run(config: MoaraConfig) -> dict[str, float]:
+    cluster = _build(config)
+    templates = _templates()
+    # Warm the trees once (identical across configurations), then idle
+    # past the result-cache TTL so every configuration starts cold.
+    for text in templates:
+        cluster.query(text)
+    cluster.run(RESULT_CACHE_TTL + 1.0)
+    cluster.stats.reset()
+
+    started = cluster.now
+    submitted = 0
+    for _ in range(ROUNDS):
+        # Every front-end issues every template in the same burst: the
+        # cross-front-end duplication a shared deployment produces.
+        batch = [text for text in templates for _ in range(NUM_FRONTENDS)]
+        results = cluster.query_concurrent(batch)
+        # AVG over an empty intersection legitimately finalizes to None;
+        # completion (a result per submission) is what matters here.
+        assert len(results) == len(batch)
+        submitted += len(batch)
+        cluster.run(ROUND_GAP)
+    makespan = cluster.now - started
+
+    stats = cluster.stats
+    snapshot = stats.snapshot()
+    query_plane = snapshot.messages_of(*QUERY_PLANE_TYPES)
+    return {
+        "queries": float(submitted),
+        "msgs_per_query": query_plane / submitted,
+        "total_msgs_per_query": stats.total_messages / submitted,
+        "tree_msgs": float(
+            snapshot.messages_of(mt.QUERY, mt.QUERY_RESPONSE)
+        ),
+        "root_cache_hits": float(stats.root_cache_hits),
+        "root_cache_misses": float(stats.root_cache_misses),
+        "root_subscriptions": float(stats.root_subscriptions),
+        "root_cached_queries": float(
+            sum(1 for r in stats.query_log if r.root_cached)
+        ),
+        "root_shared_queries": float(
+            sum(1 for r in stats.query_log if r.root_shared)
+        ),
+        "p50_latency_ms": stats.query_latency_percentile(0.50) * 1000,
+        "p95_latency_ms": stats.query_latency_percentile(0.95) * 1000,
+        "makespan_s": makespan,
+    }
+
+
+def _experiment() -> dict[str, dict[str, float]]:
+    return {
+        "frontend-only": _run(MoaraConfig.uncached()),
+        "root-shared": _run(MoaraConfig()),
+        "root-cached": _run(
+            MoaraConfig(result_cache_ttl=RESULT_CACHE_TTL)
+        ),
+    }
+
+
+def test_root_cache_repeated_bursts(benchmark, emit) -> None:
+    rows = run_once(benchmark, _experiment)
+    configs = ["frontend-only", "root-shared", "root-cached"]
+    metrics = [
+        ("queries", "queries run"),
+        ("msgs_per_query", "query-plane msgs/query"),
+        ("total_msgs_per_query", "all msgs/query"),
+        ("tree_msgs", "tree-walk messages"),
+        ("root_cache_hits", "root-cache hits"),
+        ("root_cache_misses", "root-cache misses"),
+        ("root_subscriptions", "in-flight subscriptions"),
+        ("root_cached_queries", "queries served from cache"),
+        ("root_shared_queries", "queries served by sharing"),
+        ("p50_latency_ms", "p50 latency (ms)"),
+        ("p95_latency_ms", "p95 latency (ms)"),
+        ("makespan_s", "makespan (sim s)"),
+    ]
+    header = f"{'metric':<28s}" + "".join(f"{c:>16s}" for c in configs)
+    lines = [
+        f"Root-side result caching -- {NUM_FRONTENDS} front-ends, "
+        f"{ROUNDS} identical bursts, N={NUM_NODES} nodes, "
+        f"TTL={RESULT_CACHE_TTL:.0f}s",
+        header,
+    ]
+    for key, label in metrics:
+        lines.append(
+            f"{label:<28s}"
+            + "".join(f"{rows[c][key]:>16.2f}" for c in configs)
+        )
+    saving_shared = 1 - (
+        rows["root-shared"]["msgs_per_query"]
+        / rows["frontend-only"]["msgs_per_query"]
+    )
+    saving_cached = 1 - (
+        rows["root-cached"]["msgs_per_query"]
+        / rows["frontend-only"]["msgs_per_query"]
+    )
+    lines.append(
+        f"message saving vs frontend-only: sharing {saving_shared:.0%}, "
+        f"sharing+cache {saving_cached:.0%} per query"
+    )
+    emit("root_cache", lines)
+
+    frontend_only = rows["frontend-only"]
+    shared = rows["root-shared"]
+    cached = rows["root-cached"]
+    # Disabling the layer reproduces PR 1: no root-layer activity at all.
+    assert frontend_only["root_cache_hits"] == 0
+    assert frontend_only["root_subscriptions"] == 0
+    assert frontend_only["root_cached_queries"] == 0
+    # The in-flight table alone already beats frontend-caching alone on a
+    # multi-front-end burst workload, and the counters show why.
+    assert shared["msgs_per_query"] < frontend_only["msgs_per_query"]
+    assert shared["root_subscriptions"] > 0
+    # Adding the TTL'd cache beats sharing alone: repeat bursts within
+    # the TTL stop walking the trees entirely.
+    assert cached["msgs_per_query"] < shared["msgs_per_query"]
+    assert cached["total_msgs_per_query"] < frontend_only["total_msgs_per_query"]
+    assert cached["root_cache_hits"] > 0
+    assert cached["root_cached_queries"] > 0
+    assert cached["tree_msgs"] < shared["tree_msgs"] < frontend_only["tree_msgs"]

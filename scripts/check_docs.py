@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Fail when documentation references a module path that no longer exists.
+
+Scans markdown files for two kinds of references and verifies each one
+resolves inside the repository:
+
+* repo-relative file paths (``src/...``, ``tests/...``, ``benchmarks/...``,
+  ``examples/...``, ``docs/...``, ``scripts/...``), with or without a
+  trailing slash;
+* dotted Python module paths rooted at ``repro`` (e.g.
+  ``repro.core.result_cache``), resolved under ``src/`` as either a
+  module file or a package directory.  Components starting with an
+  uppercase letter (class names) are never matched, so prose like
+  ``repro.core.frontend.FrontendConfig`` checks the module part only.
+
+Usage::
+
+    python scripts/check_docs.py [FILE ...]
+
+With no arguments, checks ``docs/*.md`` and ``README.md``.  Exits
+non-zero listing every dangling reference, so CI keeps the architecture
+documentation honest as the codebase is refactored.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+PATH_RE = re.compile(
+    r"\b(?:src|tests|benchmarks|examples|docs|scripts)/[\w./-]*"
+)
+MODULE_RE = re.compile(r"\brepro(?:\.[a-z_][a-z0-9_]*)+")
+
+
+def module_resolves(dotted: str) -> bool:
+    """True if ``dotted`` names a module file or package under src/."""
+    rel = REPO / "src" / Path(*dotted.split("."))
+    return rel.with_suffix(".py").is_file() or (rel / "__init__.py").is_file()
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    try:
+        rel_name: Path | str = path.relative_to(REPO)
+    except ValueError:
+        rel_name = path
+    for match in PATH_RE.finditer(text):
+        ref = match.group().rstrip("./")
+        if ref and not (REPO / ref).exists():
+            errors.append(f"{rel_name}: dangling file reference {ref!r}")
+    for match in MODULE_RE.finditer(text):
+        dotted = match.group()
+        if not module_resolves(dotted):
+            errors.append(
+                f"{rel_name}: module reference {dotted!r} does not "
+                f"resolve under src/"
+            )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(arg).resolve() for arg in argv]
+    else:
+        files = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+    missing = [f for f in files if not f.is_file()]
+    if missing:
+        for f in missing:
+            print(f"check_docs: no such file: {f}", file=sys.stderr)
+        return 2
+    errors = [error for f in files for error in check_file(f)]
+    for error in errors:
+        print(f"check_docs: {error}", file=sys.stderr)
+    if errors:
+        print(f"check_docs: {len(errors)} dangling reference(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs: {len(files)} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

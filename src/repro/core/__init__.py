@@ -22,6 +22,9 @@ Key modules:
 * :mod:`repro.core.tree_state` -- Sections 4-5 group-tree state.
 * :mod:`repro.core.adapt` -- dynamic-maintenance adaptation policy.
 * :mod:`repro.core.planner` -- Section 6 composite-query planning.
+* :mod:`repro.core.plan_cache` -- front-end plan & group-size caches.
+* :mod:`repro.core.result_cache` -- root-side result cache and
+  cross-front-end in-flight execution sharing.
 * :mod:`repro.core.parser` -- the SQL-like query language.
 * :mod:`repro.core.aggregation` -- partially aggregatable functions.
 * :mod:`repro.core.relations` -- Figure 8 semantic-relation inference.
@@ -48,9 +51,15 @@ from repro.core.errors import (
     UnknownAggregateError,
 )
 from repro.core.frontend import Frontend, FrontendConfig, ProbePolicy
-from repro.core.moara_node import MoaraConfig, MoaraNode
+from repro.core.moara_node import MoaraConfig, MoaraNode, NodeConfig
 from repro.core.parser import parse_predicate, parse_query
 from repro.core.plan_cache import CacheStats, GroupSizeCache, PlanCache
+from repro.core.result_cache import (
+    CachedResult,
+    InflightTable,
+    ResultCache,
+    ResultCacheStats,
+)
 from repro.core.planner import (
     QueryPlan,
     SemanticContext,
@@ -95,6 +104,11 @@ __all__ = [
     "MoaraConfig",
     "MoaraError",
     "MoaraNode",
+    "NodeConfig",
+    "CachedResult",
+    "InflightTable",
+    "ResultCache",
+    "ResultCacheStats",
     "Or",
     "ParseError",
     "PlanningError",

@@ -43,9 +43,12 @@ class MoaraCluster:
         probe_policy: ProbePolicy = ProbePolicy.COMPOSITE,
         semantics: Optional[SemanticContext] = None,
         frontend_config: Optional[FrontendConfig] = None,
+        num_frontends: int = 1,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("cluster needs at least one node")
+        if num_frontends < 1:
+            raise ValueError("cluster needs at least one front-end")
         self.engine = Engine()
         self.stats = MessageStats()
         self.network = Network(self.engine, ZeroLatencyModel(), self.stats)
@@ -56,13 +59,14 @@ class MoaraCluster:
         self._next_seed = seed + 1
 
         ids = self.overlay.generate_ids(num_nodes, seed=seed)
+        frontend_ids = [FRONTEND_ID - i for i in range(num_frontends)]
         # Latency models that depend on the membership (e.g. the WAN model's
         # cluster/straggler assignment) are built from a factory once the
-        # ids are known; FRONTEND_ID is included as the client machine.
+        # ids are known; front-end ids are included as the client machines.
         if callable(latency_model) and not isinstance(
             latency_model, LatencyModel
         ):
-            latency_model = latency_model(ids + [FRONTEND_ID])
+            latency_model = latency_model(ids + frontend_ids)
         if latency_model is not None:
             self.network.set_latency_model(latency_model)
         for node_id in ids:
@@ -74,14 +78,39 @@ class MoaraCluster:
         self.overlay.add_listener(self._on_membership_change)
         self.overlay.bulk_join(ids)
 
-        self.frontend = Frontend(
+        # All front-ends share one SemanticContext, so declared relations
+        # (and the plan-cache invalidation its version drives) stay
+        # consistent across the whole query plane.
+        self.semantics = semantics or SemanticContext()
+        self._probe_policy = probe_policy
+        self._frontend_config = frontend_config
+        #: cooperating front-ends sharing this cluster (ids -1, -2, ...).
+        self.frontends: list[Frontend] = []
+        for _ in range(num_frontends):
+            self.add_frontend()
+        #: the default front-end (back-compat: ``cluster.frontend``).
+        self.frontend = self.frontends[0]
+
+    def add_frontend(
+        self, config: Optional[FrontendConfig] = None
+    ) -> Frontend:
+        """Attach one more front-end to the shared cluster.
+
+        Every front-end is an independent client machine with its own
+        plan/size caches and in-flight tables; the node-side layer
+        (:mod:`repro.core.result_cache`) is what absorbs the duplicate
+        work *across* them.
+        """
+        frontend = Frontend(
             self.network,
             self.overlay,
-            node_id=FRONTEND_ID,
-            probe_policy=probe_policy,
-            semantics=semantics,
-            config=frontend_config,
+            node_id=FRONTEND_ID - len(self.frontends),
+            probe_policy=self._probe_policy,
+            semantics=self.semantics,
+            config=config or self._frontend_config,
         )
+        self.frontends.append(frontend)
+        return frontend
 
     # ------------------------------------------------------------------
     # membership plumbing
@@ -90,10 +119,9 @@ class MoaraCluster:
     def _on_membership_change(self, joined: set[int], left: set[int]) -> None:
         for node in self.nodes.values():
             node.on_membership_change(joined, left)
-        # The frontend attaches after the initial bulk join; later churn
-        # must also resolve its in-flight probes/sub-queries (Section 7).
-        frontend = getattr(self, "frontend", None)
-        if frontend is not None:
+        # Front-ends attach after the initial bulk join; later churn must
+        # also resolve their in-flight probes/sub-queries (Section 7).
+        for frontend in getattr(self, "frontends", ()):
             frontend.on_membership_change(joined, left)
 
     @property
@@ -151,46 +179,73 @@ class MoaraCluster:
         self,
         query: Union[str, Query],
         max_events: int = 10_000_000,
+        frontend: int = 0,
     ) -> QueryResult:
-        """Submit a query and run the engine until its answer arrives."""
-        qid = self.frontend.submit(query)
+        """Submit a query and run the engine until its answer arrives.
+
+        ``frontend`` selects which attached front-end submits it (index
+        into :attr:`frontends`; the default is the primary one).
+        """
+        fe = self.frontends[frontend]
+        qid = fe.submit(query)
         done = self.engine.run_until(
-            lambda: qid in self.frontend.results, max_events=max_events
+            lambda: qid in fe.results, max_events=max_events
         )
         if not done:
             raise QueryTimeoutError(
                 f"query {qid} did not complete (simulation went idle)"
             )
-        return self.frontend.results.pop(qid)
+        return fe.results.pop(qid)
 
-    def query_async(self, query: Union[str, Query]) -> str:
+    def query_async(
+        self, query: Union[str, Query], frontend: int = 0
+    ) -> str:
         """Submit without driving the engine; returns the query id."""
-        return self.frontend.submit(query)
+        return self.frontends[frontend].submit(query)
 
     def query_concurrent(
         self,
         queries: list[Union[str, Query]],
         max_events: int = 10_000_000,
+        frontends: Optional[int] = None,
     ) -> list[QueryResult]:
         """Submit a batch of concurrent queries and run them to completion.
 
-        All queries enter the front-end in the same tick, so identical
+        All queries enter the query plane in the same tick, so identical
         queries share probes and sub-queries; results come back in
         submission order.
+
+        ``frontends`` spreads the batch round-robin over that many
+        attached front-ends (default: all of them -- which, with the
+        standard single front-end, reproduces the old behaviour).  With
+        several front-ends, identical queries land at the *same tree
+        roots* from different clients, which is exactly the duplicated
+        work the node-side result cache and in-flight table absorb.
         """
-        qids = self.frontend.submit_many(queries)
-        wanted = set(qids)
+        if frontends is not None and frontends < 1:
+            raise ValueError("frontends must be >= 1")
+        pool = (
+            self.frontends
+            if frontends is None
+            else self.frontends[:frontends]
+        )
+        pairs = [
+            (pool[i % len(pool)], query) for i, query in enumerate(queries)
+        ]
+        submitted = [(fe, fe.submit(query)) for fe, query in pairs]
         done = self.engine.run_until(
-            lambda: wanted <= self.frontend.results.keys(),
+            lambda: all(qid in fe.results for fe, qid in submitted),
             max_events=max_events,
         )
         if not done:
-            missing = [q for q in qids if q not in self.frontend.results]
+            missing = [
+                qid for fe, qid in submitted if qid not in fe.results
+            ]
             raise QueryTimeoutError(
-                f"{len(missing)} of {len(qids)} concurrent queries did not "
-                f"complete (simulation went idle)"
+                f"{len(missing)} of {len(submitted)} concurrent queries "
+                f"did not complete (simulation went idle)"
             )
-        return [self.frontend.results.pop(qid) for qid in qids]
+        return [fe.results.pop(qid) for fe, qid in submitted]
 
     def result(self, qid: str) -> Optional[QueryResult]:
         """Fetch (and remove) a completed async result, if available."""

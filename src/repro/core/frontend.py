@@ -154,6 +154,13 @@ class _SharedSubQuery:
     #: engine event count at dispatch; joinable only within the same
     #: synchronous burst (no events processed in between)
     created_seq: int = 0
+    #: cover groups whose reply carried the root-cache ``cached`` flag
+    cached_groups: int = 0
+    #: cover groups whose reply carried the ``subscribed`` flag (the root
+    #: answered us from an identical in-flight execution)
+    subscribed_groups: int = 0
+    #: worst-case staleness over the cached replies (max ``cache_age``)
+    max_cache_age: float = 0.0
 
 
 class Frontend:
@@ -426,6 +433,11 @@ class Frontend:
                     "qid": share_id,
                     "query": pending.query,
                     "predicate": group,
+                    # The full chosen cover: roots use it to decide
+                    # whether this execution's result is reusable across
+                    # query ids (single-group covers only; see
+                    # repro.core.result_cache).
+                    "cover": tuple(pending.cover),
                 },
             )
 
@@ -440,6 +452,16 @@ class Frontend:
         if share is None or key not in share.waiting:
             return
         share.waiting.discard(key)
+        # Root-side optimization metadata (see repro.core.result_cache):
+        # surfaced per query so consumers can see how their answer was
+        # produced and how stale it may be.
+        if payload.get("cached"):
+            share.cached_groups += 1
+            share.max_cache_age = max(
+                share.max_cache_age, payload.get("cache_age", 0.0)
+            )
+        if payload.get("subscribed"):
+            share.subscribed_groups += 1
         share.partial = share.query.function.merge(
             share.partial, payload["partial"]
         )
@@ -456,6 +478,10 @@ class Frontend:
         now = self.network.engine.now
         shared_messages = self.network.stats.pop_tag(share.share_id)
         value = share.query.function.finalize(share.partial)
+        root_cached = (
+            bool(share.cover) and share.cached_groups == len(share.cover)
+        )
+        root_shared = share.subscribed_groups > 0
         for index, qid in enumerate(share.subscribers):
             pending = self._pending_queries.pop(qid, None)
             if pending is None:
@@ -476,6 +502,9 @@ class Frontend:
                 probe_latency=pending.probe_latency,
                 shared=pending.shared,
                 plan_cached=pending.plan_cached,
+                root_cached=root_cached,
+                root_shared=root_shared,
+                cache_age=share.max_cache_age,
             )
             self.network.stats.record_query(
                 QueryRecord(
@@ -484,6 +513,8 @@ class Frontend:
                     messages=messages,
                     probe_latency=pending.probe_latency,
                     shared=pending.shared,
+                    root_cached=root_cached,
+                    root_shared=root_shared,
                     completed_at=now,
                 )
             )

@@ -1,9 +1,68 @@
-"""Protocol message types.
+"""Protocol message types and their payload schemas.
 
-See DESIGN.md Section 4 for the payload schema of each type.  Message
-payloads carry Python objects directly (predicates, partial aggregates);
-the network layer estimates wire sizes for byte accounting, but the paper's
-metrics are message *counts*, which are exact.
+Message payloads carry Python objects directly (predicates, partial
+aggregates); the network layer estimates wire sizes for byte accounting,
+but the paper's metrics are message *counts*, which are exact.  The
+authoritative senders/handlers are :mod:`repro.core.frontend` (the
+client side) and :mod:`repro.core.moara_node` (the per-node agent).
+
+Payload schemas
+---------------
+
+``QUERY`` (node -> node, down the query-forwarding graph):
+    ``qid``       query/share id the answer is keyed by (also the
+    message-accounting tag), ``seq`` the root's per-tree sequence number
+    (missed sequence numbers count as ``qn`` for Section 4's
+    adaptation), ``query`` the full :class:`~repro.core.query.Query`,
+    ``predicate`` the group predicate naming the tree being walked.
+
+``QUERY_RESPONSE`` (node -> node, partial aggregate flowing back up):
+    ``qid``, ``pred_key`` (canonical group predicate), ``partial`` the
+    merged partial aggregate (``None`` = no data), ``contributors`` the
+    number of nodes whose local value flowed in, ``subtree_recv`` the
+    sender's lazily aggregated receive-count (piggybacked ``np``
+    maintenance, Section 6.3), ``last_seen_seq``.
+
+``STATUS_UPDATE`` (child -> DHT parent, Sections 4-5):
+    ``predicate``, ``update_set`` (the child's updateSet; empty set =
+    PRUNE), ``subtree_recv``, ``last_seen_seq``.  Receipt also
+    invalidates the parent's cached root results for that tree (group
+    membership under it changed; see :mod:`repro.core.result_cache`).
+
+``STATE_SYNC`` (node -> new DHT parent after reconfiguration,
+    Section 7): same schema as ``STATUS_UPDATE``.
+
+``SIZE_PROBE`` (front-end -> tree root, Section 6.3):
+    ``probe_id`` (accounting tag), ``predicate`` the group to estimate.
+
+``SIZE_RESPONSE`` (root -> front-end):
+    ``probe_id``, ``pred_key``, ``cost`` -- the ``2 * np`` query-cost
+    estimate feeding the front-end's group-size cache.
+
+``FRONTEND_QUERY`` (front-end -> tree root):
+    ``qid`` (the front-end's share id), ``query``, ``predicate`` the
+    cover group this root owns, and ``cover`` -- the full chosen cover
+    (tuple of canonical group keys), piggybacked so the root can decide
+    whether the execution's result is reusable across query ids
+    (single-group covers only; see :mod:`repro.core.result_cache`).
+
+``FRONTEND_RESPONSE`` (tree root -> front-end):
+    the ``QUERY_RESPONSE`` schema, plus piggybacked cache metadata:
+
+    * ``cost`` -- every root reply carries the same ``2 * np`` estimate
+      a ``SIZE_PROBE`` would return, so warm front-ends skip the probe
+      round-trip entirely;
+    * ``cached`` / ``cache_age`` -- present when the answer was served
+      from the root's TTL'd result cache with zero tree messages
+      (``cache_age`` bounds its staleness);
+    * ``subscribed`` -- present when the answer came from subscribing
+      this request to an identical in-flight execution (cross-front-end
+      sub-query sharing).
+
+    Front-ends surface these per query as
+    :attr:`~repro.core.query.QueryResult.root_cached`,
+    :attr:`~repro.core.query.QueryResult.cache_age`, and
+    :attr:`~repro.core.query.QueryResult.root_shared`.
 """
 
 from __future__ import annotations
@@ -41,5 +100,6 @@ SIZE_RESPONSE = "SIZE_RESPONSE"
 #: Front-end injecting a (sub-)query at a tree root.
 FRONTEND_QUERY = "FRONTEND_QUERY"
 
-#: Root returning the aggregated answer for one sub-query to the front-end.
+#: Root returning the aggregated answer for one sub-query to the front-end
+#: (possibly from its result cache or a shared in-flight execution).
 FRONTEND_RESPONSE = "FRONTEND_RESPONSE"

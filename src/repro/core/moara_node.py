@@ -11,11 +11,36 @@ an agent running at each node that monitors the node and populates
 * the separate query plane's ``updateSet``/``qSet`` forwarding (Section 5);
 * lazily aggregated subtree receive-counts serving size probes (Section 6.3);
 * reconfiguration handling: re-announcing state to a new parent and
-  resolving in-flight queries when nodes fail (Section 7).
+  resolving in-flight queries when nodes fail (Section 7);
+* beyond the paper, the root-side optimization layer of
+  :mod:`repro.core.result_cache`: a node answering ``FRONTEND_QUERY``
+  messages as a tree root subscribes identical in-flight sub-queries
+  (from any front-end) to one execution, and optionally serves repeats
+  from a TTL'd result cache with zero tree messages.
+
+Reply-path metadata piggybacking
+--------------------------------
+
+Two kinds of metadata ride on replies instead of costing extra messages:
+
+* every **root** reply (``FRONTEND_RESPONSE``) carries the ``2 * np``
+  query-cost estimate (``cost``) that a ``SIZE_PROBE`` would have
+  returned, feeding the front-end's group-size cache for free;
+* a root reply served from the result cache carries ``cached`` /
+  ``cache_age`` and one served from a shared in-flight execution
+  carries ``subscribed``, so front-ends can surface root-cache hits per
+  query (see :class:`~repro.sim.stats.QueryRecord`);
+* every **internal** reply (``QUERY_RESPONSE``) carries the child's
+  ``subtree_recv`` estimate, lazily refreshing the parent's ``np``
+  bookkeeping (Section 6.3).
+
+See :mod:`repro.core.messages` for the full payload schema of every
+message type.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -25,12 +50,17 @@ from repro.core.attributes import AttributeStore
 from repro.core.gc import GCPolicy, NoGC
 from repro.core.predicates import Predicate, SimplePredicate, TruePredicate
 from repro.core.query import Query, STAR_ATTRIBUTE
+from repro.core.result_cache import (
+    InflightTable,
+    ResultCache,
+    execution_key,
+)
 from repro.core.tree_state import PredicateTreeState
 from repro.pastry.overlay import Overlay
 from repro.sim.engine import EventHandle
 from repro.sim.network import Message, Network
 
-__all__ = ["MoaraConfig", "MoaraNode", "group_attribute"]
+__all__ = ["MoaraConfig", "MoaraNode", "NodeConfig", "group_attribute"]
 
 
 def group_attribute(predicate: Predicate) -> str:
@@ -67,10 +97,31 @@ class MoaraConfig:
     #: idle-timeout, keep-last-k, and least-frequently-queried; see
     #: :mod:`repro.core.gc`).  None keeps state forever.
     gc_policy_factory: Optional[Callable[[], GCPolicy]] = None
+    #: Seconds a root keeps a finished sub-query result servable from its
+    #: :class:`~repro.core.result_cache.ResultCache`.  0 (the default)
+    #: disables root-side result caching: a cached answer may be stale by
+    #: up to this TTL, so enabling it is an explicit staleness contract.
+    result_cache_ttl: float = 0.0
+    #: LRU bound on cached results per node.
+    result_cache_size: int = 512
+    #: Subscribe identical sub-queries (from any front-end) to an already
+    #: in-flight execution instead of re-walking the tree.  Staleness-free
+    #: (every subscriber sees the same fresh execution), hence on by
+    #: default.
+    share_executions: bool = True
 
     def __post_init__(self) -> None:
         if self.threshold < 1:
             raise ValueError("threshold must be >= 1")
+        if self.result_cache_size < 1:
+            raise ValueError("result_cache_size must be >= 1")
+
+    @classmethod
+    def uncached(cls, **overrides: Any) -> "MoaraConfig":
+        """The PR 1 node: no root result cache, no execution sharing."""
+        overrides.setdefault("result_cache_ttl", 0.0)
+        overrides.setdefault("share_executions", False)
+        return cls(**overrides)
 
 
 @dataclass
@@ -86,6 +137,15 @@ class _PendingQuery:
     partial: Any
     contributors: int
     timeout_handle: Optional[EventHandle] = None
+    #: result-cache/in-flight identity when this node is the root and the
+    #: execution's result is reusable (single-group cover); None otherwise.
+    exec_key: Optional[tuple] = None
+    #: True when the aggregation was resolved without every child's
+    #: answer (child timeout or churn, Section 7).  The truncated partial
+    #: is still delivered -- and fanned out to subscribers -- but never
+    #: cached: a known-incomplete aggregate must not be served as fresh
+    #: for a whole TTL.
+    truncated: bool = False
 
 
 class MoaraNode:
@@ -116,6 +176,13 @@ class MoaraNode:
         self._seq_counters: dict[str, int] = {}
         factory = self.config.gc_policy_factory
         self.gc_policy: GCPolicy = factory() if factory is not None else NoGC()
+        #: root-side TTL'd result cache (disabled unless configured).
+        self.result_cache = ResultCache(
+            ttl=self.config.result_cache_ttl,
+            maxsize=self.config.result_cache_size,
+        )
+        #: in-flight executions rooted here, joinable by identical requests.
+        self.inflight = InflightTable()
 
     # ------------------------------------------------------------------
     # state management
@@ -202,6 +269,9 @@ class MoaraNode:
     # ------------------------------------------------------------------
 
     def _on_attribute_change(self, name: str, old: Any, new: Any) -> None:
+        # A local update changes this node's own contribution to any
+        # aggregate fed by the attribute: drop affected cached results.
+        self.result_cache.invalidate_attr(name)
         for state in list(self.states.values()):
             if name not in state.predicate.attributes():
                 continue
@@ -268,6 +338,9 @@ class MoaraNode:
     def _handle_status(self, message: Message) -> None:
         payload = message.payload
         state = self.get_state(payload["predicate"])
+        # A child report means group membership (or routing) under us
+        # changed for this tree: cached results for it may be stale.
+        self.result_cache.invalidate_group(state.predicate.canonical())
         state.record_child_report(
             message.src,
             frozenset(payload["update_set"]),
@@ -280,10 +353,43 @@ class MoaraNode:
     # ------------------------------------------------------------------
 
     def _handle_frontend_query(self, message: Message) -> None:
-        """A sub-query arriving at this node as the tree root."""
+        """A sub-query arriving at this node as the tree root.
+
+        Before walking the tree, the root consults its memory: a fresh
+        cached result answers immediately (zero tree messages), and an
+        identical in-flight execution absorbs the request as a
+        subscriber -- even when the two requests came from different
+        front-ends.  Either way the reply carries the piggybacked cache
+        metadata the front-end surfaces per query.
+        """
         payload = message.payload
         state = self.get_state(payload["predicate"])
         pred_key = state.predicate.canonical()
+        query = payload["query"]
+        qid = payload["qid"]
+        cover = payload.get("cover")
+        exec_key = execution_key(query, pred_key, cover)
+        now = self.network.engine.now
+        stats = self.network.stats
+        if exec_key is not None and self.result_cache.enabled:
+            entry = self.result_cache.get(exec_key, now)
+            if entry is not None:
+                stats.root_cache_hits += 1
+                self._send_reply(
+                    state,
+                    qid,
+                    message.src,
+                    mt.FRONTEND_RESPONSE,
+                    entry.partial,
+                    entry.contributors,
+                    cache_age=now - entry.cached_at,
+                )
+                return
+            stats.root_cache_misses += 1
+        if exec_key is not None and self.config.share_executions:
+            if self.inflight.subscribe(exec_key, message.src, qid):
+                stats.root_subscriptions += 1
+                return
         # The root stamps each query with a sequence number (Section 4);
         # continue past our highest-seen value so a root change after churn
         # keeps the sequence monotonic.
@@ -291,11 +397,12 @@ class MoaraNode:
         self._seq_counters[pred_key] = seq
         self._process_query(
             state,
-            qid=payload["qid"],
+            qid=qid,
             seq=seq,
-            query=payload["query"],
+            query=query,
             reply_to=message.src,
             reply_mtype=mt.FRONTEND_RESPONSE,
+            exec_key=exec_key,
         )
 
     def _handle_query(self, message: Message) -> None:
@@ -318,6 +425,7 @@ class MoaraNode:
         query: Query,
         reply_to: int,
         reply_mtype: str,
+        exec_key: Optional[tuple] = None,
     ) -> None:
         pred_key = state.predicate.canonical()
         key = (qid, pred_key)
@@ -353,6 +461,10 @@ class MoaraNode:
 
         partial, contributed = self._local_contribution(qid, query, now)
         if not live_targets:
+            if exec_key is not None:
+                self._remember_result(
+                    state, exec_key, query, partial, int(contributed), now
+                )
             self._send_reply(
                 state, qid, reply_to, reply_mtype, partial, int(contributed)
             )
@@ -367,8 +479,11 @@ class MoaraNode:
             waiting=set(live_targets),
             partial=partial,
             contributors=int(contributed),
+            exec_key=exec_key,
         )
         self._pending[key] = pending
+        if exec_key is not None and self.config.share_executions:
+            self.inflight.open(exec_key)
         for target in sorted(live_targets):
             self.network.send(
                 self.node_id,
@@ -430,7 +545,10 @@ class MoaraNode:
 
     def _on_timeout(self, key: tuple[str, str]) -> None:
         """Child-response deadline: answer with what we have (Section 7)."""
-        if key in self._pending:
+        pending = self._pending.get(key)
+        if pending is not None:
+            if pending.waiting:
+                pending.truncated = True
             self._finalize(key)
 
     def _finalize(self, key: tuple[str, str]) -> None:
@@ -447,6 +565,57 @@ class MoaraNode:
             pending.partial,
             pending.contributors,
         )
+        if pending.exec_key is None:
+            return
+        if not pending.truncated:
+            now = self.network.engine.now
+            self._remember_result(
+                state,
+                pending.exec_key,
+                pending.query,
+                pending.partial,
+                pending.contributors,
+                now,
+            )
+        # Fan the single result out to every late arrival that subscribed
+        # while the tree walk was in flight.  This also covers executions
+        # resolved early by a timeout or by churn (Section 7): subscribers
+        # get the partial (possibly NULL) answer, never a hang.
+        for reply_to, qid in self.inflight.close(pending.exec_key):
+            self._send_reply(
+                state,
+                qid,
+                reply_to,
+                pending.reply_mtype,
+                copy.deepcopy(pending.partial),
+                pending.contributors,
+                subscribed=True,
+            )
+
+    def _remember_result(
+        self,
+        state: PredicateTreeState,
+        exec_key: tuple,
+        query: Query,
+        partial: Any,
+        contributors: int,
+        now: float,
+    ) -> None:
+        """Store a finished root execution in the result cache."""
+        if not self.result_cache.enabled:
+            return
+        attrs = set(query.predicate.attributes())
+        attrs |= set(state.predicate.attributes())
+        if query.attr != STAR_ATTRIBUTE:
+            attrs.add(query.attr)
+        self.result_cache.put(
+            exec_key,
+            partial,
+            contributors,
+            group_key=state.predicate.canonical(),
+            attrs=frozenset(attrs),
+            now=now,
+        )
 
     def _send_reply(
         self,
@@ -456,6 +625,8 @@ class MoaraNode:
         reply_mtype: str,
         partial: Any,
         contributors: int,
+        cache_age: Optional[float] = None,
+        subscribed: bool = False,
     ) -> None:
         is_root = self._is_root(state)
         subtree_recv = state.subtree_recv(
@@ -469,6 +640,15 @@ class MoaraNode:
             "subtree_recv": subtree_recv,
             "last_seen_seq": state.last_seen_seq,
         }
+        if cache_age is not None:
+            # Served from the root result cache: tell the front-end how
+            # stale the answer may be (the TTL contract, surfaced).
+            payload["cached"] = True
+            payload["cache_age"] = cache_age
+        if subscribed:
+            # Served from a shared in-flight execution (cross-front-end
+            # sub-query sharing): fresh data, zero marginal tree messages.
+            payload["subscribed"] = True
         if is_root:
             # Piggyback the same 2*np query-cost estimate a SIZE_PROBE
             # would return, so the front-end's group-size cache is fed by
@@ -514,7 +694,15 @@ class MoaraNode:
 
     def on_membership_change(self, joined: set[int], left: set[int]) -> None:
         """React to overlay churn: resolve queries stuck on departed nodes
-        and re-announce state to new parents."""
+        and re-announce state to new parents.
+
+        Any overlay membership change also invalidates the entire root
+        result cache: a join or leave can re-root trees and move whole
+        subtrees under (or away from) this node, so every cached answer
+        about "the nodes below us" is suspect.
+        """
+        if joined or left:
+            self.result_cache.clear()
         if left:
             for key in list(self._pending):
                 pending = self._pending.get(key)
@@ -523,6 +711,7 @@ class MoaraNode:
                 gone = pending.waiting & left
                 if gone:
                     # "proceed assuming a NULL response from the child"
+                    pending.truncated = True
                     pending.waiting -= gone
                     if not pending.waiting:
                         self._finalize(key)
@@ -544,3 +733,9 @@ class MoaraNode:
                     # NO-UPDATE: the new parent's default view (forward
                     # directly to us) is exactly what correctness needs.
                     state.sent_update_set = None
+
+
+#: Public alias: the node-side counterpart of ``FrontendConfig`` (the
+#: documentation and configuration tables refer to these knobs as the
+#: "NodeConfig").
+NodeConfig = MoaraConfig

@@ -1,0 +1,309 @@
+"""Root-side result cache and in-flight execution table.
+
+PR 1 made a *single* front-end cheap on repeated workloads (plan cache,
+group-size cache, shared sub-queries within one burst), but identical
+sub-queries arriving at a tree root from *different* front-ends still
+triggered a full tree walk each.  This module gives every
+:class:`~repro.core.moara_node.MoaraNode` acting as a root the memory to
+absorb that duplicated work, the same server-side sharing move that
+Enmeshed Queries makes for overlapping continuous queries:
+
+* :class:`InflightTable` -- when a sub-query arrives while an identical
+  execution is already walking the tree, the late arrival (from any
+  front-end) is *subscribed* to the pending execution and answered from
+  its single result: one tree walk, N answers.  Subscription is
+  staleness-free (every subscriber sees the same fresh execution), so it
+  is enabled by default.
+* :class:`ResultCache` -- a TTL'd, LRU-bounded map from execution key to
+  the finished partial aggregate, so repeated identical sub-queries
+  within the TTL are answered with *zero* tree messages.  A cached
+  answer is stale by up to the TTL (the approximate-query-processing
+  contract: explicitly bounded staleness in exchange for latency), so
+  the cache is **opt-in** via ``MoaraConfig.result_cache_ttl``.  Entries
+  are invalidated eagerly on overlay membership change (the existing
+  ``on_membership_change`` path clears the cache), on local attribute
+  updates that feed the aggregate, and on ``STATUS_UPDATE`` reports for
+  the cached group; remote value changes that never generate protocol
+  traffic are only bounded by the TTL.
+
+Execution identity
+------------------
+
+An execution key is ``(query attribute, aggregate-function signature,
+query-predicate canonical form, group canonical form)``.  Both layers
+engage only for **single-group covers**: for a multi-group cover the
+roots suppress duplicate contributions *per query id* across their trees
+(Section 6.2), so the partial cached at one root depends on which
+overlap nodes happened to answer via the other trees of that particular
+execution -- mixing partials from different executions across the roots
+of one cover could double-count.  A single-group cover's answer is
+self-contained and safe to reuse.
+
+Conventions mirror :mod:`repro.core.plan_cache`: TTL'd ``OrderedDict``
+LRU with :class:`~repro.core.plan_cache.CacheStats`-style counters, and
+``ttl <= 0`` disabling the cache entirely.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.plan_cache import CacheStats
+
+__all__ = [
+    "CachedResult",
+    "InflightTable",
+    "ResultCache",
+    "ResultCacheStats",
+    "execution_key",
+]
+
+#: An execution key: (query attr, function signature, query predicate
+#: canonical, group predicate canonical).
+ExecutionKey = tuple
+
+
+def execution_key(
+    query: Any, group_key: str, cover: Optional[tuple]
+) -> Optional[ExecutionKey]:
+    """Identity of one root-side sub-query execution, or None if the
+    execution's result is not reusable across query ids.
+
+    ``cover`` is the full cover the front-end chose (piggybacked on the
+    ``FRONTEND_QUERY`` payload); only single-group covers are reusable
+    (see the module docstring).  Requests from callers that do not
+    announce their cover are never cached.
+    """
+    if cover is None or len(cover) != 1:
+        return None
+    return (
+        query.attr,
+        query.function.signature(),
+        query.predicate.canonical(),
+        group_key,
+    )
+
+
+@dataclass
+class ResultCacheStats(CacheStats):
+    """Cache counters plus eager-invalidation accounting."""
+
+    #: entries dropped by membership change / attribute update / status
+    #: report, before their TTL expired.
+    invalidations: int = 0
+
+    def reset(self) -> None:  # noqa: D102 - inherited semantics
+        super().reset()
+        self.invalidations = 0
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One finished execution, as remembered by a root."""
+
+    #: the merged partial aggregate (pre-``finalize``; what a root reply
+    #: carries on the wire).  Stored as a private deep copy; callers get
+    #: their own copy from :meth:`ResultCache.get`.
+    partial: Any
+    #: number of nodes that contributed to the aggregate.
+    contributors: int
+    #: canonical form of the group predicate (the tree that was walked).
+    group_key: str
+    #: every attribute feeding this result (query attribute + predicate
+    #: attributes); a local update to any of them invalidates the entry.
+    attrs: frozenset[str]
+    cached_at: float
+    expires_at: float
+
+
+class ResultCache:
+    """TTL'd LRU map of execution key -> :class:`CachedResult`.
+
+    ``ttl <= 0`` disables the cache (every ``get`` misses, ``put`` is a
+    no-op), which is the default: root-side result caching is an explicit
+    staleness contract the operator opts into.
+    """
+
+    def __init__(self, ttl: float = 0.0, maxsize: int = 512) -> None:
+        self.ttl = ttl
+        self.maxsize = maxsize
+        self.stats = ResultCacheStats()
+        self._entries: OrderedDict[ExecutionKey, CachedResult] = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.ttl > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(
+        self,
+        key: ExecutionKey,
+        partial: Any,
+        contributors: int,
+        group_key: str,
+        attrs: frozenset[str],
+        now: float,
+    ) -> None:
+        """Remember a finished execution's result.
+
+        The partial is deep-copied in: cached state must not alias the
+        (possibly mutable) aggregate travelling to the front-end.
+        """
+        if not self.enabled:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = CachedResult(
+            partial=copy.deepcopy(partial),
+            contributors=contributors,
+            group_key=group_key,
+            attrs=attrs,
+            cached_at=now,
+            expires_at=now + self.ttl,
+        )
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get(self, key: ExecutionKey, now: float) -> Optional[CachedResult]:
+        """A fresh cached result (with its own copy of the partial), or
+        None on miss/expiry."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if now > entry.expires_at:
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        # Each hit hands out an independent partial: front-ends merge
+        # (and users mutate) their answers freely.
+        return CachedResult(
+            partial=copy.deepcopy(entry.partial),
+            contributors=entry.contributors,
+            group_key=entry.group_key,
+            attrs=entry.attrs,
+            cached_at=entry.cached_at,
+            expires_at=entry.expires_at,
+        )
+
+    # ------------------------------------------------------------------
+    # eager invalidation
+    # ------------------------------------------------------------------
+
+    def invalidate_group(self, group_key: str) -> int:
+        """Drop every entry whose tree is ``group_key`` (a STATUS_UPDATE
+        arrived: group membership under this root changed).  Returns how
+        many entries were dropped."""
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if entry.group_key == group_key
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def invalidate_attr(self, attr: str) -> int:
+        """Drop every entry fed by ``attr`` (a local attribute update
+        changed this root's own contribution).  Returns the count."""
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if attr in entry.attrs
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> int:
+        """Drop everything (overlay membership changed: any subtree may
+        have moved under or away from this root).  Returns the count."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += dropped
+        return dropped
+
+    def purge(self, now: float) -> int:
+        """Drop all expired entries; returns how many were removed."""
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if now > entry.expires_at
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.stats.expirations += len(stale)
+        return len(stale)
+
+
+@dataclass
+class _InflightExecution:
+    """Late subscribers riding one pending (query, group) execution."""
+
+    key: ExecutionKey
+    #: (reply_to node id, query id) per late arrival, in arrival order.
+    subscribers: list[tuple[int, str]] = field(default_factory=list)
+
+
+class InflightTable:
+    """Executions currently walking the tree from this root, by key.
+
+    The owning node ``open()``s an entry when it dispatches a sub-query
+    down the tree and ``close()``s it when the aggregation finalizes
+    (normally, by timeout, or by failure resolution); identical requests
+    arriving in between ``subscribe()`` and are answered from the single
+    result.  Closing always returns the subscriber list, so a resolution
+    forced by churn still fans out (subscribers get the partial -- or
+    NULL -- answer, never a hang).
+    """
+
+    def __init__(self) -> None:
+        self._executions: dict[ExecutionKey, _InflightExecution] = {}
+        #: total late arrivals answered from a pending execution.
+        self.subscriptions = 0
+
+    def __len__(self) -> int:
+        return len(self._executions)
+
+    def __contains__(self, key: ExecutionKey) -> bool:
+        return key in self._executions
+
+    def open(self, key: ExecutionKey) -> None:
+        """Register a newly dispatched execution (idempotent)."""
+        if key not in self._executions:
+            self._executions[key] = _InflightExecution(key=key)
+
+    def subscribe(self, key: ExecutionKey, reply_to: int, qid: str) -> bool:
+        """Attach a late arrival to a pending execution.
+
+        Returns True (and records the subscriber) iff an identical
+        execution is in flight; the caller then owes ``(reply_to, qid)``
+        a reply when that execution closes.
+        """
+        execution = self._executions.get(key)
+        if execution is None:
+            return False
+        execution.subscribers.append((reply_to, qid))
+        self.subscriptions += 1
+        return True
+
+    def close(self, key: ExecutionKey) -> list[tuple[int, str]]:
+        """Finish an execution; returns its subscribers (possibly empty)."""
+        execution = self._executions.pop(key, None)
+        if execution is None:
+            return []
+        return execution.subscribers

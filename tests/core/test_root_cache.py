@@ -1,0 +1,370 @@
+"""Root-side result caching and cross-front-end sub-query sharing.
+
+Staleness semantics under test (the satellite checklist): hit within
+TTL, miss after TTL, invalidation on membership change under the root,
+and late-subscriber fan-out when the root departs mid-execution
+(subscribers get NULL, not a hang).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MoaraCluster, MoaraConfig
+from repro.core import messages as mt
+from repro.core.moara_node import group_attribute
+from repro.core.parser import parse_predicate
+
+TTL = 5.0
+TEXT = "SELECT COUNT(*) WHERE g = true"
+
+
+def _root_of(cluster: MoaraCluster, predicate: str) -> int:
+    return cluster.overlay.root(
+        cluster.overlay.space.hash_name(
+            group_attribute(parse_predicate(predicate))
+        )
+    )
+
+
+def _cluster(**kwargs) -> MoaraCluster:
+    defaults = dict(
+        num_nodes=48,
+        seed=90,
+        config=MoaraConfig(result_cache_ttl=TTL),
+        num_frontends=2,
+    )
+    defaults.update(kwargs)
+    c = MoaraCluster(**defaults)
+    c.set_group("g", c.node_ids[:12])
+    for rank, node_id in enumerate(c.node_ids):
+        c.set_attribute(node_id, "load", float(rank))
+    return c
+
+
+# ----------------------------------------------------------------------
+# TTL'd result cache
+# ----------------------------------------------------------------------
+
+
+def test_hit_within_ttl_from_another_frontend() -> None:
+    """A repeat of an identical query from a *different* front-end within
+    the TTL is answered with zero tree messages."""
+    c = _cluster()
+    first = c.query(TEXT)  # cold: walks the tree, populates the cache
+    before = c.stats.snapshot()
+    second = c.query(TEXT, frontend=1)
+    delta = c.stats.delta_since(before)
+    assert second.value == first.value == 12
+    assert delta.messages_of(mt.QUERY, mt.QUERY_RESPONSE) == 0
+    assert delta.messages_of(mt.FRONTEND_QUERY) == 1
+    assert delta.messages_of(mt.FRONTEND_RESPONSE) == 1
+    assert second.root_cached
+    assert second.message_cost == 2  # request + cached reply, nothing else
+    assert c.stats.root_cache_hits == 1
+
+
+def test_miss_after_ttl_rewalks_the_tree() -> None:
+    c = _cluster()
+    c.query(TEXT)
+    c.run(TTL + 1.0)  # idle past the TTL: the cached entry expires
+    before = c.stats.snapshot()
+    result = c.query(TEXT, frontend=1)
+    delta = c.stats.delta_since(before)
+    assert result.value == 12
+    assert not result.root_cached
+    assert delta.messages_of(mt.QUERY) > 0
+    root = c.nodes[_root_of(c, "g = true")]
+    assert root.result_cache.stats.expirations == 1
+
+
+def test_cached_answer_reports_its_age() -> None:
+    c = _cluster()
+    c.query(TEXT)
+    c.run(2.0)
+    result = c.query(TEXT, frontend=1)
+    assert result.root_cached
+    assert result.cache_age == pytest.approx(2.0)
+
+
+def test_invalidation_on_membership_change_under_the_root() -> None:
+    """Overlay churn (a member leaving) clears root caches: the next
+    query re-walks the tree and sees the new membership, not the stale
+    cached count."""
+    c = _cluster()
+    assert c.query(TEXT).value == 12
+    member = c.node_ids[3]
+    c.leave_node(member)  # a group member departs the overlay
+    result = c.query(TEXT, frontend=1)  # still within the TTL
+    assert not result.root_cached
+    assert result.value == 11
+
+
+def test_invalidation_on_join_too() -> None:
+    c = _cluster()
+    c.query(TEXT)
+    c.join_node()
+    result = c.query(TEXT, frontend=1)
+    assert not result.root_cached
+    assert result.value == 12
+
+
+def test_invalidation_on_local_attribute_update_at_the_root() -> None:
+    """The root's own attributes feed the aggregates it caches; updating
+    one drops the affected entries immediately (no TTL wait)."""
+    c = _cluster(num_nodes=32, seed=91)
+    text = "SELECT SUM(load) WHERE g = true"
+    root_id = _root_of(c, "g = true")
+    # Make the root a contributor so its local value is in the answer.
+    c.set_attribute(root_id, "g", True)
+    first = c.query(text)
+    c.set_attribute(root_id, "load", 1000.0)
+    second = c.query(text, frontend=1)
+    assert not second.root_cached
+    assert second.value != first.value
+
+
+def test_status_update_invalidates_cached_group() -> None:
+    """Group-membership churn that reaches the root via STATUS_UPDATE
+    drops that tree's cached results."""
+    c = _cluster()
+    c.query(TEXT)
+    root = c.nodes[_root_of(c, "g = true")]
+    assert len(root.result_cache) == 1
+    # Deliver a synthetic child report for the g-tree to the root.
+    child = next(n for n in c.node_ids if n != root.node_id)
+    c.network.send(
+        child,
+        root.node_id,
+        mt.STATUS_UPDATE,
+        {
+            "predicate": parse_predicate("g = true"),
+            "update_set": frozenset([child]),
+            "subtree_recv": 1,
+            "last_seen_seq": 0,
+        },
+    )
+    c.run_until_idle()
+    assert len(root.result_cache) == 0
+    assert root.result_cache.stats.invalidations >= 1
+
+
+def test_ttl_staleness_contract_for_remote_updates() -> None:
+    """The explicit staleness contract: a value change at a non-root
+    member generates no protocol traffic, so within the TTL the cached
+    answer is served stale; after the TTL the fresh value appears."""
+    c = _cluster(num_nodes=32, seed=92)
+    text = "SELECT SUM(load) WHERE g = true"
+    root_id = _root_of(c, "g = true")
+    member = next(n for n in c.node_ids[:12] if n != root_id)
+    first = c.query(text)
+    c.set_attribute(member, "load", 1000.0)  # silent remote update
+    stale = c.query(text, frontend=1)
+    assert stale.root_cached
+    assert stale.value == pytest.approx(first.value)  # stale, by contract
+    c.run(TTL + 1.0)
+    fresh = c.query(text, frontend=1)
+    assert not fresh.root_cached
+    assert fresh.value != pytest.approx(first.value)
+
+
+def test_truncated_execution_is_never_cached() -> None:
+    """An aggregation resolved by churn (a child departing mid-walk) is
+    missing that subtree: the truncated partial is delivered but must
+    NOT be cached, or the root would serve a known-incomplete answer as
+    fresh for a whole TTL."""
+    c = _cluster()
+    c.query(TEXT)  # warm tree + cache
+    c.run(TTL + 1.0)  # let the warm entry expire: next walk is live
+    root = c.nodes[_root_of(c, "g = true")]
+    qid = c.query_async(TEXT)
+    # Step the engine just far enough for the root to dispatch the walk.
+    c.engine.run_until(lambda: bool(root._pending))
+    pending = next(iter(root._pending.values()), None)
+    assert pending is not None and pending.waiting
+    c.leave_node(next(iter(pending.waiting)))  # truncates the execution
+    c.run_until_idle()
+    truncated = c.frontend.results.pop(qid)
+    assert len(root.result_cache) == 0  # nothing cached
+    # The next query re-walks and sees the true post-churn membership.
+    fresh = c.query(TEXT, frontend=1)
+    assert not fresh.root_cached
+    assert fresh.value == len(c.members_satisfying("g = true"))
+    assert fresh.value >= truncated.value
+
+
+def test_timeout_truncated_execution_is_never_cached() -> None:
+    """Same rule for the child-timeout path: answering with what we have
+    (Section 7) must not populate the cache."""
+    from repro.sim import LANLatencyModel
+
+    c = MoaraCluster(
+        48,
+        seed=94,
+        latency_model=LANLatencyModel(seed=94),
+        config=MoaraConfig(result_cache_ttl=TTL, child_timeout=1e-6),
+        num_frontends=2,
+    )
+    c.set_group("g", c.node_ids[:12])
+    first = c.query(TEXT)
+    root = c.nodes[_root_of(c, "g = true")]
+    if first.value < 12:
+        # The tiny deadline truncated the walk: nothing may be cached.
+        assert len(root.result_cache) == 0
+    else:
+        # Walk completed inside the deadline: caching it is fine.
+        assert c.query(TEXT, frontend=1).value == 12
+
+
+def test_negative_frontends_argument_is_rejected() -> None:
+    c = _cluster()
+    with pytest.raises(ValueError):
+        c.query_concurrent([TEXT], frontends=-1)
+    with pytest.raises(ValueError):
+        c.query_concurrent([TEXT], frontends=0)
+
+
+def test_multi_group_covers_are_never_root_cached() -> None:
+    """A union's cover has several trees whose partials dedup per query
+    id; those results are not reusable, so repeats re-walk (correctness
+    over savings)."""
+    c = _cluster()
+    c.set_group("h", c.node_ids[8:20])
+    text = "SELECT COUNT(*) WHERE g = true OR h = true"
+    expected = len(c.members_satisfying("g = true OR h = true"))
+    first = c.query(text)
+    second = c.query(text, frontend=1)
+    assert first.value == second.value == expected
+    assert not second.root_cached
+    assert c.stats.root_cache_hits == 0
+
+
+def test_mutable_aggregates_do_not_alias_across_frontends() -> None:
+    c = _cluster(num_nodes=32, seed=93)
+    text = "SELECT TOP3(load) WHERE g = true"
+    first = c.query(text)
+    second = c.query(text, frontend=1)
+    assert second.root_cached
+    expected = list(second.value)
+    first.value.clear()  # one consumer trashing its own copy
+    third = c.query(text, frontend=0)
+    assert second.value == expected
+    assert third.value == expected
+
+
+def test_cached_reply_still_feeds_group_size_cache() -> None:
+    """Cache-served replies keep piggybacking the 2*np cost estimate."""
+    c = _cluster()
+    c.query(TEXT)
+    c.query(TEXT, frontend=1)
+    assert len(c.frontends[1].size_cache) == 1
+
+
+# ----------------------------------------------------------------------
+# in-flight execution table (cross-front-end sharing)
+# ----------------------------------------------------------------------
+
+
+def test_cold_concurrent_burst_across_frontends_shares_one_walk() -> None:
+    """Identical queries submitted concurrently by different front-ends
+    trigger one tree walk; late arrivals subscribe at the root."""
+    c = _cluster(config=MoaraConfig())  # cache off, sharing on (default)
+    before = c.stats.snapshot()
+    results = c.query_concurrent([TEXT] * 2)  # round-robin: fe0, fe1
+    delta = c.stats.delta_since(before)
+    assert [r.value for r in results] == [12, 12]
+    assert delta.messages_of(mt.FRONTEND_QUERY) == 2
+    assert delta.messages_of(mt.FRONTEND_RESPONSE) == 2
+    assert c.stats.root_subscriptions == 1
+    # Exactly one execution's worth of tree traffic: a lone query from
+    # one front-end on an identical fresh cluster costs the same.
+    lone = _cluster(config=MoaraConfig())
+    lone_before = lone.stats.snapshot()
+    lone.query(TEXT)
+    lone_delta = lone.stats.delta_since(lone_before)
+    assert delta.messages_of(mt.QUERY, mt.QUERY_RESPONSE) == (
+        lone_delta.messages_of(mt.QUERY, mt.QUERY_RESPONSE)
+    )
+    # The subscriber is flagged; the initiator is not.
+    assert [r.root_shared for r in results] == [False, True]
+
+
+def test_subscription_disabled_walks_per_frontend() -> None:
+    c = _cluster(config=MoaraConfig.uncached())
+    before = c.stats.snapshot()
+    results = c.query_concurrent([TEXT] * 2)
+    delta = c.stats.delta_since(before)
+    assert [r.value for r in results] == [12, 12]
+    assert c.stats.root_subscriptions == 0
+    assert c.stats.root_cache_hits == 0
+    assert delta.messages_of(mt.QUERY) > 0
+    assert not any(r.root_shared or r.root_cached for r in results)
+
+
+def test_late_subscribers_resolve_when_root_departs_mid_execution() -> None:
+    """If the root crashes while an execution (with subscribers from
+    other front-ends) is in flight, every front-end's query resolves
+    with a NULL answer via the failure detector -- nobody hangs."""
+    c = _cluster(config=MoaraConfig())
+    c.query(TEXT)  # warm the tree so the root is established
+    root_id = _root_of(c, "g = true")
+    qid_a = c.query_async(TEXT, frontend=0)
+    qid_b = c.query_async(TEXT, frontend=1)
+    c.crash_node(root_id, detection_delay=0.1)
+    c.run_until_idle()
+    result_a = c.frontends[0].results.pop(qid_a, None)
+    result_b = c.frontends[1].results.pop(qid_b, None)
+    assert result_a is not None and result_b is not None
+    assert all(fe.is_idle() for fe in c.frontends)
+    assert not c.stats.per_query  # every tag drained
+
+
+def test_subscriber_fan_out_when_a_child_departs_mid_execution() -> None:
+    """Section 7 inside the tree: a departed *child* resolves the
+    pending aggregation with what the root has, and the fan-out answers
+    subscribers from every front-end (values may be partial, never
+    lost)."""
+    c = _cluster(config=MoaraConfig())
+    c.query(TEXT)  # warm
+    root_id = _root_of(c, "g = true")
+    root = c.nodes[root_id]
+    qid_a = c.query_async(TEXT, frontend=0)
+    qid_b = c.query_async(TEXT, frontend=1)
+    # Find a child the root is now waiting on and remove it.
+    c.engine.run_until(lambda: bool(root._pending))
+    pending = next(iter(root._pending.values()), None)
+    assert pending is not None and pending.waiting
+    c.leave_node(next(iter(pending.waiting)))
+    c.run_until_idle()
+    assert qid_a in c.frontends[0].results
+    assert qid_b in c.frontends[1].results
+
+
+# ----------------------------------------------------------------------
+# multi-front-end plumbing
+# ----------------------------------------------------------------------
+
+
+def test_frontends_get_distinct_ids_and_share_semantics() -> None:
+    c = _cluster(num_frontends=3)
+    assert [fe.node_id for fe in c.frontends] == [-1, -2, -3]
+    assert c.frontend is c.frontends[0]
+    assert all(fe.semantics is c.semantics for fe in c.frontends)
+
+
+def test_add_frontend_after_construction() -> None:
+    c = _cluster()
+    fe = c.add_frontend()
+    assert fe.node_id == -3
+    qid = fe.submit(TEXT)
+    c.run_until_idle()
+    assert fe.results.pop(qid).value == 12
+
+
+def test_round_robin_spread_is_capped_by_frontends_argument() -> None:
+    c = _cluster(num_frontends=4)
+    results = c.query_concurrent([TEXT] * 4, frontends=2)
+    assert [r.value for r in results] == [12] * 4
+    # Only the first two front-ends saw traffic.
+    assert c.frontends[2].is_idle() and not c.frontends[2].results
+    assert c.frontends[3].is_idle() and not c.frontends[3].results
