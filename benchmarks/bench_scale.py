@@ -1,0 +1,145 @@
+"""Scale benchmark: 10,000 nodes, 10,000 concurrent queries.
+
+Enmeshed-query systems are only credible at the 10^4-node scale, and the
+kernel work in this repo (lazy byte accounting, event-driven completion,
+heap compaction, slotted hot records) exists precisely to make that scale
+routine.  This benchmark is the proof: a 10k-node overlay under
+:class:`~repro.sim.latency.ZeroLatencyModel` (bandwidth-style accounting,
+the paper's Fig. 9/10 methodology) runs a mixed workload of 10k queries --
+single-group aggregates and two-group AND/OR composites over repeated
+dashboard-style templates -- in concurrent waves.
+
+Unlike the simulated-time figures, the headline metric here is *wall
+clock*: how fast the simulator core chews through the workload's events.
+``scripts/perf_guard.py`` times this benchmark (and Figure 17) on every
+run and records the trajectory in ``BENCH_scale.json``, so a kernel
+regression shows up as a number, not a feeling.
+
+Scale knobs: ``MOARA_BENCH_TINY=1`` shrinks to a CI smoke (300 nodes, 200
+queries); the default is the full 10k/10k run.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core import MoaraCluster
+from repro.core import messages as mt
+
+from conftest import run_once, tiny_scale
+
+NUM_NODES = 300 if tiny_scale() else 10_000
+NUM_QUERIES = 200 if tiny_scale() else 10_000
+WAVE_SIZE = 100 if tiny_scale() else 500
+NUM_GROUPS = 16
+GROUP_SIZE = max(4, NUM_NODES // 40)
+#: distinct query shapes (a large dashboard's panels), cycled by the waves
+NUM_TEMPLATES = 24
+
+QUERY_PLANE_TYPES = (
+    mt.SIZE_PROBE,
+    mt.SIZE_RESPONSE,
+    mt.FRONTEND_QUERY,
+    mt.FRONTEND_RESPONSE,
+    mt.QUERY,
+    mt.QUERY_RESPONSE,
+)
+
+
+def _templates() -> list[str]:
+    """Mixed single/composite workload over the group universe."""
+    texts = []
+    for i in range(NUM_TEMPLATES):
+        a, b = i % NUM_GROUPS, (i * 5 + 1) % NUM_GROUPS
+        if i % 3 == 0:
+            texts.append(f"SELECT COUNT(*) WHERE S{a} = true")
+        elif i % 3 == 1:
+            texts.append(
+                f"SELECT COUNT(*) WHERE S{a} = true AND S{b} = true"
+            )
+        else:
+            texts.append(
+                f"SELECT COUNT(*) WHERE S{a} = true OR S{b} = true"
+            )
+    return texts
+
+
+def run_scale() -> dict[str, float]:
+    """Build the overlay, run the workload, return the metrics row.
+
+    Importable without pytest: ``scripts/perf_guard.py`` calls this
+    directly to time the run.
+    """
+    build_started = time.perf_counter()
+    cluster = MoaraCluster(NUM_NODES, seed=190)  # ZeroLatency by default
+    rng = random.Random(191)
+    for i in range(NUM_GROUPS):
+        cluster.set_group(f"S{i}", rng.sample(cluster.node_ids, GROUP_SIZE))
+    templates = _templates()
+    # Warm each group tree once (one broadcast per group, tree-state
+    # formation): every template's cover resolves to these same simple
+    # group predicates, so this is the whole one-time formation cost and
+    # not what the steady-state figure measures.
+    for i in range(NUM_GROUPS):
+        cluster.query(f"SELECT COUNT(*) WHERE S{i} = true")
+    cluster.stats.reset()
+    build_s = time.perf_counter() - build_started
+
+    rng = random.Random(192)
+    started = time.perf_counter()
+    events_before = cluster.engine.events_processed
+    submitted = 0
+    while submitted < NUM_QUERIES:
+        wave = min(WAVE_SIZE, NUM_QUERIES - submitted)
+        batch = [templates[rng.randrange(NUM_TEMPLATES)] for _ in range(wave)]
+        results = cluster.query_concurrent(batch)
+        assert all(r.value is not None and r.value >= 0 for r in results)
+        submitted += wave
+    wall = time.perf_counter() - started
+
+    stats = cluster.stats
+    snapshot = stats.snapshot()
+    query_plane = snapshot.messages_of(*QUERY_PLANE_TYPES)
+    events = cluster.engine.events_processed - events_before
+    return {
+        "nodes": float(NUM_NODES),
+        "queries": float(submitted),
+        "build_s": build_s,
+        "wall_s": wall,
+        "queries_per_wall_s": submitted / wall if wall > 0 else float("inf"),
+        "events": float(events),
+        "events_per_s": events / wall if wall > 0 else float("inf"),
+        "msgs_per_query": query_plane / submitted,
+        "total_msgs": float(stats.total_messages),
+    }
+
+
+def test_scale_10k_nodes_10k_queries(benchmark, emit) -> None:
+    # The whole experiment runs once under the benchmark fixture, so the
+    # pytest-benchmark JSON times it and MOARA_PROFILE=1 profiles it.
+    row = run_once(benchmark, run_scale)
+    metrics = [
+        ("nodes", "overlay size"),
+        ("queries", "queries run"),
+        ("build_s", "build+warm wall (s)"),
+        ("wall_s", "query-phase wall (s)"),
+        ("queries_per_wall_s", "queries / wall second"),
+        ("events", "engine events"),
+        ("events_per_s", "events / wall second"),
+        ("msgs_per_query", "query-plane msgs/query"),
+        ("total_msgs", "total messages"),
+    ]
+    lines = [
+        f"Scale -- {NUM_NODES} nodes, {NUM_QUERIES} queries in waves of "
+        f"{WAVE_SIZE} ({NUM_TEMPLATES} mixed single/composite templates, "
+        f"zero-latency bandwidth methodology)",
+    ]
+    for key, label in metrics:
+        lines.append(f"{label:<28s}{row[key]:>16.2f}")
+    emit("scale_10k", lines)
+
+    # Acceptance: the run completes and the steady-state cost per query
+    # stays far below a broadcast (tree pruning + caching are working).
+    assert row["queries"] == NUM_QUERIES
+    assert row["msgs_per_query"] < NUM_NODES / 10

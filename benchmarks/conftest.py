@@ -54,5 +54,35 @@ def emit(results_dir: Path, capsys):
 
 
 def run_once(benchmark, fn):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    With ``MOARA_PROFILE=1`` the run is additionally wrapped in
+    :mod:`cProfile` and the top-30 cumulative entries are printed, so
+    perf work starts from data instead of guesses (the paper-figure
+    output is unaffected).
+    """
+    if os.environ.get("MOARA_PROFILE", "") in ("", "0"):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    import cProfile
+    import io
+    import pstats
+
+    profile = cProfile.Profile()
+    result = benchmark.pedantic(
+        lambda: profile.runcall(fn), rounds=1, iterations=1, warmup_rounds=0
+    )
+    stream = io.StringIO()
+    pstats.Stats(profile, stream=stream).sort_stats("cumulative").print_stats(30)
+    report = (
+        "===== MOARA_PROFILE: top 30 by cumulative time =====\n"
+        + stream.getvalue()
+    )
+    # pytest captures stdout at the fd level, so also archive the dump
+    # where it survives the run (named after the benchmark's test).
+    name = getattr(benchmark, "name", None) or "benchmark"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"profile_{name.replace('/', '_')}.txt"
+    path.write_text(report)
+    print(f"\n{report}\n[profile archived to {path}]")
+    return result

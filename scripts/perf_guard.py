@@ -1,0 +1,164 @@
+"""Wall-clock perf guard: time the headline benchmarks, track a trajectory.
+
+Runs the two kernel-sensitive benchmarks -- Figure 17's concurrent
+front-end throughput and the 10k-node scale run -- under plain
+``time.perf_counter``, writes the numbers to ``BENCH_scale.json`` at the
+repo root, and (when the committed file already holds a baseline)
+compares against it.
+
+The comparison is **non-blocking**: a wall-clock regression worse than
+``--threshold`` (default 25%) prints a GitHub Actions ``::warning::``
+line and the script still exits 0.  Wall clock on shared CI runners is
+noisy; the guard exists to make regressions *visible* in the PR log and
+the artifact trajectory, not to flake builds.  Numbers recorded under
+``MOARA_BENCH_TINY=1`` go to a separate ``BENCH_scale_tiny.json`` (and
+are compared only against it), so a smoke run can never overwrite the
+committed full-scale baseline.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_guard.py            # full scale
+    MOARA_BENCH_TINY=1 PYTHONPATH=src python scripts/perf_guard.py  # CI smoke
+    PYTHONPATH=src python scripts/perf_guard.py --no-write # measure only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+#: full-scale trajectory (committed; the regression baseline).
+BENCH_FILE = REPO_ROOT / "BENCH_scale.json"
+#: tiny-smoke trajectory (CI artifact only; never the committed baseline,
+#: so a smoke run cannot clobber the full-scale numbers).
+BENCH_FILE_TINY = REPO_ROOT / "BENCH_scale_tiny.json"
+
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _time_fig17() -> dict:
+    from bench_fig17_throughput import _experiment
+
+    started = time.perf_counter()
+    rows = _experiment()
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 3),
+        "uncached_msgs_per_query": round(
+            rows["uncached"]["total_msgs_per_query"], 2
+        ),
+        "cached_msgs_per_query": round(
+            rows["cached"]["total_msgs_per_query"], 2
+        ),
+        "cached_qps_sim": round(rows["cached"]["qps"], 1),
+    }
+
+
+def _time_scale() -> dict:
+    from bench_scale import run_scale
+
+    started = time.perf_counter()
+    row = run_scale()
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 3),
+        "build_s": round(row["build_s"], 3),
+        "query_phase_s": round(row["wall_s"], 3),
+        "nodes": int(row["nodes"]),
+        "queries": int(row["queries"]),
+        "msgs_per_query": round(row["msgs_per_query"], 2),
+        "queries_per_wall_s": round(row["queries_per_wall_s"], 1),
+        "events_per_s": round(row["events_per_s"], 1),
+    }
+
+
+def _load_baseline(path: Path) -> dict | None:
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return None
+
+
+def _compare(name: str, new: dict, old: dict, threshold: float) -> list[str]:
+    warnings = []
+    old_wall = old.get("wall_s")
+    new_wall = new.get("wall_s")
+    if not old_wall or not new_wall:
+        return warnings
+    ratio = new_wall / old_wall
+    if ratio > 1 + threshold:
+        warnings.append(
+            f"::warning title=perf regression::{name} wall-clock "
+            f"{new_wall:.2f}s is {ratio - 1:.0%} slower than the committed "
+            f"baseline {old_wall:.2f}s (threshold {threshold:.0%})"
+        )
+    return warnings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="warn when wall-clock regresses more than this fraction",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="measure and compare only; leave BENCH_scale.json untouched",
+    )
+    args = parser.parse_args()
+
+    tiny = os.environ.get("MOARA_BENCH_TINY", "") not in ("", "0")
+    print(f"perf_guard: timing benchmarks ({'tiny' if tiny else 'full'} scale)")
+
+    fig17 = _time_fig17()
+    print(f"  fig17_throughput: {fig17['wall_s']:.2f}s wall, "
+          f"{fig17['cached_msgs_per_query']:.1f} msgs/query cached")
+    scale = _time_scale()
+    print(f"  scale: {scale['wall_s']:.2f}s wall "
+          f"({scale['nodes']} nodes, {scale['queries']} queries, "
+          f"{scale['msgs_per_query']:.1f} msgs/query)")
+
+    record = {
+        "schema": 1,
+        "tiny": tiny,
+        "python": ".".join(str(v) for v in sys.version_info[:3]),
+        "benchmarks": {"fig17_throughput": fig17, "scale": scale},
+    }
+
+    bench_file = BENCH_FILE_TINY if tiny else BENCH_FILE
+    baseline = _load_baseline(bench_file)
+    warnings: list[str] = []
+    compared = False
+    if baseline is not None and baseline.get("tiny", False) == tiny:
+        compared = True
+        for name, new_row in record["benchmarks"].items():
+            old_row = baseline.get("benchmarks", {}).get(name, {})
+            warnings.extend(_compare(name, new_row, old_row, args.threshold))
+    elif baseline is not None:
+        # Only possible if someone hand-copied a file across scales.
+        print("  baseline scale differs (tiny vs full); skipping comparison")
+
+    for line in warnings:
+        print(line)
+    if compared and not warnings:
+        print(f"  within {args.threshold:.0%} of the committed baseline")
+
+    if not args.no_write:
+        bench_file.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"  wrote {bench_file.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -63,11 +63,16 @@ _QUERY_NOSAT = "qn"
 _CHANGE = "c"
 
 
-@dataclass
+@dataclass(slots=True)
 class Adaptor:
-    """Per-(node, predicate) adaptation state machine."""
+    """Per-(node, predicate) adaptation state machine.
+
+    Slotted: one instance per (node, predicate) tree state, consulted on
+    every query receipt."""
 
     config: AdaptationConfig = field(default_factory=AdaptationConfig)
+    update: bool = field(init=False)
+    _events: "deque[str]" = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         # Paper Procedure 2: "Initial Value: update <- 0 // in the
@@ -84,10 +89,12 @@ class Adaptor:
         """Account for one received query, plus ``missed`` earlier queries
         inferred from a sequence-number gap (those arrived while this node
         was pruned out, hence counted as non-contributing)."""
-        cap = self._events.maxlen or 0
-        for _ in range(min(missed, cap)):
-            self._events.append(_QUERY_NOSAT)
-        self._events.append(_QUERY_SAT if contributing else _QUERY_NOSAT)
+        events = self._events
+        if missed:
+            cap = events.maxlen or 0
+            for _ in range(min(missed, cap)):
+                events.append(_QUERY_NOSAT)
+        events.append(_QUERY_SAT if contributing else _QUERY_NOSAT)
         return self._reevaluate()
 
     def record_change(self) -> bool:
@@ -100,28 +107,49 @@ class Adaptor:
     # ------------------------------------------------------------------
 
     def counts(self) -> tuple[int, int, int]:
-        """(qn, qs, c) over the window for the current state."""
+        """(qn, qs, c) over the window for the current state.
+
+        Runs once per query per node: counts the last ``k`` events in one
+        reverse walk instead of copying the window out of the deque.
+        """
         k = (
             self.config.k_update
             if self.update
             else self.config.k_no_update
         )
-        recent = list(self._events)[-k:]
-        return (
-            recent.count(_QUERY_NOSAT),
-            recent.count(_QUERY_SAT),
-            recent.count(_CHANGE),
-        )
+        qn = qs = c = 0
+        for event in reversed(self._events):
+            if k <= 0:
+                break
+            k -= 1
+            if event == _QUERY_NOSAT:
+                qn += 1
+            elif event == _QUERY_SAT:
+                qs += 1
+            else:
+                c += 1
+        return qn, qs, c
 
     # ------------------------------------------------------------------
     # Procedure 2
     # ------------------------------------------------------------------
 
     def _reevaluate(self) -> bool:
-        policy = self.config.policy
-        if policy is not MaintenancePolicy.ADAPTIVE:
+        config = self.config
+        if config.policy is not MaintenancePolicy.ADAPTIVE:
             return False  # pinned
-        qn, _qs, c = self.counts()
+        # Inline tail count over the window (one reverse walk, no copy):
+        # this runs once per query per receiving node.
+        k = config.k_update if self.update else config.k_no_update
+        qn = c = 0
+        for event in reversed(self._events):
+            if k <= 0:
+                break
+            k -= 1
+            if event == _QUERY_NOSAT:
+                qn += 1
+            elif event == _CHANGE:
+                c += 1
         new_update = self.update
         if 2 * qn < c:
             new_update = False

@@ -26,9 +26,19 @@ class AttributeStore(Mapping[str, AttributeValue]):
         self._listeners: list[ChangeListener] = []
 
     # Mapping interface -------------------------------------------------
+    # __contains__ and get are overridden (the Mapping ABC versions go
+    # through __getitem__ and exception handling): predicate evaluation
+    # probes attributes on every query at every node.
 
     def __getitem__(self, name: str) -> AttributeValue:
         return self._values[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._values
+
+    def get(self, name: str, default: Any = None) -> AttributeValue:
+        """Direct dict.get passthrough (hot path)."""
+        return self._values.get(name, default)
 
     def __iter__(self) -> Iterator[str]:
         return iter(self._values)
@@ -76,3 +86,13 @@ class AttributeStore(Mapping[str, AttributeValue]):
     def as_dict(self) -> dict[str, AttributeValue]:
         """A copy of the current attribute map."""
         return dict(self._values)
+
+    @property
+    def data(self) -> dict[str, AttributeValue]:
+        """The live underlying dict -- treat as read-only.
+
+        Hot-path view: predicate evaluation against a plain dict uses
+        C-level ``dict.get`` instead of Python-level Mapping methods.
+        Mutations must still go through :meth:`set` / :meth:`delete` so
+        change listeners fire."""
+        return self._values

@@ -44,14 +44,22 @@ class MoaraCluster:
         semantics: Optional[SemanticContext] = None,
         frontend_config: Optional[FrontendConfig] = None,
         num_frontends: int = 1,
+        detailed_bytes: bool = False,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("cluster needs at least one node")
         if num_frontends < 1:
             raise ValueError("cluster needs at least one front-end")
         self.engine = Engine()
-        self.stats = MessageStats()
+        # Counts-only stats by default; pass detailed_bytes=True to restore
+        # per-message byte estimation for bandwidth analysis (slower).
+        self.stats = MessageStats(detailed_bytes=detailed_bytes)
         self.network = Network(self.engine, ZeroLatencyModel(), self.stats)
+        #: qids the current synchronous drive is waiting on (completion
+        #: waiter registry; None when no drive is active).  Front-ends
+        #: signal completions into :meth:`_signal_completion`, which stops
+        #: the engine once the set drains -- no per-event predicate polling.
+        self._waiters: Optional[set[str]] = None
         self.overlay = Overlay(space or IdSpace())
         self.config = config or MoaraConfig()
         self.nodes: dict[int, MoaraNode] = {}
@@ -109,6 +117,7 @@ class MoaraCluster:
             semantics=self.semantics,
             config=config or self._frontend_config,
         )
+        frontend.on_query_complete = self._signal_completion
         self.frontends.append(frontend)
         return frontend
 
@@ -175,6 +184,57 @@ class MoaraCluster:
     # queries
     # ------------------------------------------------------------------
 
+    # ------------------------------------------------------------------
+    # completion-waiter registry (event-driven drives)
+    # ------------------------------------------------------------------
+
+    def _signal_completion(self, qid: str) -> None:
+        """Front-end completion signal: wake the engine when the current
+        drive's last awaited query finishes."""
+        waiters = self._waiters
+        if waiters is not None and qid in waiters:
+            waiters.discard(qid)
+            if not waiters:
+                self.engine.request_stop()
+
+    def _drive_to_completion(
+        self,
+        submitted: list[tuple[Frontend, str]],
+        max_events: int,
+    ) -> bool:
+        """Run the engine until every submitted query completes.
+
+        Event-driven: front-ends report completions into the waiter
+        registry and the last one stops the engine
+        (:meth:`~repro.sim.engine.Engine.request_stop`), so no predicate
+        is evaluated per event (``Engine.run_until`` is the documented
+        slow path, kept for tests).  Returns False if the simulation went
+        idle first; raises ``RuntimeError`` when ``max_events`` elapse
+        without completion (livelock guard, matching ``run_until``).
+        """
+        waiting = {qid for fe, qid in submitted if qid not in fe.results}
+        if not waiting:
+            return True
+        engine = self.engine
+        self._waiters = waiting
+        try:
+            budget = max_events
+            while True:
+                before = engine.events_processed
+                engine.run(max_events=budget)
+                budget -= engine.events_processed - before
+                if not waiting:
+                    return True
+                if engine.pending == 0:
+                    return False  # idle with queries unanswered
+                if budget <= 0:
+                    raise RuntimeError(
+                        f"{len(waiting)} queries not completed within "
+                        f"{max_events} events"
+                    )
+        finally:
+            self._waiters = None
+
     def query(
         self,
         query: Union[str, Query],
@@ -188,9 +248,7 @@ class MoaraCluster:
         """
         fe = self.frontends[frontend]
         qid = fe.submit(query)
-        done = self.engine.run_until(
-            lambda: qid in fe.results, max_events=max_events
-        )
+        done = self._drive_to_completion([(fe, qid)], max_events)
         if not done:
             raise QueryTimeoutError(
                 f"query {qid} did not complete (simulation went idle)"
@@ -233,10 +291,7 @@ class MoaraCluster:
             (pool[i % len(pool)], query) for i, query in enumerate(queries)
         ]
         submitted = [(fe, fe.submit(query)) for fe, query in pairs]
-        done = self.engine.run_until(
-            lambda: all(qid in fe.results for fe, qid in submitted),
-            max_events=max_events,
-        )
+        done = self._drive_to_completion(submitted, max_events)
         if not done:
             missing = [
                 qid for fe, qid in submitted if qid not in fe.results

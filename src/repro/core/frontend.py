@@ -198,6 +198,13 @@ class Frontend:
         self._shares: dict[tuple, _SharedSubQuery] = {}
         self._share_by_id: dict[str, _SharedSubQuery] = {}
         self.results: dict[str, QueryResult] = {}
+        #: completion signal: called with the qid of every query that
+        #: finishes (stored or delivered to its callback).  The cluster's
+        #: waiter registry plugs in here so drivers can sleep in
+        #: ``Engine.run`` and be woken by ``Engine.request_stop`` instead
+        #: of re-scanning ``results`` after every event (the old
+        #: ``run_until`` slow path).
+        self.on_query_complete: Optional[Callable[[str], None]] = None
         network.attach(self)
 
     # ------------------------------------------------------------------
@@ -462,9 +469,14 @@ class Frontend:
             )
         if payload.get("subscribed"):
             share.subscribed_groups += 1
-        share.partial = share.query.function.merge(
-            share.partial, payload["partial"]
-        )
+        part = payload["partial"]
+        if part is not None:
+            # merge() treats None as the identity; skip it for NULL groups.
+            share.partial = (
+                part
+                if share.partial is None
+                else share.query.function.merge(share.partial, part)
+            )
         share.contributors += payload["contributors"]
         if share.waiting:
             return
@@ -532,6 +544,8 @@ class Frontend:
             callback(result)
         else:
             self.results[qid] = result
+        if self.on_query_complete is not None:
+            self.on_query_complete(qid)
 
     # ------------------------------------------------------------------
     # network entry point

@@ -124,9 +124,12 @@ class MoaraConfig:
         return cls(**overrides)
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingQuery:
-    """An aggregation in progress at one node for one (query, group)."""
+    """An aggregation in progress at one node for one (query, group).
+
+    Slotted: with thousands of concurrent queries there is one of these
+    per (query, group) per aggregating node."""
 
     qid: str
     pred_key: str
@@ -164,6 +167,11 @@ class MoaraNode:
         self.config = config or MoaraConfig()
         self.attributes = AttributeStore()
         self.attributes.add_listener(self._on_attribute_change)
+        #: read-only dict view for hot-path predicate evaluation.
+        self._attr_data = self.attributes.data
+        #: direct engine binding (self.network.engine, hoisted: read on
+        #: every handled message for the clock and for timer scheduling).
+        self._engine = network.engine
         #: predicate canonical key -> tree state
         self.states: dict[str, PredicateTreeState] = {}
         self._pending: dict[tuple[str, str], _PendingQuery] = {}
@@ -176,6 +184,19 @@ class MoaraNode:
         self._seq_counters: dict[str, int] = {}
         factory = self.config.gc_policy_factory
         self.gc_policy: GCPolicy = factory() if factory is not None else NoGC()
+        # Hot-path constants hoisted off the config (read per received
+        # query; the config is set once at construction).
+        self._answered_ttl = self.config.answered_ttl
+        self._child_timeout = self.config.child_timeout
+        self._share_executions = self.config.share_executions
+        self._gc_enabled = type(self.gc_policy) is not NoGC
+        # Adaptive prune thresholds for the duplicate-suppression caches.
+        # They double whenever a prune cannot get under the limit (all
+        # entries still live), so a workload with more concurrent queries
+        # than the limit pays amortized O(1) per query instead of one
+        # full-dict rebuild per received query (quadratic at 10k scale).
+        self._answered_limit = 1024
+        self._seen_limit = 4096
         #: root-side TTL'd result cache (disabled unless configured).
         self.result_cache = ResultCache(
             ttl=self.config.result_cache_ttl,
@@ -195,7 +216,12 @@ class MoaraNode:
         not maintain any state ... A node starts maintaining states only
         when a query arrives at the node" -- or, here, when a child reports.
         """
-        key = predicate.canonical()
+        # Inline probe of the predicate's canonical-form cache (payloads
+        # share predicate instances, so this hits for every message after
+        # the first): one dict lookup instead of a method call.
+        key = predicate.__dict__.get("_canonical_cache")
+        if key is None:
+            key = predicate.canonical()
         state = self.states.get(key)
         if state is None:
             tree_key = self.overlay.space.hash_name(group_attribute(predicate))
@@ -205,8 +231,9 @@ class MoaraNode:
                 node_id=self.node_id,
                 adaptor=Adaptor(self.config.adaptation),
                 threshold=self.config.threshold,
+                pred_key=key,
             )
-            state.local_sat = predicate.evaluate(self.attributes)
+            state.local_sat = predicate.evaluate(self._attr_data)
             state.computed_update_set = state.compute_update_set(
                 self._dht_children(state)
             )
@@ -234,35 +261,89 @@ class MoaraNode:
         return True
 
     def _dht_children(self, state: PredicateTreeState) -> list[int]:
-        if self.node_id not in self.overlay:
-            return []
-        return self.overlay.children(self.node_id, state.tree_key)
+        """Our children in the state's tree, cached per membership version.
+
+        Hot path: consulted on every query/response/status for the
+        predicate.  The overlay's tree lookup (membership check + cached
+        tree fetch) is cheap but not free, and membership changes are rare
+        relative to message deliveries, so the result is memoized on the
+        state and gated by the overlay's membership version.  Callers must
+        treat the returned list as read-only.
+        """
+        overlay = self.overlay
+        version = overlay.index.version
+        if state.cached_children_version == version:
+            return state.cached_children
+        if self.node_id in overlay:
+            children = overlay.children(self.node_id, state.tree_key)
+        else:
+            children = []
+        state.cached_children = children
+        state.cached_children_version = version
+        return children
 
     def _dht_parent(self, state: PredicateTreeState) -> Optional[int]:
-        if self.node_id not in self.overlay:
-            return None
-        return self.overlay.parent(self.node_id, state.tree_key)
+        """Our parent in the state's tree (None at the root), cached like
+        :meth:`_dht_children`."""
+        overlay = self.overlay
+        version = overlay.index.version
+        if state.cached_parent_version == version:
+            return state.cached_parent
+        if self.node_id in overlay:
+            parent = overlay.parent(self.node_id, state.tree_key)
+        else:
+            parent = None
+        state.cached_parent = parent
+        state.cached_parent_version = version
+        return parent
 
     def _is_root(self, state: PredicateTreeState) -> bool:
         return self._dht_parent(state) is None
+
+    def _forward_targets(self, state: PredicateTreeState) -> set[int]:
+        """``state.forward_targets`` memoized per (reports, membership)
+        version pair -- it is recomputed from the child-report map on
+        every query receipt otherwise.  Callers must not mutate the
+        returned set."""
+        children = self._dht_children(state)
+        key = (state.report_version, state.cached_children_version)
+        if state.fwd_targets_key == key:
+            return state.fwd_targets  # type: ignore[return-value]
+        targets = state.forward_targets(children)
+        state.fwd_targets_key = key
+        state.fwd_targets = targets
+        return targets
+
+    def _subtree_recv(self, state: PredicateTreeState, is_root: bool) -> int:
+        """``state.subtree_recv`` memoized like :meth:`_forward_targets`
+        (it runs on every reply); the key also pins the inputs the value
+        reads directly: ``is_root`` and ``sent_update_set``."""
+        children = self._dht_children(state)
+        key = (
+            state.report_version,
+            state.recv_version,
+            state.cached_children_version,
+            is_root,
+            state.sent_update_set,
+        )
+        if state.subtree_recv_key == key:
+            return state.subtree_recv_value
+        value = state.subtree_recv(children, is_root=is_root)
+        state.subtree_recv_key = key
+        state.subtree_recv_value = value
+        return value
 
     # ------------------------------------------------------------------
     # message dispatch
     # ------------------------------------------------------------------
 
     def handle_message(self, message: Message) -> None:
-        """Network entry point."""
-        handler = {
-            mt.QUERY: self._handle_query,
-            mt.QUERY_RESPONSE: self._handle_response,
-            mt.STATUS_UPDATE: self._handle_status,
-            mt.STATE_SYNC: self._handle_status,
-            mt.SIZE_PROBE: self._handle_size_probe,
-            mt.FRONTEND_QUERY: self._handle_frontend_query,
-        }.get(message.mtype)
+        """Network entry point (dispatch table built once, below the class:
+        no per-message dict or bound-method churn on the hot path)."""
+        handler = _DISPATCH.get(message.mtype)
         if handler is None:
             raise ValueError(f"unexpected message type {message.mtype!r}")
-        handler(message)
+        handler(self, message)
 
     # ------------------------------------------------------------------
     # attribute changes (group churn)
@@ -271,11 +352,12 @@ class MoaraNode:
     def _on_attribute_change(self, name: str, old: Any, new: Any) -> None:
         # A local update changes this node's own contribution to any
         # aggregate fed by the attribute: drop affected cached results.
-        self.result_cache.invalidate_attr(name)
+        if self.result_cache.enabled:
+            self.result_cache.invalidate_attr(name)
         for state in list(self.states.values()):
             if name not in state.predicate.attributes():
                 continue
-            new_sat = state.predicate.evaluate(self.attributes)
+            new_sat = state.predicate.evaluate(self._attr_data)
             if new_sat != state.local_sat:
                 state.local_sat = new_sat
                 self._recompute(state)
@@ -328,9 +410,7 @@ class MoaraNode:
             {
                 "predicate": state.predicate,
                 "update_set": update_set,
-                "subtree_recv": state.subtree_recv(
-                    self._dht_children(state), is_root=False
-                ),
+                "subtree_recv": self._subtree_recv(state, False),
                 "last_seen_seq": state.last_seen_seq,
             },
         )
@@ -340,7 +420,8 @@ class MoaraNode:
         state = self.get_state(payload["predicate"])
         # A child report means group membership (or routing) under us
         # changed for this tree: cached results for it may be stale.
-        self.result_cache.invalidate_group(state.predicate.canonical())
+        if self.result_cache.enabled:
+            self.result_cache.invalidate_group(state.pred_key)
         state.record_child_report(
             message.src,
             frozenset(payload["update_set"]),
@@ -364,12 +445,12 @@ class MoaraNode:
         """
         payload = message.payload
         state = self.get_state(payload["predicate"])
-        pred_key = state.predicate.canonical()
+        pred_key = state.pred_key
         query = payload["query"]
         qid = payload["qid"]
         cover = payload.get("cover")
         exec_key = execution_key(query, pred_key, cover)
-        now = self.network.engine.now
+        now = self._engine._now
         stats = self.network.stats
         if exec_key is not None and self.result_cache.enabled:
             entry = self.result_cache.get(exec_key, now)
@@ -386,7 +467,7 @@ class MoaraNode:
                 )
                 return
             stats.root_cache_misses += 1
-        if exec_key is not None and self.config.share_executions:
+        if exec_key is not None and self._share_executions:
             if self.inflight.subscribe(exec_key, message.src, qid):
                 stats.root_subscriptions += 1
                 return
@@ -396,13 +477,7 @@ class MoaraNode:
         seq = max(self._seq_counters.get(pred_key, 0), state.last_seen_seq) + 1
         self._seq_counters[pred_key] = seq
         self._process_query(
-            state,
-            qid=qid,
-            seq=seq,
-            query=query,
-            reply_to=message.src,
-            reply_mtype=mt.FRONTEND_RESPONSE,
-            exec_key=exec_key,
+            state, qid, seq, query, message.src, mt.FRONTEND_RESPONSE, exec_key
         )
 
     def _handle_query(self, message: Message) -> None:
@@ -410,11 +485,11 @@ class MoaraNode:
         state = self.get_state(payload["predicate"])
         self._process_query(
             state,
-            qid=payload["qid"],
-            seq=payload["seq"],
-            query=payload["query"],
-            reply_to=message.src,
-            reply_mtype=mt.QUERY_RESPONSE,
+            payload["qid"],
+            payload["seq"],
+            payload["query"],
+            message.src,
+            mt.QUERY_RESPONSE,
         )
 
     def _process_query(
@@ -427,37 +502,47 @@ class MoaraNode:
         reply_mtype: str,
         exec_key: Optional[tuple] = None,
     ) -> None:
-        pred_key = state.predicate.canonical()
+        pred_key = state.pred_key
         key = (qid, pred_key)
-        now = self.network.engine.now
+        now = self._engine._now
         if key in self._pending or self._seen_queries.get(key, -1.0) >= now:
             # Duplicate delivery (stale forwarding state): answer empty so
             # the sender's aggregation completes; our value already flows
             # through the other path.
             self._send_reply(state, qid, reply_to, reply_mtype, None, 0)
             return
-        self._seen_queries[key] = now + self.config.answered_ttl
-        self._prune_caches(now)
-        self.gc_policy.on_query(self, pred_key, now)
-        # Sweep other predicates; the one being processed right now is
-        # protected by its fresh on_query recency/frequency record and by
-        # the pending-query check in garbage_collect once forwarding starts.
-        for candidate in self.gc_policy.collect(self, now):
-            if candidate != pred_key:
-                self.garbage_collect(candidate)
+        self._seen_queries[key] = now + self._answered_ttl
+        if (
+            len(self._answered) > self._answered_limit
+            or len(self._seen_queries) > self._seen_limit
+        ):
+            self._prune_caches(now)
+        if self._gc_enabled:
+            self.gc_policy.on_query(self, pred_key, now)
+            # Sweep other predicates; the one being processed right now is
+            # protected by its fresh on_query recency/frequency record and
+            # by the pending-query check in garbage_collect once
+            # forwarding starts.
+            for candidate in self.gc_policy.collect(self, now):
+                if candidate != pred_key:
+                    self.garbage_collect(candidate)
 
         # Sequence accounting: queries missed while pruned count as qn.
-        missed = max(0, seq - state.last_seen_seq - 1)
-        state.last_seen_seq = max(state.last_seen_seq, seq)
+        missed = seq - state.last_seen_seq - 1
+        if missed < 0:
+            missed = 0
+        if seq > state.last_seen_seq:
+            state.last_seen_seq = seq
         contributing = self.node_id in state.computed_update_set
         flipped = state.adaptor.record_query(contributing, missed)
-        self._after_adaptation(state, flipped)
-        self._maybe_send_status(state)
+        if flipped:
+            self._after_adaptation(state, flipped)
+        if state.adaptor.update:
+            self._maybe_send_status(state)
 
-        children = self._dht_children(state)
-        targets = state.forward_targets(children)
+        targets = self._forward_targets(state)
         # The DHT's failure detector: skip targets known to be dead.
-        live_targets = {t for t in targets if self.network.is_alive(t)}
+        live_targets = self.network.filter_alive(targets)
 
         partial, contributed = self._local_contribution(qid, query, now)
         if not live_targets:
@@ -482,23 +567,24 @@ class MoaraNode:
             exec_key=exec_key,
         )
         self._pending[key] = pending
-        if exec_key is not None and self.config.share_executions:
+        if exec_key is not None and self._share_executions:
             self.inflight.open(exec_key)
-        for target in sorted(live_targets):
-            self.network.send(
-                self.node_id,
-                target,
-                mt.QUERY,
-                {
-                    "qid": qid,
-                    "seq": seq,
-                    "query": query,
-                    "predicate": state.predicate,
-                },
-            )
-        if self.config.child_timeout is not None:
-            pending.timeout_handle = self.network.engine.schedule(
-                self.config.child_timeout, self._on_timeout, key
+        # One shared payload for the whole fan-out (receivers are
+        # read-only); sorted for deterministic send order.
+        self.network.send_many(
+            self.node_id,
+            sorted(live_targets),
+            mt.QUERY,
+            {
+                "qid": qid,
+                "seq": seq,
+                "query": query,
+                "predicate": state.predicate,
+            },
+        )
+        if self._child_timeout is not None:
+            pending.timeout_handle = self._engine.schedule(
+                self._child_timeout, self._on_timeout, key
             )
 
     def _local_contribution(
@@ -506,18 +592,19 @@ class MoaraNode:
     ) -> tuple[Any, bool]:
         """Our own (value, contributed) for a query, with composite-cover
         duplicate suppression (Section 6.2)."""
-        if not query.predicate.evaluate(self.attributes):
+        attrs = self._attr_data
+        if not query.predicate.evaluate(attrs):
             return None, False
         expiry = self._answered.get(qid)
         if expiry is not None and expiry >= now:
             return None, False  # already answered via another cover group
         if query.attr == STAR_ATTRIBUTE:
             value: Any = 1
-        elif query.attr in self.attributes:
-            value = self.attributes[query.attr]
+        elif query.attr in attrs:
+            value = attrs[query.attr]
         else:
             return None, False  # satisfies the group but lacks the attribute
-        self._answered[qid] = now + self.config.answered_ttl
+        self._answered[qid] = now + self._answered_ttl
         return query.function.lift(value, self.node_id), True
 
     def _handle_response(self, message: Message) -> None:
@@ -527,7 +614,7 @@ class MoaraNode:
         if state is not None and "subtree_recv" in payload:
             # Piggybacked np maintenance (Section 6.3) -- only reports from
             # our actual DHT children describe subtrees we own.
-            if message.src in set(self._dht_children(state)):
+            if message.src in self._dht_children(state):
                 state.record_child_report(
                     message.src, None, payload["subtree_recv"]
                 )
@@ -536,9 +623,15 @@ class MoaraNode:
         if pending is None or message.src not in pending.waiting:
             return  # late response after timeout/failure resolution
         pending.waiting.discard(message.src)
-        pending.partial = pending.query.function.merge(
-            pending.partial, payload["partial"]
-        )
+        part = payload["partial"]
+        if part is not None:
+            # merge() treats None as the identity; skip the call for the
+            # common empty-subtree response.
+            pending.partial = (
+                part
+                if pending.partial is None
+                else pending.query.function.merge(pending.partial, part)
+            )
         pending.contributors += payload["contributors"]
         if not pending.waiting:
             self._finalize(key)
@@ -568,7 +661,7 @@ class MoaraNode:
         if pending.exec_key is None:
             return
         if not pending.truncated:
-            now = self.network.engine.now
+            now = self._engine._now
             self._remember_result(
                 state,
                 pending.exec_key,
@@ -612,7 +705,7 @@ class MoaraNode:
             exec_key,
             partial,
             contributors,
-            group_key=state.predicate.canonical(),
+            group_key=state.pred_key,
             attrs=frozenset(attrs),
             now=now,
         )
@@ -629,12 +722,10 @@ class MoaraNode:
         subscribed: bool = False,
     ) -> None:
         is_root = self._is_root(state)
-        subtree_recv = state.subtree_recv(
-            self._dht_children(state), is_root=is_root
-        )
+        subtree_recv = self._subtree_recv(state, is_root)
         payload = {
             "qid": qid,
-            "pred_key": state.predicate.canonical(),
+            "pred_key": state.pred_key,
             "partial": partial,
             "contributors": contributors,
             "subtree_recv": subtree_recv,
@@ -660,14 +751,26 @@ class MoaraNode:
         )
 
     def _prune_caches(self, now: float) -> None:
-        if len(self._answered) > 1024:
+        """Drop expired duplicate-suppression entries.
+
+        Pruning frequency is invisible to the protocol (expired entries
+        are never consulted positively), so the limits may grow freely:
+        when a prune leaves the dict over its limit -- every entry still
+        live, e.g. a burst of more concurrent queries than the limit --
+        the limit doubles rather than re-scanning on every later query.
+        """
+        if len(self._answered) > self._answered_limit:
             self._answered = {
                 qid: exp for qid, exp in self._answered.items() if exp >= now
             }
-        if len(self._seen_queries) > 4096:
+            while len(self._answered) > self._answered_limit:
+                self._answered_limit *= 2
+        if len(self._seen_queries) > self._seen_limit:
             self._seen_queries = {
                 k: exp for k, exp in self._seen_queries.items() if exp >= now
             }
+            while len(self._seen_queries) > self._seen_limit:
+                self._seen_limit *= 2
 
     # ------------------------------------------------------------------
     # size probes (Section 6.3)
@@ -676,14 +779,14 @@ class MoaraNode:
     def _handle_size_probe(self, message: Message) -> None:
         payload = message.payload
         state = self.get_state(payload["predicate"])
-        cost = 2 * state.subtree_recv(self._dht_children(state), is_root=True)
+        cost = 2 * self._subtree_recv(state, True)
         self.network.send(
             self.node_id,
             message.src,
             mt.SIZE_RESPONSE,
             {
                 "probe_id": payload["probe_id"],
-                "pred_key": state.predicate.canonical(),
+                "pred_key": state.pred_key,
                 "cost": cost,
             },
         )
@@ -733,6 +836,18 @@ class MoaraNode:
                     # NO-UPDATE: the new parent's default view (forward
                     # directly to us) is exactly what correctness needs.
                     state.sent_update_set = None
+
+
+#: message-type -> unbound handler, built once at import time (the
+#: per-node dispatch used by :meth:`MoaraNode.handle_message`).
+_DISPATCH: dict[str, Callable[[MoaraNode, Message], None]] = {
+    mt.QUERY: MoaraNode._handle_query,
+    mt.QUERY_RESPONSE: MoaraNode._handle_response,
+    mt.STATUS_UPDATE: MoaraNode._handle_status,
+    mt.STATE_SYNC: MoaraNode._handle_status,
+    mt.SIZE_PROBE: MoaraNode._handle_size_probe,
+    mt.FRONTEND_QUERY: MoaraNode._handle_frontend_query,
+}
 
 
 #: Public alias: the node-side counterpart of ``FrontendConfig`` (the

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Optional
 
 from repro.core.aggregation import get_function
@@ -262,15 +263,24 @@ def _parse_operator(text: str) -> Comparison:
     return Comparison(text)
 
 
+@lru_cache(maxsize=4096)
 def parse_query(text: str) -> Query:
-    """Parse a full query in SQL-like or triple form."""
+    """Parse a full query in SQL-like or triple form.
+
+    Memoized: :class:`Query` and its predicates are immutable, and real
+    workloads submit the same handful of query texts over and over
+    (repeat submissions also then share the predicates' canonical-form
+    caches).  Failed parses raise and are not cached.
+    """
     if not text.strip():
         raise ParseError("empty query")
     return _Parser(text).parse_query()
 
 
+@lru_cache(maxsize=4096)
 def parse_predicate(text: str) -> Predicate:
-    """Parse a bare group predicate (no aggregation part)."""
+    """Parse a bare group predicate (no aggregation part).  Memoized like
+    :func:`parse_query` (predicates are immutable)."""
     if not text.strip():
         raise ParseError("empty predicate")
     parser = _Parser(text)

@@ -18,6 +18,7 @@ minimization.
 
 from __future__ import annotations
 
+import operator
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from enum import Enum
@@ -84,6 +85,18 @@ _NEGATIONS = {
     Comparison.NE: Comparison.EQ,
 }
 
+#: C-level comparison functions, keyed by operator: the evaluation hot
+#: path (every query probes its predicate at every receiving node) uses
+#: these instead of walking :meth:`Comparison.apply`'s branch chain.
+_OP_FUNCS = {
+    Comparison.EQ: operator.eq,
+    Comparison.NE: operator.ne,
+    Comparison.LT: operator.lt,
+    Comparison.GT: operator.gt,
+    Comparison.LE: operator.le,
+    Comparison.GE: operator.ge,
+}
+
 
 class Predicate(ABC):
     """A group predicate over per-node attributes."""
@@ -105,11 +118,31 @@ class Predicate(ABC):
         """All simple-predicate leaves."""
 
     @abstractmethod
+    def _canonical(self) -> str:
+        """Build the canonical form (uncached; see :meth:`canonical`)."""
+
     def canonical(self) -> str:
-        """A stable textual key (used to identify per-predicate tree state)."""
+        """A stable textual key (used to identify per-predicate tree state).
+
+        Computed once per instance and cached: predicates are immutable,
+        and the simulator keys tree state, caches, and message routing by
+        this string on every delivered message, so rebuilding it each time
+        was a measurable hot spot.
+        """
+        cached = self.__dict__.get("_canonical_cache")
+        if cached is None:
+            cached = self._canonical()
+            # Frozen dataclasses forbid plain attribute assignment; the
+            # cache is not a field, so it never affects eq/hash/repr.
+            object.__setattr__(self, "_canonical_cache", cached)
+        return cached
 
     def __str__(self) -> str:
         return self.canonical()
+
+
+#: sentinel distinguishing "attribute absent" from any real value.
+_MISSING = object()
 
 
 def _format_value(value: Any) -> str:
@@ -128,10 +161,21 @@ class SimplePredicate(Predicate):
     op: Comparison
     value: Any
 
+    def __post_init__(self) -> None:
+        # Resolve the comparison once per instance to a C-level operator
+        # (same defensive cross-type semantics as :meth:`Comparison.apply`).
+        object.__setattr__(self, "_op_fn", _OP_FUNCS[self.op])
+
     def evaluate(self, attrs: Mapping[str, Any]) -> bool:
-        if self.attr not in attrs:
+        # Single probe (hot path: every query evaluates its predicate at
+        # every receiving node); absent attributes never satisfy.
+        found = attrs.get(self.attr, _MISSING)
+        if found is _MISSING:
             return False
-        return self.op.apply(attrs[self.attr], self.value)
+        try:
+            return bool(self._op_fn(found, self.value))
+        except TypeError:
+            return False
 
     def negate(self) -> "SimplePredicate":
         return SimplePredicate(self.attr, self.op.negated, self.value)
@@ -142,7 +186,7 @@ class SimplePredicate(Predicate):
     def simple_predicates(self) -> set["SimplePredicate"]:
         return {self}
 
-    def canonical(self) -> str:
+    def _canonical(self) -> str:
         return f"({self.attr} {self.op.value} {_format_value(self.value)})"
 
 
@@ -166,7 +210,7 @@ class TruePredicate(Predicate):
     def simple_predicates(self) -> set[SimplePredicate]:
         return set()
 
-    def canonical(self) -> str:
+    def _canonical(self) -> str:
         return "*"
 
 
@@ -198,7 +242,10 @@ class And(Predicate):
         object.__setattr__(self, "parts", _flatten(parts, And))
 
     def evaluate(self, attrs: Mapping[str, Any]) -> bool:
-        return all(part.evaluate(attrs) for part in self.parts)
+        for part in self.parts:  # plain loop: no genexpr frame per call
+            if not part.evaluate(attrs):
+                return False
+        return True
 
     def negate(self) -> "Predicate":
         negated = [part.negate() for part in self.parts]
@@ -210,7 +257,7 @@ class And(Predicate):
     def simple_predicates(self) -> set[SimplePredicate]:
         return set().union(*(part.simple_predicates() for part in self.parts))
 
-    def canonical(self) -> str:
+    def _canonical(self) -> str:
         inner = " and ".join(sorted(part.canonical() for part in self.parts))
         return f"({inner})"
 
@@ -227,7 +274,10 @@ class Or(Predicate):
         object.__setattr__(self, "parts", _flatten(parts, Or))
 
     def evaluate(self, attrs: Mapping[str, Any]) -> bool:
-        return any(part.evaluate(attrs) for part in self.parts)
+        for part in self.parts:  # plain loop: no genexpr frame per call
+            if part.evaluate(attrs):
+                return True
+        return False
 
     def negate(self) -> "Predicate":
         negated = [part.negate() for part in self.parts]
@@ -239,7 +289,7 @@ class Or(Predicate):
     def simple_predicates(self) -> set[SimplePredicate]:
         return set().union(*(part.simple_predicates() for part in self.parts))
 
-    def canonical(self) -> str:
+    def _canonical(self) -> str:
         inner = " or ".join(sorted(part.canonical() for part in self.parts))
         return f"({inner})"
 

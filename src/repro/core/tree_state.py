@@ -33,7 +33,7 @@ from repro.core.predicates import SimplePredicate
 __all__ = ["ChildInfo", "PredicateTreeState"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ChildInfo:
     """What a node knows about one DHT child for one predicate."""
 
@@ -45,15 +45,21 @@ class ChildInfo:
     subtree_recv: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class PredicateTreeState:
-    """All protocol state one node keeps for one simple predicate."""
+    """All protocol state one node keeps for one simple predicate.
+
+    Slotted: a busy node holds one instance per predicate it has seen,
+    and every field below is touched on message hot paths."""
 
     predicate: SimplePredicate
     tree_key: int  # DHT key = hash(group-attribute), paper Section 3.2
     node_id: int
     adaptor: Adaptor
     threshold: int = 2
+    #: the predicate's canonical key, interned once (hot path: every
+    #: message handler needs it; computed in __post_init__ if not given).
+    pred_key: str = ""
 
     local_sat: bool = False
     children: dict[int, ChildInfo] = field(default_factory=dict)
@@ -65,19 +71,60 @@ class PredicateTreeState:
     last_seen_seq: int = 0
     known_parent: Optional[int] = None
 
+    #: version-gated caches of this node's DHT children/parent in the tree
+    #: for ``tree_key``, maintained by the agent against the overlay's
+    #: membership version (stale entries are never consulted; every
+    #: membership change bumps the version).  ``-1`` means never computed.
+    cached_children: list[int] = field(default_factory=list)
+    cached_children_version: int = -1
+    cached_parent: Optional[int] = None
+    cached_parent_version: int = -1
+
+    #: bumped when the children-report map changes in a way that affects
+    #: routing (membership of the map or an ``update_set``); together with
+    #: the membership version it keys the agent's memos of
+    #: :meth:`forward_targets` / :meth:`subtree_recv` (the two derived
+    #: values recomputed on every query receipt / reply otherwise).
+    report_version: int = 0
+    #: bumped when a child's ``subtree_recv`` estimate changes (piggybacked
+    #: on every reply, so kept separate: np churn must not invalidate the
+    #: routing memo).
+    recv_version: int = 0
+    fwd_targets_key: Optional[tuple] = None
+    fwd_targets: Optional[set[int]] = None
+    subtree_recv_key: Optional[tuple] = None
+    subtree_recv_value: int = 0
+
+    #: interned ``frozenset({node_id})`` (see __post_init__).
+    _self_set: frozenset = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # Interned singleton for effective_sent_set's default: building a
+        # fresh frozenset per call showed up in profiles (it runs on every
+        # reply via subtree_recv).
+        self._self_set = frozenset((self.node_id,))
+        if not self.pred_key:
+            self.pred_key = self.predicate.canonical()
+
     # ------------------------------------------------------------------
     # derived values (Sections 4 and 5)
     # ------------------------------------------------------------------
 
     def q_set(self, dht_children: Iterable[int]) -> set[int]:
         """Nodes this one would forward a query to, by child report."""
-        result: set[int] = set()
-        for child in dht_children:
-            info = self.children.get(child)
-            if info is None or info.update_set is None:
-                result.add(child)  # silent child: must receive queries
-            else:
-                result |= info.update_set
+        children = self.children
+        if not children:
+            # Fast path (every tree-state creation): no reports yet, so
+            # every DHT child is a silent child.
+            result = set(dht_children)
+        else:
+            result = set()
+            for child in dht_children:
+                info = children.get(child)
+                if info is None or info.update_set is None:
+                    result.add(child)  # silent child: must receive queries
+                else:
+                    result |= info.update_set
         if self.local_sat:
             result.add(self.node_id)
         return result
@@ -106,7 +153,7 @@ class PredicateTreeState:
         parent forwards queries directly to us by default.
         """
         if self.sent_update_set is None:
-            return frozenset([self.node_id])
+            return self._self_set
         return self.sent_update_set
 
     def would_receive_queries(self) -> bool:
@@ -133,10 +180,15 @@ class PredicateTreeState:
         the paper accepts this staleness since it "only affects
         communication overhead, but not the correctness of the response".
         """
-        own = 1 if (is_root or self.would_receive_queries()) else 0
-        total = own
+        if is_root:
+            total = 1
+        else:
+            # Inlined would_receive_queries (this runs on every reply).
+            sent = self.sent_update_set
+            total = 1 if (sent is None or self.node_id in sent) else 0
+        children = self.children
         for child in dht_children:
-            info = self.children.get(child)
+            info = children.get(child)
             total += info.subtree_recv if info is not None else 1
         return total
 
@@ -150,15 +202,22 @@ class PredicateTreeState:
         update_set: Optional[frozenset[int]],
         subtree_recv: Optional[int],
     ) -> None:
-        """Store a STATUS_UPDATE / STATE_SYNC / piggybacked report."""
+        """Store a STATUS_UPDATE / STATE_SYNC / piggybacked report.
+
+        Version bumps are gated on actual value changes so the memos over
+        this map survive the no-op reports that dominate steady state
+        (every reply re-piggybacks an unchanged ``subtree_recv``)."""
         info = self.children.get(child)
         if info is None:
             info = ChildInfo()
             self.children[child] = info
-        if update_set is not None:
+            self.report_version += 1
+        if update_set is not None and update_set != info.update_set:
             info.update_set = update_set
-        if subtree_recv is not None:
+            self.report_version += 1
+        if subtree_recv is not None and subtree_recv != info.subtree_recv:
             info.subtree_recv = subtree_recv
+            self.recv_version += 1
 
     def forget_children(self, departed: set[int]) -> bool:
         """Drop state for departed children; True if anything was removed."""
@@ -167,4 +226,6 @@ class PredicateTreeState:
             if child in self.children:
                 del self.children[child]
                 removed = True
+        if removed:
+            self.report_version += 1
         return removed

@@ -35,6 +35,11 @@ class IdSpace:
                 f"bits ({self.bits}) must be a multiple of digit_bits"
                 f" ({self.digit_bits})"
             )
+        # Memo for hash_name: the same handful of attribute names is hashed
+        # on every query submit and tree-state creation (hot path), and the
+        # mapping is a pure function of the name.  Not a dataclass field,
+        # so eq/hash/repr are unaffected.
+        object.__setattr__(self, "_name_cache", {})
 
     @property
     def size(self) -> int:
@@ -103,9 +108,17 @@ class IdSpace:
         return (b - a) % self.size
 
     def hash_name(self, name: str) -> int:
-        """Map an attribute/group name to an ID via MD5 (paper Section 3.2)."""
-        digest = hashlib.md5(name.encode("utf-8")).digest()
-        return int.from_bytes(digest, "big") % self.size
+        """Map an attribute/group name to an ID via MD5 (paper Section 3.2).
+
+        Memoized per instance: query planning and tree-state creation hash
+        the same attribute names over and over.
+        """
+        cached = self._name_cache.get(name)
+        if cached is None:
+            digest = hashlib.md5(name.encode("utf-8")).digest()
+            cached = int.from_bytes(digest, "big") % self.size
+            self._name_cache[name] = cached
+        return cached
 
     def random_id(self, rng: random.Random) -> int:
         """A uniformly random ID."""

@@ -43,6 +43,9 @@ class Overlay:
         self.leafset_size = leafset_size
         self.index = IdIndex(self.space)
         self._tree_cache: dict[int, DHTTree] = {}
+        #: (key -> (membership version, root)) memo: the query plane asks
+        #: for the same handful of group roots on every submit.
+        self._root_cache: dict[int, tuple[int, int]] = {}
         self._listeners: list[MembershipListener] = []
 
     # ------------------------------------------------------------------
@@ -103,10 +106,19 @@ class Overlay:
     # ------------------------------------------------------------------
 
     def root(self, key: int) -> int:
-        """The live node ring-closest to ``key`` (the DHT tree root)."""
+        """The live node ring-closest to ``key`` (the DHT tree root).
+
+        Memoized per membership version (hot: every query submit and
+        probe resolves its group roots through here).
+        """
+        version = self.index.version
+        cached = self._root_cache.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
         root = self.index.closest_to(key)
         if root is None:
             raise RuntimeError("overlay is empty")
+        self._root_cache[key] = (version, root)
         return root
 
     def next_hop(self, node_id: int, key: int) -> Optional[int]:

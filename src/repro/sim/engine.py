@@ -4,6 +4,26 @@ Every node in the reproduction runs on top of one :class:`Engine`.  Events
 are callbacks scheduled at simulated timestamps; ties are broken by a
 monotonically increasing sequence number so that runs are fully
 deterministic for a given seed and call order.
+
+Hot-path design (this module is the simulator's innermost loop):
+
+* the heap holds ``(time, seq, handle, callback, args)`` tuples, so
+  ordering is decided by C-level tuple comparison instead of a Python
+  ``__lt__`` per sift step (``seq`` is unique, so comparison never reaches
+  the non-comparable elements);
+* :meth:`Engine.post_at` schedules *fire-and-forget* events with
+  ``handle=None`` -- no :class:`EventHandle` allocation.  The network uses
+  it for message deliveries (never cancelled), which is the bulk of all
+  events in a query-heavy run;
+* :attr:`Engine.pending` is a maintained live-event counter, not an O(n)
+  scan of the heap;
+* cancellation stays lazy (cancelled entries are skipped at pop time), but
+  when cancelled entries outnumber live ones the heap is compacted in one
+  O(n) pass, so a workload that schedules-and-cancels (per-query child
+  timeouts) cannot grow the queue without bound;
+* :meth:`Engine.request_stop` lets an event callback end the current
+  :meth:`run` right after it returns -- the wake-up primitive behind the
+  cluster's event-driven query completion (no per-event predicate polling).
 """
 
 from __future__ import annotations
@@ -13,16 +33,21 @@ from typing import Any, Callable, Optional
 
 __all__ = ["Engine", "EventHandle"]
 
+#: below this queue size compaction is pointless (the scan costs more than
+#: the dead entries ever will).
+_COMPACT_MIN_QUEUE = 64
+
 
 class EventHandle:
     """A cancellable reference to a scheduled event.
 
     Cancellation is lazy: the event stays in the heap but is skipped when it
     reaches the front.  This keeps :meth:`Engine.schedule` and ``cancel`` both
-    O(log n) / O(1).
+    O(log n) / O(1) (amortized: the engine compacts the heap when cancelled
+    entries outnumber live ones).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "engine", "in_heap")
 
     def __init__(
         self,
@@ -36,10 +61,21 @@ class EventHandle:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: back-reference so ``cancel`` can keep the live-event counter
+        #: exact; None for handles created outside an engine (tests).
+        self.engine: Optional["Engine"] = None
+        #: True while the entry is physically in the engine's heap.
+        self.in_heap = False
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Safe to call more than once."""
+        """Prevent the event from firing.  Safe to call more than once,
+        and safe to call after the event already fired."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        engine = self.engine
+        if engine is not None and self.in_heap:
+            engine._note_cancelled()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -53,15 +89,34 @@ class Engine:
     """A priority-queue discrete-event simulator.
 
     The engine owns the simulated clock.  Components schedule work with
-    :meth:`schedule` (relative delay) or :meth:`schedule_at` (absolute time)
+    :meth:`schedule` / :meth:`schedule_at` (cancellable, returns an
+    :class:`EventHandle`) or :meth:`post_at` (fire-and-forget, cheaper),
     and the driver advances time with :meth:`run` / :meth:`run_until_idle`.
     """
 
+    __slots__ = (
+        "_queue",
+        "_now",
+        "_seq",
+        "_events_processed",
+        "_live",
+        "_stop_requested",
+        "compactions",
+    )
+
     def __init__(self) -> None:
-        self._queue: list[EventHandle] = []
+        #: heap of (time, seq, EventHandle | None, callback, args).
+        self._queue: list[tuple] = []
         self._now = 0.0
         self._seq = 0
         self._events_processed = 0
+        #: number of non-cancelled entries currently in the heap.
+        self._live = 0
+        #: set by :meth:`request_stop`; ends the current :meth:`run` after
+        #: the in-flight callback returns.
+        self._stop_requested = False
+        #: total heap compactions performed (observability / tests).
+        self.compactions = 0
 
     @property
     def now(self) -> float:
@@ -75,8 +130,8 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -94,20 +149,97 @@ class Engine:
             raise ValueError(
                 f"cannot schedule in the past: {time} < now {self._now}"
             )
-        handle = EventHandle(time, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._queue, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args)
+        handle.engine = self
+        handle.in_heap = True
+        heapq.heappush(self._queue, (time, seq, handle, callback, args))
+        self._live += 1
         return handle
+
+    def post_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Schedule a *fire-and-forget* event at absolute time ``time``.
+
+        Like :meth:`schedule_at` but returns no handle and allocates none:
+        the event cannot be cancelled.  Message deliveries -- the vast
+        majority of all events -- use this path.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, None, callback, args))
+        self._live += 1
+
+    def request_stop(self) -> None:
+        """Make the current :meth:`run` return after the in-flight event.
+
+        The wake-up half of event-driven completion: a completion callback
+        (e.g. the cluster's query-waiter registry) calls this instead of
+        the driver re-checking a predicate after every event.  A no-op
+        when nothing is running; the flag is cleared when :meth:`run`
+        starts, so a stale request cannot end a later run early.
+        """
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # internal bookkeeping
+    # ------------------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """A live in-heap entry was just cancelled: keep counters exact and
+        compact the heap once dead entries outnumber live ones."""
+        self._live -= 1
+        queued = len(self._queue)
+        if queued > _COMPACT_MIN_QUEUE and (queued - self._live) > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (O(n)).
+
+        Heapify re-establishes the heap invariant over the same
+        ``(time, seq)`` total order the entries were pushed with, so the
+        pop order of live events -- and therefore the simulation -- is
+        unchanged.  The list is compacted *in place*: compaction can be
+        triggered from inside an event callback (a handler cancelling
+        timeouts), while :meth:`run`/:meth:`step` hold a local alias to
+        the queue list -- rebinding ``self._queue`` would strand their
+        alias on the stale list and lose every event pushed afterwards.
+        """
+        queue = self._queue
+        kept = []
+        for entry in queue:
+            handle = entry[2]
+            if handle is not None and handle.cancelled:
+                handle.in_heap = False
+            else:
+                kept.append(entry)
+        queue[:] = kept
+        heapq.heapify(queue)
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
 
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
+        queue = self._queue
+        while queue:
+            time, _seq, handle, callback, args = heapq.heappop(queue)
+            if handle is not None:
+                handle.in_heap = False
+                if handle.cancelled:
+                    continue
+            self._live -= 1
+            self._now = time
             self._events_processed += 1
-            event.callback(*event.args)
+            callback(*args)
             return True
         return False
 
@@ -116,25 +248,58 @@ class Engine:
 
         ``until`` is an absolute simulated time; events scheduled at exactly
         ``until`` still fire.  ``max_events`` bounds the number of events and
-        protects against livelock in tests.
+        protects against livelock in tests.  An event callback may call
+        :meth:`request_stop` to end the run early (event-driven wake-up).
         """
+        self._stop_requested = False
         fired = 0
-        while self._queue:
-            event = self._queue[0]
-            if event.cancelled:
-                heapq.heappop(self._queue)
+        queue = self._queue
+        pop = heapq.heappop
+        if until is None:
+            # No time bound: pop directly (no peek) -- the common case for
+            # event-driven drives, which end via request_stop instead.
+            while queue:
+                time, _seq, handle, callback, args = pop(queue)
+                if handle is not None:
+                    handle.in_heap = False
+                    if handle.cancelled:
+                        continue
+                self._live -= 1
+                self._now = time
+                self._events_processed += 1
+                callback(*args)
+                if self._stop_requested:
+                    self._stop_requested = False
+                    return
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    return
+            return
+        while queue:
+            entry = queue[0]
+            handle = entry[2]
+            if handle is not None and handle.cancelled:
+                pop(queue)
+                handle.in_heap = False
                 continue
-            if until is not None and event.time > until:
+            time = entry[0]
+            if time > until:
                 self._now = until
                 return
-            heapq.heappop(self._queue)
-            self._now = event.time
+            pop(queue)
+            if handle is not None:
+                handle.in_heap = False
+            self._live -= 1
+            self._now = time
             self._events_processed += 1
-            event.callback(*event.args)
+            entry[3](*entry[4])
+            if self._stop_requested:
+                self._stop_requested = False
+                return
             fired += 1
             if max_events is not None and fired >= max_events:
                 return
-        if until is not None and until > self._now:
+        if until > self._now:
             self._now = until
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
@@ -151,6 +316,14 @@ class Engine:
         """Run until ``predicate()`` is true or the queue drains.
 
         Returns True if the predicate was satisfied.
+
+        .. note:: **Slow path.**  The predicate is re-evaluated after every
+           event, which is fine for tests and small drives but O(events x
+           predicate cost) overall.  Production-style drivers
+           (:meth:`repro.core.cluster.MoaraCluster.query` and friends) use
+           the completion-waiter registry plus :meth:`request_stop`
+           instead, which costs one callback per *completion* rather than
+           one predicate scan per *event*.
         """
         if predicate():
             return True

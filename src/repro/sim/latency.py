@@ -24,6 +24,12 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from typing import Optional
+
+#: shared per-pair delay memos, keyed by (low, high, seed) -- see
+#: :class:`UniformLatencyModel`.  Bounded in practice by the number of
+#: distinct model parameterizations in one process (a handful).
+_UNIFORM_PAIR_CACHES: dict[tuple, dict[tuple[int, int], float]] = {}
 
 __all__ = [
     "LatencyModel",
@@ -36,6 +42,17 @@ __all__ = [
 
 class LatencyModel(ABC):
     """Strategy interface consumed by :class:`repro.sim.network.Network`."""
+
+    #: when a model's send/receive service time is the same for every node,
+    #: it publishes the value here and the network skips the per-message
+    #: method call (hot path).  ``None`` (the safe default) means "call
+    #: the method every time".
+    constant_send_service: Optional[float] = None
+    constant_receive_service: Optional[float] = None
+    #: models that memoize per-pair wire delays expose the memo dict
+    #: (symmetric ``(min, max)`` id key -> delay) so the network can probe
+    #: it inline; a miss (or no dict) falls back to :meth:`wire_delay`.
+    pair_delay_cache: Optional[dict] = None
 
     @abstractmethod
     def wire_delay(self, src: int, dst: int) -> float:
@@ -57,6 +74,9 @@ class LatencyModel(ABC):
 class ZeroLatencyModel(LatencyModel):
     """All messages are free; used for bandwidth-only simulations."""
 
+    constant_send_service = 0.0
+    constant_receive_service = 0.0
+
     def wire_delay(self, src: int, dst: int) -> float:
         return 0.0
 
@@ -68,13 +88,27 @@ class UniformLatencyModel(LatencyModel):
     between the same pair observe the same link.
     """
 
+    constant_send_service = 0.0
+    constant_receive_service = 0.0
+
     def __init__(self, low: float, high: float, seed: int = 0) -> None:
         if low < 0 or high < low:
             raise ValueError(f"invalid latency range [{low}, {high}]")
         self._low = low
         self._high = high
         self._seed = seed
-        self._cache: dict[tuple[int, int], float] = {}
+        # Per-pair delays are a pure function of (low, high, seed, pair),
+        # so identically-parameterized models share one memo: the second
+        # cluster in an A/B benchmark (and every fixture re-build in a
+        # test run) reuses the pairs the first one already drew instead
+        # of re-seeding a Mersenne Twister per pair.
+        self._cache = _UNIFORM_PAIR_CACHES.setdefault((low, high, seed), {})
+        self.pair_delay_cache = self._cache
+        # One reusable generator, re-seeded per pair miss: ``Random(x)``
+        # is exactly ``seed(x)`` on a fresh instance, so the drawn delays
+        # are identical to a per-pair instance while the allocation
+        # disappears.
+        self._pair_rng = random.Random()
 
     def wire_delay(self, src: int, dst: int) -> float:
         if src == dst:
@@ -82,8 +116,9 @@ class UniformLatencyModel(LatencyModel):
         key = (src, dst) if src <= dst else (dst, src)
         delay = self._cache.get(key)
         if delay is None:
+            rng = self._pair_rng
             # String seeds hash deterministically across interpreter runs.
-            rng = random.Random(f"{self._seed}:{key[0]}:{key[1]}")
+            rng.seed(f"{self._seed}:{key[0]}:{key[1]}")
             delay = rng.uniform(self._low, self._high)
             self._cache[key] = delay
         return delay
@@ -107,6 +142,14 @@ class LANLatencyModel(LatencyModel):
     ) -> None:
         self._wire = UniformLatencyModel(wire_low, wire_high, seed=seed)
         self._service_time = service_time
+        # Shadow the method with the inner model's bound method: one call
+        # instead of two on the per-message hot path.
+        self.wire_delay = self._wire.wire_delay  # type: ignore[method-assign]
+        # Node-independent service times, published for the network's
+        # constant fast path.
+        self.constant_send_service = service_time
+        self.constant_receive_service = service_time / 2
+        self.pair_delay_cache = self._wire.pair_delay_cache
 
     def wire_delay(self, src: int, dst: int) -> float:
         return self._wire.wire_delay(src, dst)
@@ -150,6 +193,7 @@ class WANLatencyModel(LatencyModel):
         self._client_service = client_service
         self._seed = seed
         self._cache: dict[tuple[int, int], float] = {}
+        self.pair_delay_cache = self._cache
         rng = random.Random(seed)
         self._cluster = {node: rng.randrange(num_clusters) for node in nodes}
         shuffled = sorted(nodes)

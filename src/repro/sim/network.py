@@ -9,12 +9,18 @@ Queueing model: a node serializes its sends (a k-way fan-out costs k send
 service times at the sender) and serializes the ingestion of arrivals.  This
 is what lets the LAN/WAN models reproduce the fan-out- and straggler-
 dominated latencies of the paper's Emulab and PlanetLab experiments.
+
+Byte accounting is lazy: a :class:`Message` no longer walks its payload at
+construction.  ``message.size`` is computed (and cached) on first access,
+and the network only touches it when its :class:`MessageStats` runs with
+``detailed_bytes=True`` -- the default counts-only mode skips payload
+walks entirely, which is what the paper's message-count metrics need.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional, Protocol, runtime_checkable
+from heapq import heappush
+from typing import Any, Iterable, Optional, Protocol, runtime_checkable
 
 from repro.sim.engine import Engine
 from repro.sim.latency import LatencyModel, ZeroLatencyModel
@@ -23,6 +29,10 @@ from repro.sim.stats import MessageStats
 __all__ = ["Message", "Network", "Process", "estimate_size"]
 
 _BASE_HEADER_BYTES = 40  # rough IP+UDP+framing overhead per message
+
+#: bound ``object.__new__`` used by the network's inlined Message
+#: construction (skips the ``__init__`` call frame on the hot path).
+_new_message = object.__new__
 
 
 def estimate_size(value: Any) -> int:
@@ -61,20 +71,47 @@ class Process(Protocol):
         """Process one delivered message."""
 
 
-@dataclass
 class Message:
-    """A single network message."""
+    """A single network message.
 
-    mtype: str
-    src: int
-    dst: int
-    payload: dict[str, Any] = field(default_factory=dict)
-    size: int = 0
-    sent_at: float = 0.0
+    ``size`` is computed lazily from the payload on first access and cached
+    (pass an explicit non-zero ``size`` to pin it).  Constructing a message
+    therefore costs no payload walk -- the simulator's hottest allocation
+    site stays O(1).
+    """
 
-    def __post_init__(self) -> None:
-        if self.size == 0:
-            self.size = _BASE_HEADER_BYTES + estimate_size(self.payload)
+    __slots__ = ("mtype", "src", "dst", "payload", "sent_at", "_size")
+
+    def __init__(
+        self,
+        mtype: str,
+        src: int,
+        dst: int,
+        payload: Optional[dict[str, Any]] = None,
+        size: int = 0,
+        sent_at: float = 0.0,
+    ) -> None:
+        self.mtype = mtype
+        self.src = src
+        self.dst = dst
+        self.payload = {} if payload is None else payload
+        self.sent_at = sent_at
+        self._size: Optional[int] = size if size else None
+
+    @property
+    def size(self) -> int:
+        """Estimated wire size in bytes (header + payload), computed lazily."""
+        size = self._size
+        if size is None:
+            size = _BASE_HEADER_BYTES + estimate_size(self.payload)
+            self._size = size
+        return size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message({self.mtype!r}, {self.src}->{self.dst}, "
+            f"payload={self.payload!r}, sent_at={self.sent_at})"
+        )
 
 
 class Network:
@@ -89,16 +126,33 @@ class Network:
         self.engine = engine
         self.latency_model = latency_model or ZeroLatencyModel()
         self.stats = stats or MessageStats()
+        # Hot-path bindings to the stats' counter objects (their identity
+        # survives MessageStats.reset, which clears them in place): saves
+        # one attribute hop per counter per send.
+        stats_obj = self.stats
+        self._by_type = stats_obj.by_type
+        self._sent_by_node = stats_obj.sent_by_node
+        self._received_by_node = stats_obj.received_by_node
+        self._per_query = stats_obj.per_query
+        self._closed_tags = stats_obj._closed_tags
         self._processes: dict[int, Process] = {}
         self._crashed: set[int] = set()
         self._sender_free: dict[int, float] = {}
         self._receiver_free: dict[int, float] = {}
         self._fast_path = isinstance(self.latency_model, ZeroLatencyModel)
+        self._const_send_service = self.latency_model.constant_send_service
+        self._const_receive_service = self.latency_model.constant_receive_service
+        self._pair_delay_cache = self.latency_model.pair_delay_cache
 
     def set_latency_model(self, model: LatencyModel) -> None:
         """Swap the latency model (e.g., after node ids are known)."""
         self.latency_model = model
         self._fast_path = isinstance(model, ZeroLatencyModel)
+        # Models with node-independent service times publish them as
+        # constants so the per-message path skips two method calls.
+        self._const_send_service = model.constant_send_service
+        self._const_receive_service = model.constant_receive_service
+        self._pair_delay_cache = model.pair_delay_cache
 
     def attach(self, process: Process) -> None:
         """Register a process under its ``node_id``."""
@@ -125,6 +179,25 @@ class Network:
     def is_alive(self, node_id: int) -> bool:
         """True if the node is attached and not crashed."""
         return node_id in self._processes and node_id not in self._crashed
+
+    def filter_alive(self, node_ids: Iterable[int]) -> set[int]:
+        """The subset of ``node_ids`` that is attached and not crashed.
+
+        One call for a whole fan-out target set instead of one
+        :meth:`is_alive` call per target (hot path: query forwarding).
+        When every target is alive the *input set itself* is returned --
+        callers must treat the result as read-only."""
+        processes = self._processes
+        crashed = self._crashed
+        if not crashed:
+            if isinstance(node_ids, (set, frozenset)):
+                # C-level subset probe; the common no-failures case does
+                # no per-element Python work and allocates nothing.
+                if processes.keys() >= node_ids:
+                    return node_ids
+                return {n for n in node_ids if n in processes}
+            return {n for n in node_ids if n in processes}
+        return {n for n in node_ids if n in processes and n not in crashed}
 
     @property
     def node_ids(self) -> list[int]:
@@ -153,47 +226,178 @@ class Network:
         or not ``dst`` is alive on arrival), matching the paper's message
         accounting.
         """
-        message = Message(
-            mtype=mtype,
-            src=src,
-            dst=dst,
-            payload=payload or {},
-            sent_at=self.engine.now,
-        )
+        engine = self.engine
+        now = engine._now  # plain slot read; .now is a property
+        if payload is None:
+            payload = {}
+        # Inlined Message construction (bypasses the __init__ frame on the
+        # simulator's hottest allocation site; keep in sync with Message).
+        message = _new_message(Message)
+        message.mtype = mtype
+        message.src = src
+        message.dst = dst
+        message.payload = payload
+        message.sent_at = now
+        message._size = None
         # Per-query attribution: any payload carrying a query or probe id is
-        # charged to that id's tag (see MessageStats.per_query).
-        tag = message.payload.get("qid") or message.payload.get("probe_id")
-        self.stats.record_send(src, dst, mtype, message.size, tag=tag)
+        # charged to that id's tag (see MessageStats.per_query).  One lookup
+        # on the hot path; "absent" (-> probe_id fallback) is distinguished
+        # from a falsy-but-present qid, which is attributed as-is.
+        tag = payload.get("qid")
+        if tag is None:
+            tag = payload.get("probe_id")
+        # Inlined MessageStats.record_send (this is the single hottest call
+        # site in the simulator); counts-only mode never materializes
+        # message.size (no payload walk).
+        stats = self.stats
+        stats.total_messages += 1
+        if stats.detailed_bytes:
+            stats.total_bytes += message.size
+        self._by_type[mtype] += 1
+        self._sent_by_node[src] += 1
+        self._received_by_node[dst] += 1
+        if tag is not None and tag not in self._closed_tags:
+            self._per_query[tag] += 1
         if src in self._crashed:
             # A crashed node cannot actually emit traffic.
-            self.stats.record_drop()
+            stats.record_drop()
             return message
+        # Inlined Engine.post_at (one scheduling per message; the delivery
+        # time is never in the past, so the guard is statically satisfied).
+        seq = engine._seq
+        engine._seq = seq + 1
+        engine._live += 1
         if self._fast_path:
-            self.engine.schedule(0.0, self._deliver, message)
+            heappush(engine._queue, (now, seq, None, self._deliver, (message,)))
             return message
         model = self.latency_model
-        now = self.engine.now
-        depart = max(now, self._sender_free.get(src, 0.0))
-        depart += model.send_service_time(src)
+        depart = self._sender_free.get(src, 0.0)
+        if depart < now:
+            depart = now
+        svc = self._const_send_service
+        depart += svc if svc is not None else model.send_service_time(src)
         self._sender_free[src] = depart
-        arrival = depart + model.wire_delay(src, dst)
-        self.engine.schedule_at(arrival, self._arrive, message)
+        # Probe the model's per-pair memo inline (saves a method call on
+        # every warm pair); a miss computes and fills it.
+        cache = self._pair_delay_cache
+        if cache is not None:
+            delay = cache.get((src, dst) if src <= dst else (dst, src))
+            if delay is None:
+                delay = model.wire_delay(src, dst)
+        else:
+            delay = model.wire_delay(src, dst)
+        heappush(
+            engine._queue, (depart + delay, seq, None, self._arrive, (message,))
+        )
         return message
+
+    def send_many(
+        self,
+        src: int,
+        dsts: list[int],
+        mtype: str,
+        payload: Optional[dict[str, Any]] = None,
+    ) -> None:
+        """Fan one payload out to several destinations (shared dict).
+
+        Semantically identical to calling :meth:`send` per destination --
+        receivers treat payloads as read-only, so sharing the dict is safe
+        -- but the per-message constants (tag extraction, counter and
+        model bindings, crash check) are hoisted out of the loop: query
+        fan-out is the simulator's dominant traffic.
+        """
+        if payload is None:
+            payload = {}
+        engine = self.engine
+        now = engine._now  # plain slot read; .now is a property
+        tag = payload.get("qid")
+        if tag is None:
+            tag = payload.get("probe_id")
+        stats = self.stats
+        detailed = stats.detailed_bytes
+        by_type = self._by_type
+        sent_by_node = self._sent_by_node
+        received_by_node = self._received_by_node
+        count_tag = tag is not None and tag not in self._closed_tags
+        per_query = self._per_query
+        if src in self._crashed:
+            for _ in dsts:
+                stats.total_messages += 1
+                stats.dropped_messages += 1
+            for dst in dsts:
+                by_type[mtype] += 1
+                sent_by_node[src] += 1
+                received_by_node[dst] += 1
+                if count_tag:
+                    per_query[tag] += 1
+            return
+        fast = self._fast_path
+        model = self.latency_model
+        svc = self._const_send_service
+        cache = self._pair_delay_cache
+        queue = engine._queue
+        depart = 0.0
+        if not fast:
+            depart = self._sender_free.get(src, 0.0)
+            if depart < now:
+                depart = now
+        for dst in dsts:
+            message = _new_message(Message)
+            message.mtype = mtype
+            message.src = src
+            message.dst = dst
+            message.payload = payload
+            message.sent_at = now
+            message._size = None
+            stats.total_messages += 1
+            if detailed:
+                stats.total_bytes += message.size
+            by_type[mtype] += 1
+            sent_by_node[src] += 1
+            received_by_node[dst] += 1
+            if count_tag:
+                per_query[tag] += 1
+            seq = engine._seq
+            engine._seq = seq + 1
+            engine._live += 1
+            if fast:
+                heappush(queue, (now, seq, None, self._deliver, (message,)))
+                continue
+            depart += svc if svc is not None else model.send_service_time(src)
+            if cache is not None:
+                delay = cache.get((src, dst) if src <= dst else (dst, src))
+                if delay is None:
+                    delay = model.wire_delay(src, dst)
+            else:
+                delay = model.wire_delay(src, dst)
+            heappush(
+                queue, (depart + delay, seq, None, self._arrive, (message,))
+            )
+        if not fast:
+            self._sender_free[src] = depart
 
     def _arrive(self, message: Message) -> None:
         """Arrival at the destination NIC: queue behind earlier arrivals."""
         dst = message.dst
-        if not self.is_alive(dst):
+        if dst not in self._processes or dst in self._crashed:
             self.stats.record_drop()
             return
-        now = self.engine.now
-        ready = max(now, self._receiver_free.get(dst, 0.0))
-        ready += self.latency_model.receive_service_time(dst)
+        now = self.engine._now
+        ready = self._receiver_free.get(dst, 0.0)
+        if ready < now:
+            ready = now
+        svc = self._const_receive_service
+        ready += svc if svc is not None else self.latency_model.receive_service_time(dst)
         self._receiver_free[dst] = ready
         if ready <= now:
             self._deliver(message)
         else:
-            self.engine.schedule_at(ready, self._deliver, message)
+            # Inlined Engine.post_at (ready > now by construction).
+            engine = self.engine
+            seq = engine._seq
+            engine._seq = seq + 1
+            engine._live += 1
+            heappush(engine._queue, (ready, seq, None, self._deliver, (message,)))
 
     def _deliver(self, message: Message) -> None:
         process = self._processes.get(message.dst)

@@ -12,6 +12,13 @@ The network therefore tags every message that carries a query/probe id
 (``tag``), and :class:`MessageStats` keeps a per-tag counter that the
 front-end drains into exact per-query message costs; completed queries are
 appended to a :class:`QueryRecord` ledger for throughput/latency analysis.
+
+Counts-only vs detailed bytes: by default the stats run *counts-only* --
+:attr:`MessageStats.detailed_bytes` is False and the network records every
+message with size 0, skipping the recursive payload walk entirely (the
+simulator's former number-one hot spot).  Set ``detailed_bytes=True`` to
+restore per-message byte estimation for the bandwidth figures;
+:attr:`MessageStats.total_bytes` is only meaningful in that mode.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ _CLOSED_TAG_MEMORY = 4096
 __all__ = ["MessageStats", "QueryRecord", "StatsSnapshot"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueryRecord:
     """One completed query, as recorded by a front-end."""
 
@@ -92,6 +99,12 @@ class MessageStats:
     root_cache_hits: int = 0
     root_cache_misses: int = 0
     root_subscriptions: int = 0
+    #: opt-in byte accounting: when True the network estimates every
+    #: message's wire size (recursive payload walk) and feeds
+    #: :attr:`total_bytes`; when False (the default, counts-only mode) it
+    #: records size 0 and never touches the payload.  Configuration, not a
+    #: counter: :meth:`reset` leaves it unchanged.
+    detailed_bytes: bool = False
     #: recently drained tags (LRU set): tagged stragglers arriving after
     #: :meth:`pop_tag` are counted in the aggregates but not re-attributed.
     _closed_tags: OrderedDict = field(default_factory=OrderedDict)

@@ -127,3 +127,140 @@ def test_max_events_budget(engine: Engine) -> None:
         engine.schedule(float(i), fired.append, i)
     engine.run(max_events=4)
     assert fired == [0, 1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# live-event counter, heap compaction, event-driven wake-ups
+# ----------------------------------------------------------------------
+
+
+def test_pending_counts_post_at_events(engine: Engine) -> None:
+    engine.post_at(1.0, lambda: None)
+    engine.post_at(2.0, lambda: None)
+    engine.schedule(3.0, lambda: None)
+    assert engine.pending == 3
+    engine.step()
+    assert engine.pending == 2
+    engine.run_until_idle()
+    assert engine.pending == 0
+
+
+def test_pending_exact_through_cancel_and_fire(engine: Engine) -> None:
+    handles = [engine.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for handle in handles[::2]:
+        handle.cancel()
+    assert engine.pending == 5
+    # Cancelling after the event fired must not double-decrement.
+    engine.run_until_idle()
+    assert engine.pending == 0
+    handles[1].cancel()
+    assert engine.pending == 0
+
+
+def test_compaction_drops_only_cancelled_events(engine: Engine) -> None:
+    fired: list[int] = []
+    keep = []
+    cancelled = []
+    # Enough entries to clear the compaction floor, then cancel a
+    # majority so dead entries outnumber live ones.
+    for i in range(200):
+        handle = engine.schedule(float(i), fired.append, i)
+        (keep if i % 4 == 0 else cancelled).append(handle)
+    for handle in cancelled:
+        handle.cancel()
+    assert engine.compactions >= 1
+    assert engine.pending == len(keep)
+    # Every live event still fires, in the original time order, exactly
+    # once -- compaction must never drop or reorder live work.
+    engine.run_until_idle()
+    assert fired == [i for i in range(200) if i % 4 == 0]
+
+
+def test_compaction_preserves_tie_order(engine: Engine) -> None:
+    fired: list[int] = []
+    dead = []
+    for i in range(300):
+        handle = engine.schedule(1.0, fired.append, i)  # all tied at t=1
+        if i % 3 != 0:
+            dead.append(handle)
+    for handle in dead:
+        handle.cancel()
+    assert engine.compactions >= 1
+    engine.run_until_idle()
+    assert fired == [i for i in range(300) if i % 3 == 0]
+
+
+def test_compaction_inside_a_running_callback(engine: Engine) -> None:
+    """Compacting from *within* an event callback (a handler cancelling
+    timeouts mid-run) must not strand the run loop on a stale queue:
+    events posted after the compaction still fire, in time order, within
+    the same run."""
+    fired: list[str] = []
+    handles = []
+
+    def burst() -> None:
+        # Cancel a heap-majority of events while run() is iterating.
+        for handle in handles:
+            handle.cancel()
+        assert engine.compactions >= 1
+        # Work scheduled *after* the compaction, earlier than the
+        # already-queued tail event, must still fire first.
+        engine.post_at(engine.now, fired.append, "posted-after-compact")
+
+    for _ in range(200):
+        handles.append(engine.schedule(5.0, fired.append, "dead"))
+    engine.schedule(0.0, burst)
+    engine.schedule(9.0, fired.append, "tail")
+    engine.run()
+    assert fired == ["posted-after-compact", "tail"]
+    assert engine.pending == 0
+    assert engine.now == 9.0
+
+
+def test_small_queues_are_never_compacted(engine: Engine) -> None:
+    handles = [engine.schedule(1.0, lambda: None) for _ in range(10)]
+    for handle in handles:
+        handle.cancel()
+    assert engine.compactions == 0
+    engine.run_until_idle()
+    assert engine.pending == 0
+
+
+def test_request_stop_ends_run_after_current_event(engine: Engine) -> None:
+    fired: list[int] = []
+
+    def stopper() -> None:
+        fired.append(0)
+        engine.request_stop()
+
+    engine.schedule(1.0, stopper)
+    engine.schedule(2.0, fired.append, 1)
+    engine.run()
+    assert fired == [0]
+    assert engine.pending == 1
+    # The next run is unaffected by the consumed stop request.
+    engine.run()
+    assert fired == [0, 1]
+
+
+def test_stale_request_stop_does_not_end_next_run(engine: Engine) -> None:
+    engine.request_stop()  # nothing running: must not leak into run()
+    fired: list[int] = []
+    engine.schedule(1.0, fired.append, 0)
+    engine.schedule(2.0, fired.append, 1)
+    engine.run()
+    assert fired == [0, 1]
+
+
+def test_request_stop_with_time_bound(engine: Engine) -> None:
+    fired: list[int] = []
+
+    def stopper() -> None:
+        fired.append(0)
+        engine.request_stop()
+
+    engine.schedule(1.0, stopper)
+    engine.schedule(2.0, fired.append, 1)
+    engine.run(until=10.0)
+    assert fired == [0]
+    assert engine.now == 1.0

@@ -77,7 +77,51 @@ def test_stats_count_messages(network: Network) -> None:
     assert stats.by_type["RESPONSE"] == 1
     assert stats.sent_by_node[1] == 5
     assert stats.received_by_node[2] == 5
-    assert stats.total_bytes > 0
+    # Counts-only default: message counts are exact, bytes are not tracked.
+    assert stats.total_bytes == 0
+
+
+def test_detailed_bytes_mode_tracks_bytes() -> None:
+    engine = Engine()
+    network = Network(engine, ZeroLatencyModel(), MessageStats(detailed_bytes=True))
+    network.attach(Recorder(1))
+    network.attach(Recorder(2))
+    network.send(1, 2, "QUERY", {"blob": "x" * 100})
+    engine.run_until_idle()
+    assert network.stats.total_bytes > 100
+
+
+def test_message_size_lazy_and_cached() -> None:
+    engine = Engine()
+    network = Network(engine, ZeroLatencyModel())  # counts-only stats
+    network.attach(Recorder(1))
+    network.attach(Recorder(2))
+    message = network.send(1, 2, "QUERY", {"blob": "x" * 100})
+    # Counts-only mode never walked the payload ...
+    assert message._size is None
+    # ... but the estimate is still available on demand, and cached.
+    first = message.size
+    assert first > 100
+    assert message._size == first
+    assert message.size == first
+
+
+def test_tag_attribution_distinguishes_absent_from_falsy() -> None:
+    engine = Engine()
+    network = Network(engine, ZeroLatencyModel())
+    network.attach(Recorder(1))
+    network.attach(Recorder(2))
+    network.send(1, 2, "QUERY", {"qid": "q1"})
+    network.send(1, 2, "QUERY", {"qid": "q1"})
+    # A falsy-but-present qid is attributed as-is, not misrouted to probe_id.
+    network.send(1, 2, "QUERY", {"qid": "", "probe_id": "p9"})
+    # An absent qid falls back to the probe tag.
+    network.send(1, 2, "PROBE", {"probe_id": "p1"})
+    stats = network.stats
+    assert stats.tagged("q1") == 2
+    assert stats.tagged("") == 1
+    assert stats.tagged("p9") == 0
+    assert stats.tagged("p1") == 1
 
 
 def test_crashed_destination_drops(network: Network) -> None:

@@ -31,10 +31,11 @@ def test_message_size_includes_header() -> None:
 
 
 def test_query_bytes_scale_with_tree_size() -> None:
-    """Larger broadcasts move proportionally more bytes."""
+    """Larger broadcasts move proportionally more bytes (byte accounting
+    is opt-in: counts-only clusters skip it for speed)."""
     costs = {}
     for num_nodes in (16, 64):
-        cluster = MoaraCluster(num_nodes, seed=130)
+        cluster = MoaraCluster(num_nodes, seed=130, detailed_bytes=True)
         cluster.set_group("g", cluster.node_ids[:4])
         before = cluster.stats.total_bytes
         cluster.query("SELECT COUNT(*) WHERE g = true")  # first = broadcast
