@@ -101,8 +101,12 @@ def _run(config: MoaraConfig) -> dict[str, float]:
     for _ in range(ROUNDS):
         # Every front-end issues every template in the same burst: the
         # cross-front-end duplication a shared deployment produces.
+        # Round-robin routing scatters the identical queries on purpose
+        # (PR 5's shard router would keep them on one front-end, which
+        # is precisely the duplication this figure measures the
+        # node-side layer absorbing).
         batch = [text for text in templates for _ in range(NUM_FRONTENDS)]
-        results = cluster.query_concurrent(batch)
+        results = cluster.query_concurrent(batch, routing="round-robin")
         # AVG over an empty intersection legitimately finalizes to None;
         # completion (a result per submission) is what matters here.
         assert len(results) == len(batch)

@@ -1,12 +1,12 @@
 """Wall-clock perf guard: time the headline benchmarks, track a trajectory.
 
-Runs the two kernel-sensitive benchmarks -- Figure 17's concurrent
-front-end throughput and the 10k-node scale run -- under plain
-``time.perf_counter``, writes the numbers to ``BENCH_scale.json`` at the
-repo root, and (when the committed file already holds a baseline)
-compares against it.
+Runs the three timing-sensitive benchmarks -- Figure 17's concurrent
+front-end throughput, the 10k-node scale run, and the sharded-query-plane
+scale-out sweep -- under plain ``time.perf_counter``, writes the numbers
+to ``BENCH_scale.json`` at the repo root, and compares against the
+committed baseline.
 
-The comparison is **non-blocking**: a wall-clock regression worse than
+The *comparison* is **non-blocking**: a wall-clock regression worse than
 ``--threshold`` (default 25%) prints a GitHub Actions ``::warning::``
 line and the script still exits 0.  Wall clock on shared CI runners is
 noisy; the guard exists to make regressions *visible* in the PR log and
@@ -15,11 +15,19 @@ the artifact trajectory, not to flake builds.  Numbers recorded under
 are compared only against it), so a smoke run can never overwrite the
 committed full-scale baseline.
 
+The *baseline* itself is load-bearing: a full-scale run whose committed
+``BENCH_scale.json`` is missing or corrupt exits **non-zero** instead of
+silently reseeding the trajectory (a reseed would hide any regression by
+making the regressed numbers the new normal).  Re-creating the baseline
+is an explicit act: pass ``--reseed``.  A missing *tiny* baseline is
+normal (it is a CI artifact, not a committed file) and just seeds one.
+
 Usage::
 
     PYTHONPATH=src python scripts/perf_guard.py            # full scale
     MOARA_BENCH_TINY=1 PYTHONPATH=src python scripts/perf_guard.py  # CI smoke
     PYTHONPATH=src python scripts/perf_guard.py --no-write # measure only
+    PYTHONPATH=src python scripts/perf_guard.py --reseed   # new baseline
 """
 
 from __future__ import annotations
@@ -78,13 +86,62 @@ def _time_scale() -> dict:
     }
 
 
-def _load_baseline(path: Path) -> dict | None:
+def _time_shard_scaleout() -> dict:
+    from bench_shard_scaleout import run_sweep
+
+    started = time.perf_counter()
+    rows = run_sweep()
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 3),
+        "qps_1shard_sim": round(rows["1-shard"]["qps_sim"], 1),
+        "qps_8shard_sim": round(rows["8-shard"]["qps_sim"], 1),
+        "scaleout_x": round(
+            rows["8-shard"]["qps_sim"] / rows["1-shard"]["qps_sim"], 2
+        ),
+        "probe_msgs_shared": rows["8-shard"]["probe_msgs"],
+        "probe_msgs_private": rows["private-8"]["probe_msgs"],
+    }
+
+
+class BaselineError(RuntimeError):
+    """The committed baseline is unusable and reseeding was not requested."""
+
+
+def resolve_baseline(path: Path, tiny: bool, reseed: bool) -> dict | None:
+    """Load the regression baseline, or None when seeding one is allowed.
+
+    Full-scale runs *require* a healthy committed baseline: silently
+    reseeding on a missing or corrupt ``BENCH_scale.json`` would launder
+    a regression into the new normal, so that raises
+    :class:`BaselineError` unless ``--reseed`` was passed.  A missing
+    tiny baseline is expected (CI artifact, never committed); a corrupt
+    file is an error at either scale.
+    """
     if not path.exists():
-        return None
+        if tiny or reseed:
+            return None
+        raise BaselineError(
+            f"baseline {path.name} is missing; refusing to silently "
+            f"reseed the trajectory (rerun with --reseed to create one)"
+        )
     try:
-        return json.loads(path.read_text())
-    except (json.JSONDecodeError, OSError):
-        return None
+        data = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError) as exc:
+        if reseed:
+            return None
+        raise BaselineError(
+            f"baseline {path.name} is corrupt ({exc}); fix or remove it, "
+            f"or rerun with --reseed"
+        ) from exc
+    if not isinstance(data, dict) or "benchmarks" not in data:
+        if reseed:
+            return None
+        raise BaselineError(
+            f"baseline {path.name} is corrupt (not a benchmark record); "
+            f"fix or remove it, or rerun with --reseed"
+        )
+    return data
 
 
 def _compare(name: str, new: dict, old: dict, threshold: float) -> list[str]:
@@ -116,9 +173,23 @@ def main() -> int:
         action="store_true",
         help="measure and compare only; leave BENCH_scale.json untouched",
     )
+    parser.add_argument(
+        "--reseed",
+        action="store_true",
+        help="allow creating a fresh baseline when the committed one is "
+        "missing or corrupt (otherwise that exits non-zero)",
+    )
     args = parser.parse_args()
 
     tiny = os.environ.get("MOARA_BENCH_TINY", "") not in ("", "0")
+    bench_file = BENCH_FILE_TINY if tiny else BENCH_FILE
+    # Resolve the baseline *before* spending minutes on benchmarks, so a
+    # broken trajectory file fails fast.
+    try:
+        baseline = resolve_baseline(bench_file, tiny, args.reseed)
+    except BaselineError as error:
+        print(f"::error title=perf baseline::{error}")
+        return 2
     print(f"perf_guard: timing benchmarks ({'tiny' if tiny else 'full'} scale)")
 
     fig17 = _time_fig17()
@@ -128,16 +199,21 @@ def main() -> int:
     print(f"  scale: {scale['wall_s']:.2f}s wall "
           f"({scale['nodes']} nodes, {scale['queries']} queries, "
           f"{scale['msgs_per_query']:.1f} msgs/query)")
+    shard = _time_shard_scaleout()
+    print(f"  shard_scaleout: {shard['wall_s']:.2f}s wall "
+          f"({shard['scaleout_x']:.1f}x qps at 8 front-ends vs 1)")
 
     record = {
         "schema": 1,
         "tiny": tiny,
         "python": ".".join(str(v) for v in sys.version_info[:3]),
-        "benchmarks": {"fig17_throughput": fig17, "scale": scale},
+        "benchmarks": {
+            "fig17_throughput": fig17,
+            "scale": scale,
+            "shard_scaleout": shard,
+        },
     }
 
-    bench_file = BENCH_FILE_TINY if tiny else BENCH_FILE
-    baseline = _load_baseline(bench_file)
     warnings: list[str] = []
     compared = False
     if baseline is not None and baseline.get("tiny", False) == tiny:

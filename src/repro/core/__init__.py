@@ -31,6 +31,7 @@ Key modules:
 """
 
 from repro.core.adapt import AdaptationConfig, Adaptor, MaintenancePolicy
+from repro.core.adaptive_ttl import AdaptiveTTL, ChurnTracker
 from repro.core.aggregation import AggregateFunction, Histogram, get_function
 from repro.core.attributes import AttributeStore
 from repro.core.cluster import MoaraCluster
@@ -53,7 +54,14 @@ from repro.core.errors import (
 from repro.core.frontend import Frontend, FrontendConfig, ProbePolicy
 from repro.core.moara_node import MoaraConfig, MoaraNode, NodeConfig
 from repro.core.parser import parse_predicate, parse_query
-from repro.core.plan_cache import CacheStats, GroupSizeCache, PlanCache
+from repro.core.plan_cache import (
+    CacheStats,
+    GroupSizeCache,
+    PlanCache,
+    ShardedSizeCache,
+    SharedGroupSizeCache,
+)
+from repro.core.shard_router import FrontendShardRouter, canonical_query_text
 from repro.core.result_cache import (
     CachedResult,
     InflightTable,
@@ -80,14 +88,17 @@ from repro.core.relations import Relation, relation
 
 __all__ = [
     "AdaptationConfig",
+    "AdaptiveTTL",
     "Adaptor",
     "AggregateFunction",
     "And",
     "AttributeStore",
+    "ChurnTracker",
     "Comparison",
     "DerivedAttribute",
     "Frontend",
     "FrontendConfig",
+    "FrontendShardRouter",
     "CacheStats",
     "GCPolicy",
     "GroupSizeCache",
@@ -120,9 +131,12 @@ __all__ = [
     "QueryTimeoutError",
     "Relation",
     "SemanticContext",
+    "ShardedSizeCache",
+    "SharedGroupSizeCache",
     "SimplePredicate",
     "TruePredicate",
     "UnknownAggregateError",
+    "canonical_query_text",
     "choose_cover",
     "get_function",
     "parse_predicate",

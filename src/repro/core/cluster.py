@@ -9,13 +9,16 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Optional, Union
 
+from repro.core.adaptive_ttl import AdaptiveTTL
 from repro.core.frontend import Frontend, FrontendConfig, ProbePolicy
 from repro.core.moara_node import MoaraConfig, MoaraNode
 from repro.core.parser import parse_predicate
+from repro.core.plan_cache import SharedGroupSizeCache
 from repro.core.planner import SemanticContext
 from repro.core.predicates import Predicate
 from repro.core.query import Query, QueryResult
 from repro.core.errors import QueryTimeoutError
+from repro.core.shard_router import FrontendShardRouter, canonical_query_text
 from repro.pastry.idspace import IdSpace
 from repro.pastry.overlay import Overlay
 from repro.sim.engine import Engine
@@ -45,6 +48,7 @@ class MoaraCluster:
         frontend_config: Optional[FrontendConfig] = None,
         num_frontends: int = 1,
         detailed_bytes: bool = False,
+        shared_size_cache: bool = True,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("cluster needs at least one node")
@@ -92,6 +96,34 @@ class MoaraCluster:
         self.semantics = semantics or SemanticContext()
         self._probe_policy = probe_policy
         self._frontend_config = frontend_config
+        #: consistent-hash partitioning of the query space over the
+        #: attached front-ends: identical canonical query text always
+        #: lands on the same shard, so every per-front-end cache stays
+        #: warm as the plane scales out (see repro.core.shard_router).
+        self.router = FrontendShardRouter()
+        #: the cluster-wide group-size tier all shards read through (one
+        #: probe per group cluster-wide, single-writer-per-group; see
+        #: SharedGroupSizeCache).  ``shared_size_cache=False`` reproduces
+        #: the PR 2 per-front-end private caches for comparison runs.
+        fc = frontend_config or FrontendConfig()
+        self.shared_sizes: Optional[SharedGroupSizeCache] = None
+        if shared_size_cache:
+            ttl_policy = AdaptiveTTL.if_enabled(
+                fc.adaptive_size_ttl,
+                fc.size_cache_ttl_min,
+                fc.size_cache_ttl,
+                fc.churn_window,
+            )
+            self.shared_sizes = SharedGroupSizeCache(
+                router=self.router,
+                ttl=fc.size_cache_ttl,
+                ttl_policy=ttl_policy,
+                on_ttl=(
+                    self.stats.record_adaptive_ttl
+                    if ttl_policy is not None
+                    else None
+                ),
+            )
         #: cooperating front-ends sharing this cluster (ids -1, -2, ...).
         self.frontends: list[Frontend] = []
         for _ in range(num_frontends):
@@ -102,13 +134,16 @@ class MoaraCluster:
     def add_frontend(
         self, config: Optional[FrontendConfig] = None
     ) -> Frontend:
-        """Attach one more front-end to the shared cluster.
+        """Attach one more front-end shard to the query plane.
 
-        Every front-end is an independent client machine with its own
-        plan/size caches and in-flight tables; the node-side layer
-        (:mod:`repro.core.result_cache`) is what absorbs the duplicate
-        work *across* them.
+        The router gains the new shard's ring points (consistent hashing:
+        only ``~1/N`` of the query space remaps onto it), and the shard
+        reads through the cluster's shared group-size tier.  A front-end
+        constructed with an explicit non-default ``config`` gets a
+        private size cache instead -- its TTL semantics may differ from
+        the tier the cluster built from ``frontend_config``.
         """
+        shard_id = self.router.add_shard()
         frontend = Frontend(
             self.network,
             self.overlay,
@@ -116,6 +151,8 @@ class MoaraCluster:
             probe_policy=self._probe_policy,
             semantics=self.semantics,
             config=config or self._frontend_config,
+            shard_id=shard_id,
+            shared_sizes=self.shared_sizes if config is None else None,
         )
         frontend.on_query_complete = self._signal_completion
         self.frontends.append(frontend)
@@ -128,6 +165,12 @@ class MoaraCluster:
     def _on_membership_change(self, joined: set[int], left: set[int]) -> None:
         for node in self.nodes.values():
             node.on_membership_change(joined, left)
+        # Churn feeds the shared size tier's adaptive-TTL policy once per
+        # event (not once per shard) -- overlay membership changes raise
+        # every group's observed churn rate.
+        shared = getattr(self, "shared_sizes", None)
+        if shared is not None and (joined or left):
+            shared.on_membership_change(self.engine.now)
         # Front-ends attach after the initial bulk join; later churn must
         # also resolve their in-flight probes/sub-queries (Section 7).
         for frontend in getattr(self, "frontends", ()):
@@ -235,18 +278,34 @@ class MoaraCluster:
         finally:
             self._waiters = None
 
+    def _route(
+        self, query: Union[str, Query], limit: Optional[int] = None
+    ) -> Frontend:
+        """The shard a query belongs to (consistent hash of its
+        canonical text; ``limit`` restricts to the first *k* shards)."""
+        return self.frontends[
+            self.router.shard_for(canonical_query_text(query), limit=limit)
+        ]
+
     def query(
         self,
         query: Union[str, Query],
         max_events: int = 10_000_000,
-        frontend: int = 0,
+        frontend: Optional[int] = None,
     ) -> QueryResult:
         """Submit a query and run the engine until its answer arrives.
 
-        ``frontend`` selects which attached front-end submits it (index
-        into :attr:`frontends`; the default is the primary one).
+        The query goes through the shard router by default (identical
+        query text -> same front-end, so its plan/size caches and
+        sub-query dedup stay warm); pass ``frontend`` to pin a specific
+        attached front-end instead (index into :attr:`frontends`).  With
+        a single front-end the two are the same.
         """
-        fe = self.frontends[frontend]
+        fe = (
+            self._route(query)
+            if frontend is None
+            else self.frontends[frontend]
+        )
         qid = fe.submit(query)
         done = self._drive_to_completion([(fe, qid)], max_events)
         if not done:
@@ -266,6 +325,7 @@ class MoaraCluster:
         queries: list[Union[str, Query]],
         max_events: int = 10_000_000,
         frontends: Optional[int] = None,
+        routing: str = "shard",
     ) -> list[QueryResult]:
         """Submit a batch of concurrent queries and run them to completion.
 
@@ -273,12 +333,20 @@ class MoaraCluster:
         queries share probes and sub-queries; results come back in
         submission order.
 
-        ``frontends`` spreads the batch round-robin over that many
-        attached front-ends (default: all of them -- which, with the
-        standard single front-end, reproduces the old behaviour).  With
-        several front-ends, identical queries land at the *same tree
-        roots* from different clients, which is exactly the duplicated
-        work the node-side result cache and in-flight table absorb.
+        ``frontends`` restricts the batch to the first *k* attached
+        front-ends (default: all of them).  ``routing`` picks how the
+        batch is spread over that pool:
+
+        * ``"shard"`` (the default) -- through the shard router:
+          identical canonical query text lands on the same front-end,
+          independent of batch order or size, keeping dedup and the
+          per-shard caches local; distinct queries spread by consistent
+          hash.  With one front-end this degenerates to the old
+          behaviour.
+        * ``"round-robin"`` -- the PR 2 spread, deliberately scattering
+          identical queries across front-ends; this is the adversarial
+          layout the node-side result cache and in-flight table absorb,
+          kept for those comparison workloads.
         """
         if frontends is not None and frontends < 1:
             raise ValueError("frontends must be >= 1")
@@ -287,9 +355,21 @@ class MoaraCluster:
             if frontends is None
             else self.frontends[:frontends]
         )
-        pairs = [
-            (pool[i % len(pool)], query) for i, query in enumerate(queries)
-        ]
+        if routing == "shard":
+            limit = len(pool)
+            pairs = [
+                (self._route(query, limit=limit), query)
+                for query in queries
+            ]
+        elif routing == "round-robin":
+            pairs = [
+                (pool[i % len(pool)], query)
+                for i, query in enumerate(queries)
+            ]
+        else:
+            raise ValueError(
+                f"unknown routing {routing!r}; use 'shard' or 'round-robin'"
+            )
         submitted = [(fe, fe.submit(query)) for fe, query in pairs]
         done = self._drive_to_completion(submitted, max_events)
         if not done:

@@ -34,9 +34,14 @@ from enum import Enum
 from typing import Any, Callable, Optional, Union
 
 from repro.core import messages as mt
+from repro.core.adaptive_ttl import AdaptiveTTL
 from repro.core.moara_node import group_attribute
 from repro.core.parser import parse_query
-from repro.core.plan_cache import GroupSizeCache, PlanCache
+from repro.core.plan_cache import (
+    GroupSizeCache,
+    PlanCache,
+    SharedGroupSizeCache,
+)
 from repro.core.planner import (
     QueryPlan,
     SemanticContext,
@@ -78,8 +83,21 @@ class FrontendConfig:
     #: LRU size for memoized plans/covers; 0 disables plan caching.
     plan_cache_size: int = 1024
     #: Seconds a group-size estimate stays fresh; 0 disables the cache
-    #: (every composite query probes, as in the paper).
+    #: (every composite query probes, as in the paper).  With
+    #: :attr:`adaptive_size_ttl` this is the *upper bound* of the per-entry
+    #: TTL range (zero observed churn reproduces the fixed-TTL behaviour).
     size_cache_ttl: float = 60.0
+    #: Lower bound for churn-adaptive size-cache TTLs: a churn storm can
+    #: shrink entries to this, never below.
+    size_cache_ttl_min: float = 5.0
+    #: Scale each size-cache entry's TTL by the group's observed churn
+    #: (changed cost estimates, overlay membership events) between
+    #: ``size_cache_ttl_min`` and ``size_cache_ttl``.  Off = the PR 1
+    #: fixed-TTL behaviour.
+    adaptive_size_ttl: bool = True
+    #: Decay window (seconds) of the churn-rate estimator feeding the
+    #: adaptive TTLs (see :mod:`repro.core.adaptive_ttl`).
+    churn_window: float = 30.0
     #: Identical concurrent queries share one sub-query per cover group.
     share_subqueries: bool = True
     #: Concurrent queries waiting on the same group share one size probe.
@@ -93,6 +111,8 @@ class FrontendConfig:
         return cls(
             plan_cache_size=0,
             size_cache_ttl=0.0,
+            size_cache_ttl_min=0.0,
+            adaptive_size_ttl=False,
             share_subqueries=False,
             dedupe_probes=False,
             piggyback_sizes=False,
@@ -174,6 +194,8 @@ class Frontend:
         probe_policy: ProbePolicy = ProbePolicy.COMPOSITE,
         semantics: Optional[SemanticContext] = None,
         config: Optional[FrontendConfig] = None,
+        shard_id: int = 0,
+        shared_sizes: Optional[SharedGroupSizeCache] = None,
     ) -> None:
         self.network = network
         self.overlay = overlay
@@ -186,7 +208,36 @@ class Frontend:
             if self.config.plan_cache_size > 0
             else None
         )
-        self.size_cache = GroupSizeCache(ttl=self.config.size_cache_ttl)
+        #: this front-end's index in the sharded query plane (0 for a
+        #: standalone front-end; see repro.core.shard_router).
+        self.shard_id = shard_id
+        #: the cluster-wide size tier, when this front-end is one shard of
+        #: a sharded query plane (None = private per-front-end cache).
+        self._shared = shared_sizes
+        if shared_sizes is not None:
+            # Read through the shared tier; per-entry TTL policy (and the
+            # churn it observes) lives in the tier, shared by all shards.
+            self.size_cache = shared_sizes.view(shard_id)
+            self._size_ttl_policy: Optional[AdaptiveTTL] = None
+        else:
+            policy = AdaptiveTTL.if_enabled(
+                self.config.adaptive_size_ttl,
+                self.config.size_cache_ttl_min,
+                self.config.size_cache_ttl,
+                self.config.churn_window,
+            )
+            self._size_ttl_policy = policy
+            self.size_cache = GroupSizeCache(
+                ttl=self.config.size_cache_ttl,
+                ttl_policy=policy,
+                on_ttl=(
+                    network.stats.record_adaptive_ttl
+                    if policy is not None
+                    else None
+                ),
+            )
+        #: canonical group key -> qids waiting on another shard's probe.
+        self._shared_waits: dict[str, list[str]] = {}
         self._qid_counter = itertools.count(1)
         self._share_counter = itertools.count(1)
         self._pending_queries: dict[str, _PendingQuery] = {}
@@ -226,6 +277,7 @@ class Frontend:
             query = parse_query(query)
         qid = f"fe{self.node_id}-{next(self._qid_counter)}"
         now = self.network.engine.now
+        self.network.stats.shard_queries[self.shard_id] += 1
         plan, plan_cached = self._plan(query.predicate)
 
         if plan.unsatisfiable:
@@ -239,7 +291,11 @@ class Frontend:
             )
             self.network.stats.record_query(
                 QueryRecord(
-                    qid=qid, latency=0.0, messages=0, completed_at=now
+                    qid=qid,
+                    latency=0.0,
+                    messages=0,
+                    shard=self.shard_id,
+                    completed_at=now,
                 )
             )
             self._complete(qid, result, callback)
@@ -263,12 +319,15 @@ class Frontend:
         # groups the cache cannot answer for.
         groups = sorted(plan.all_groups(), key=lambda p: p.canonical())
         missing: list[Predicate] = []
+        stats = self.network.stats
         for group in groups:
             cached = self.size_cache.get(group.canonical(), now)
             if cached is None:
                 missing.append(group)
+                stats.shard_size_misses[self.shard_id] += 1
             else:
                 pending.costs[group.canonical()] = cached
+                stats.shard_size_hits[self.shard_id] += 1
 
         if not (self._should_probe(plan) and missing):
             self._finish_planning(pending)
@@ -334,6 +393,16 @@ class Frontend:
                 if probe.created_seq == seq:
                     probe.waiters.append(qid)
                     return
+            # Cluster-wide dedup: if another shard's wire probe for this
+            # group is in flight in this same burst, subscribe to its
+            # answer through the shared tier instead of duplicating it
+            # (one probe per group cluster-wide, not per shard).
+            if self._shared is not None and self._shared.join_probe(
+                key, self.shard_id, seq, self._on_shared_size
+            ):
+                self._shared_waits.setdefault(key, []).append(qid)
+                self.network.stats.shared_probe_joins += 1
+                return
         tag = f"pr{self.node_id}-{next(self._share_counter)}"
         root = self.overlay.root(
             self.overlay.space.hash_name(group_attribute(group))
@@ -348,6 +417,8 @@ class Frontend:
         )
         if self.config.dedupe_probes:
             self._probe_by_group[key] = tag
+            if self._shared is not None:
+                self._shared.open_probe(key, self.shard_id, tag, seq)
         self.network.send(
             self.node_id,
             root,
@@ -360,10 +431,25 @@ class Frontend:
         key = payload["pred_key"]
         cost = payload["cost"]
         now = self.network.engine.now
-        self.size_cache.put(key, cost, now)
         probe = self._probes.pop(payload["probe_id"], None)
+        # Exactly one write path for the answer: resolving a registered
+        # shared probe force-publishes it to the tier (the prober is
+        # that fill's designated writer) and releases every shard that
+        # subscribed instead of sending its own probe; anything else --
+        # unsolicited/duplicate answers, superseded probes, private
+        # caches -- goes through the plain (single-writer-checked) put.
+        released = None
+        if probe is not None and self._shared is not None:
+            released = self._shared.resolve_probe(
+                probe.key, probe.tag, cost, now
+            )
+        if released is None:
+            self.size_cache.put(key, cost, now)
+        else:
+            for callback in released:
+                callback(key, cost, now)
         if probe is None:
-            return  # unsolicited/duplicate answer: cache it and move on
+            return  # unsolicited/duplicate answer: cached above, move on
         if self._probe_by_group.get(probe.key) == probe.tag:
             del self._probe_by_group[probe.key]
         probe_messages = self.network.stats.pop_tag(probe.tag)
@@ -375,6 +461,26 @@ class Frontend:
             pending.needed.discard(key)
             if qid == probe.initiator:
                 pending.own_messages += probe_messages
+            if not pending.needed:
+                pending.probe_latency = now - pending.probe_started
+                self._finish_planning(pending)
+
+    def _on_shared_size(
+        self, key: str, cost: Optional[float], now: float
+    ) -> None:
+        """Another shard's probe for ``key`` resolved (shared-tier
+        publish fan-out): resume every query of ours that was waiting on
+        it.  ``cost`` is None when the probe resolved NULL (the probed
+        root departed); the waiting queries then fall back to default
+        costs, exactly as if our own probe had been resolved by churn.
+        """
+        for qid in self._shared_waits.pop(key, ()):
+            pending = self._pending_queries.get(qid)
+            if pending is None:
+                continue
+            if cost is not None:
+                pending.costs[key] = cost
+            pending.needed.discard(key)
             if not pending.needed:
                 pending.probe_latency = now - pending.probe_started
                 self._finish_planning(pending)
@@ -524,6 +630,7 @@ class Frontend:
                     latency=result.latency,
                     messages=messages,
                     probe_latency=pending.probe_latency,
+                    shard=self.shard_id,
                     shared=pending.shared,
                     root_cached=root_cached,
                     root_shared=root_shared,
@@ -568,6 +675,7 @@ class Frontend:
             not self._pending_queries
             and not self._probes
             and not self._share_by_id
+            and not self._shared_waits
         )
 
     # ------------------------------------------------------------------
@@ -582,15 +690,32 @@ class Frontend:
         treated as answered empty, so waiting queries terminate with the
         survivors' data instead of hanging and leaking front-end state.
         """
+        now = self.network.engine.now
+        if (
+            (joined or left)
+            and self._shared is None
+            and self._size_ttl_policy is not None
+        ):
+            # Standalone front-end: overlay churn shortens size-cache
+            # TTLs.  (With a shared tier the cluster feeds churn into the
+            # tier once, not once per shard.)
+            self._size_ttl_policy.observe_global(now)
         if not left:
             return
-        now = self.network.engine.now
         for probe in [
             p for p in self._probes.values() if p.root in left
         ]:
             del self._probes[probe.tag]
             if self._probe_by_group.get(probe.key) == probe.tag:
                 del self._probe_by_group[probe.key]
+            if self._shared is not None:
+                # Release cross-shard subscribers with a NULL resolution
+                # (mirrors the local waiters below: no cost learned).
+                for callback in (
+                    self._shared.resolve_probe(probe.key, probe.tag, None, now)
+                    or ()
+                ):
+                    callback(probe.key, None, now)
             probe_messages = self.network.stats.pop_tag(probe.tag)
             for qid in probe.waiters:
                 pending = self._pending_queries.get(qid)

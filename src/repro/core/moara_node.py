@@ -46,6 +46,7 @@ from typing import Any, Callable, Optional
 
 from repro.core import messages as mt
 from repro.core.adapt import AdaptationConfig, Adaptor
+from repro.core.adaptive_ttl import AdaptiveTTL
 from repro.core.attributes import AttributeStore
 from repro.core.gc import GCPolicy, NoGC
 from repro.core.predicates import Predicate, SimplePredicate, TruePredicate
@@ -104,6 +105,20 @@ class MoaraConfig:
     result_cache_ttl: float = 0.0
     #: LRU bound on cached results per node.
     result_cache_size: int = 512
+    #: Lower bound for churn-adaptive result-cache TTLs: a churn storm
+    #: can shrink an entry's lifetime to this, never below (caching
+    #: degrades gracefully instead of collapsing).  ``result_cache_ttl``
+    #: is the upper bound -- the old fixed global, which zero observed
+    #: churn reproduces exactly.
+    result_cache_ttl_min: float = 1.0
+    #: Scale each cached entry's TTL by the owning group's observed churn
+    #: (STATUS_UPDATE rate at this root plus overlay membership events)
+    #: between ``result_cache_ttl_min`` and ``result_cache_ttl``.  Off =
+    #: the PR 2 fixed-TTL behaviour.
+    adaptive_result_ttl: bool = True
+    #: Decay window (seconds) of the churn-rate estimator feeding the
+    #: adaptive TTLs (see :mod:`repro.core.adaptive_ttl`).
+    churn_window: float = 30.0
     #: Subscribe identical sub-queries (from any front-end) to an already
     #: in-flight execution instead of re-walking the tree.  Staleness-free
     #: (every subscriber sees the same fresh execution), hence on by
@@ -115,12 +130,17 @@ class MoaraConfig:
             raise ValueError("threshold must be >= 1")
         if self.result_cache_size < 1:
             raise ValueError("result_cache_size must be >= 1")
+        if self.result_cache_ttl_min < 0:
+            raise ValueError("result_cache_ttl_min must be >= 0")
+        if self.churn_window <= 0:
+            raise ValueError("churn_window must be positive")
 
     @classmethod
     def uncached(cls, **overrides: Any) -> "MoaraConfig":
         """The PR 1 node: no root result cache, no execution sharing."""
         overrides.setdefault("result_cache_ttl", 0.0)
         overrides.setdefault("share_executions", False)
+        overrides.setdefault("adaptive_result_ttl", False)
         return cls(**overrides)
 
 
@@ -197,10 +217,27 @@ class MoaraNode:
         # full-dict rebuild per received query (quadratic at 10k scale).
         self._answered_limit = 1024
         self._seen_limit = 4096
+        #: churn-adaptive TTL policy for the result cache (None when the
+        #: cache is disabled or the operator pinned a fixed TTL).  Each
+        #: node tracks churn it observes itself -- STATUS_UPDATE arrivals
+        #: per group tree plus overlay membership events -- which is the
+        #: information a deployed, decentralized root would have.
+        self._ttl_policy: Optional[AdaptiveTTL] = AdaptiveTTL.if_enabled(
+            self.config.adaptive_result_ttl,
+            self.config.result_cache_ttl_min,
+            self.config.result_cache_ttl,
+            self.config.churn_window,
+        )
         #: root-side TTL'd result cache (disabled unless configured).
         self.result_cache = ResultCache(
             ttl=self.config.result_cache_ttl,
             maxsize=self.config.result_cache_size,
+            ttl_policy=self._ttl_policy,
+            on_ttl=(
+                network.stats.record_adaptive_ttl
+                if self._ttl_policy is not None
+                else None
+            ),
         )
         #: in-flight executions rooted here, joinable by identical requests.
         self.inflight = InflightTable()
@@ -421,7 +458,15 @@ class MoaraNode:
         # A child report means group membership (or routing) under us
         # changed for this tree: cached results for it may be stale.
         if self.result_cache.enabled:
-            self.result_cache.invalidate_group(state.pred_key)
+            dropped = self.result_cache.invalidate_group(state.pred_key)
+            if dropped and self._ttl_policy is not None:
+                # The STATUS_UPDATE rate is the group's churn signal --
+                # but only reports that actually cost us cached data
+                # count, so the one-time report storm of initial group
+                # definition (before anything is cached) does not read
+                # as churn.  Future entries for this tree get shorter
+                # TTLs while the invalidation rate stays high.
+                self._ttl_policy.observe(state.pred_key, self._engine._now)
         state.record_child_report(
             message.src,
             frozenset(payload["update_set"]),
@@ -806,6 +851,9 @@ class MoaraNode:
         """
         if joined or left:
             self.result_cache.clear()
+            if self._ttl_policy is not None:
+                # Overlay churn raises every group's observed rate.
+                self._ttl_policy.observe_global(self._engine._now)
         if left:
             for key in list(self._pending):
                 pending = self._pending.get(key)

@@ -49,8 +49,9 @@ from __future__ import annotations
 import copy
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
+from repro.core.adaptive_ttl import AdaptiveTTL
 from repro.core.plan_cache import CacheStats
 
 __all__ = [
@@ -125,11 +126,27 @@ class ResultCache:
     ``ttl <= 0`` disables the cache (every ``get`` misses, ``put`` is a
     no-op), which is the default: root-side result caching is an explicit
     staleness contract the operator opts into.
+
+    With a ``ttl_policy`` (:class:`~repro.core.adaptive_ttl.AdaptiveTTL`)
+    each entry's lifetime is scaled by the *group's* observed churn --
+    the owning node feeds the policy from the ``STATUS_UPDATE`` stream
+    and overlay membership events it already handles -- so a flapping
+    group's results expire quickly while a stable group keeps the full
+    ``ttl`` (the policy's upper bound).  ``on_ttl`` receives every
+    adaptively assigned TTL for the stats histogram.
     """
 
-    def __init__(self, ttl: float = 0.0, maxsize: int = 512) -> None:
+    def __init__(
+        self,
+        ttl: float = 0.0,
+        maxsize: int = 512,
+        ttl_policy: Optional[AdaptiveTTL] = None,
+        on_ttl: Optional[Callable[[float], None]] = None,
+    ) -> None:
         self.ttl = ttl
         self.maxsize = maxsize
+        self.ttl_policy = ttl_policy
+        self.on_ttl = on_ttl
         self.stats = ResultCacheStats()
         self._entries: OrderedDict[ExecutionKey, CachedResult] = OrderedDict()
 
@@ -158,13 +175,20 @@ class ResultCache:
             return
         if key in self._entries:
             self._entries.move_to_end(key)
+        ttl = self.ttl
+        if self.ttl_policy is not None:
+            # Churn is tracked per group tree: the key the owning node
+            # feeds from STATUS_UPDATE arrivals (see moara_node).
+            ttl = self.ttl_policy.ttl_for(group_key, now)
+            if self.on_ttl is not None:
+                self.on_ttl(ttl)
         self._entries[key] = CachedResult(
             partial=copy.deepcopy(partial),
             contributors=contributors,
             group_key=group_key,
             attrs=attrs,
             cached_at=now,
-            expires_at=now + self.ttl,
+            expires_at=now + ttl,
         )
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)

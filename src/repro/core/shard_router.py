@@ -1,0 +1,134 @@
+"""Consistent-hash partitioning of the query space across front-ends.
+
+The ROADMAP's millions-of-users fan-in needs N cooperating front-ends,
+and the partitioning has to be *sticky*: PR 1's plan cache, group-size
+cache, and shared-sub-query batching all live per front-end, so identical
+queries must keep landing on the same shard for those layers to stay
+warm.  :class:`FrontendShardRouter` provides that assignment:
+
+* queries are keyed by their **canonical text** (attribute + aggregate
+  function signature + canonical predicate), so syntactic variants of
+  one query -- ``a AND b`` vs ``b AND a`` -- route identically;
+* the key is placed on a **consistent-hash ring** (MD5, the paper's own
+  hash; a fixed number of virtual points per shard), so adding a front
+  end remaps only ``~1/N`` of the key space instead of reshuffling every
+  cached plan, exactly the Memcached-style scale-out move;
+* the same ring also assigns an **owner shard** to every group key,
+  which is what gives the shared group-size cache its single-writer
+  discipline (see :class:`repro.core.plan_cache.SharedGroupSizeCache`).
+
+Everything is derived from MD5 of stable text, never from Python's
+randomized ``hash()``: the same query routes to the same shard across
+processes, runs, and submission orderings.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from hashlib import md5
+from typing import Optional, Union
+
+from repro.core.parser import parse_query
+from repro.core.query import Query
+
+__all__ = ["FrontendShardRouter", "canonical_query_text"]
+
+#: virtual ring points per shard; enough for an even spread at the shard
+#: counts the query plane runs (single digits to low tens).
+DEFAULT_REPLICAS = 64
+
+
+def canonical_query_text(query: Union[str, Query]) -> str:
+    """The routing key for a query: its canonical textual identity.
+
+    Parses strings (``parse_query`` is memoized, so repeated routing of
+    the same text costs one dict probe) and normalizes both forms to
+    ``attr | function signature | canonical predicate`` -- the same
+    identity the front-end uses for sub-query sharing, so everything
+    that could share a cache entry shares a shard.
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    return (
+        f"{query.attr}|{query.function.signature()}|"
+        f"{query.predicate.canonical()}"
+    )
+
+
+def _hash_point(text: str) -> int:
+    """A stable 64-bit ring position for a piece of text."""
+    return int.from_bytes(md5(text.encode("utf-8")).digest()[:8], "big")
+
+
+class FrontendShardRouter:
+    """Consistent-hash assignment of keys to front-end shards ``0..N-1``.
+
+    Shards are added one at a time (:meth:`add_shard`), mirroring
+    ``MoaraCluster.add_frontend``; the ring keeps every shard's virtual
+    points, so growth moves only the keys that fall into the new shard's
+    arcs.
+    """
+
+    def __init__(
+        self, num_shards: int = 0, replicas: int = DEFAULT_REPLICAS
+    ) -> None:
+        if num_shards < 0:
+            raise ValueError("num_shards must be >= 0")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self.num_shards = 0
+        #: sorted virtual points and their owning shard, as parallel
+        #: arrays (bisect works on the points list).
+        self._points: list[int] = []
+        self._shards: list[int] = []
+        for _ in range(num_shards):
+            self.add_shard()
+
+    def __len__(self) -> int:
+        return self.num_shards
+
+    def add_shard(self) -> int:
+        """Add one shard's virtual points to the ring; returns its id."""
+        shard = self.num_shards
+        for replica in range(self.replicas):
+            point = _hash_point(f"shard:{shard}:{replica}")
+            index = bisect_left(self._points, point)
+            self._points.insert(index, point)
+            self._shards.insert(index, shard)
+        self.num_shards = shard + 1
+        return shard
+
+    def shard_for(self, key: str, limit: Optional[int] = None) -> int:
+        """The shard owning ``key``.
+
+        ``limit`` restricts the answer to shards ``< limit`` (used when a
+        caller spreads work over only the first *k* front-ends): the ring
+        walk skips points of out-of-range shards, which keeps the
+        restricted assignment consistent with the full one for every key
+        that already mapped inside the range.
+        """
+        if self.num_shards == 0:
+            raise ValueError("router has no shards")
+        bound = self.num_shards if limit is None else limit
+        if bound < 1:
+            raise ValueError("limit must be >= 1")
+        points = self._points
+        shards = self._shards
+        n = len(points)
+        index = bisect_left(points, _hash_point(key))
+        for step in range(n):
+            shard = shards[(index + step) % n]
+            if shard < bound:
+                return shard
+        raise AssertionError("ring contains no shard below the limit")
+
+    def route(
+        self, query: Union[str, Query], limit: Optional[int] = None
+    ) -> int:
+        """Shard for a query (by canonical query text)."""
+        return self.shard_for(canonical_query_text(query), limit=limit)
+
+    def owner(self, group_key: str) -> int:
+        """The single writer shard for a group's shared-cache entry."""
+        return self.shard_for(group_key)

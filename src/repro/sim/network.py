@@ -321,8 +321,14 @@ class Network:
         count_tag = tag is not None and tag not in self._closed_tags
         per_query = self._per_query
         if src in self._crashed:
+            # Byte parity with send(): the per-message size is charged
+            # even though a crashed sender's traffic never departs.
+            size = (
+                _BASE_HEADER_BYTES + estimate_size(payload) if detailed else 0
+            )
             for _ in dsts:
                 stats.total_messages += 1
+                stats.total_bytes += size
                 stats.dropped_messages += 1
             for dst in dsts:
                 by_type[mtype] += 1

@@ -36,6 +36,11 @@ _CLOSED_TAG_MEMORY = 4096
 __all__ = ["MessageStats", "QueryRecord", "StatsSnapshot"]
 
 
+#: adaptive-TTL histogram bucket edges, in seconds (see
+#: :meth:`MessageStats.record_adaptive_ttl`).
+_TTL_BUCKETS = (1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0)
+
+
 @dataclass(frozen=True, slots=True)
 class QueryRecord:
     """One completed query, as recorded by a front-end."""
@@ -44,6 +49,9 @@ class QueryRecord:
     latency: float
     messages: int
     probe_latency: float = 0.0
+    #: index of the front-end shard that executed the query (0 for the
+    #: primary front-end; see repro.core.shard_router).
+    shard: int = 0
     #: True when the query rode an already-in-flight shared sub-query
     #: (its marginal message cost is 0 for the shared portion).
     shared: bool = False
@@ -99,6 +107,18 @@ class MessageStats:
     root_cache_hits: int = 0
     root_cache_misses: int = 0
     root_subscriptions: int = 0
+    #: sharded-query-plane counters (see repro.core.shard_router and
+    #: SharedGroupSizeCache in repro.core.plan_cache): queries submitted
+    #: per front-end shard, shared-size-cache lookups per shard, and
+    #: cluster-wide cross-shard probe joins (a probe another shard had
+    #: already sent was reused instead of a duplicate wire probe).
+    shard_queries: Counter = field(default_factory=Counter)
+    shard_size_hits: Counter = field(default_factory=Counter)
+    shard_size_misses: Counter = field(default_factory=Counter)
+    shared_probe_joins: int = 0
+    #: histogram of per-entry TTLs assigned by the churn-adaptive policies
+    #: (repro.core.adaptive_ttl), bucketed by upper edge in seconds.
+    adaptive_ttl_hist: Counter = field(default_factory=Counter)
     #: opt-in byte accounting: when True the network estimates every
     #: message's wire size (recursive payload walk) and feeds
     #: :attr:`total_bytes`; when False (the default, counts-only mode) it
@@ -153,6 +173,14 @@ class MessageStats:
         if len(self._closed_tags) > _CLOSED_TAG_MEMORY:
             self._closed_tags.popitem(last=False)
         return self.per_query.pop(tag, 0)
+
+    def record_adaptive_ttl(self, ttl: float) -> None:
+        """Count one adaptive-TTL assignment in the bucketed histogram."""
+        for edge in _TTL_BUCKETS:
+            if ttl <= edge:
+                self.adaptive_ttl_hist[f"<={edge:g}s"] += 1
+                return
+        self.adaptive_ttl_hist[f">{_TTL_BUCKETS[-1]:g}s"] += 1
 
     def record_query(self, record: QueryRecord) -> None:
         """Append one completed query to the ledger (bounded)."""
@@ -213,6 +241,11 @@ class MessageStats:
         self.root_cache_hits = 0
         self.root_cache_misses = 0
         self.root_subscriptions = 0
+        self.shard_queries.clear()
+        self.shard_size_hits.clear()
+        self.shard_size_misses.clear()
+        self.shared_probe_joins = 0
+        self.adaptive_ttl_hist.clear()
         self._closed_tags.clear()
 
     def messages_per_node(self, num_nodes: int) -> float:

@@ -270,7 +270,10 @@ def test_cold_concurrent_burst_across_frontends_shares_one_walk() -> None:
     trigger one tree walk; late arrivals subscribe at the root."""
     c = _cluster(config=MoaraConfig())  # cache off, sharing on (default)
     before = c.stats.snapshot()
-    results = c.query_concurrent([TEXT] * 2)  # round-robin: fe0, fe1
+    # Round-robin deliberately scatters the identical queries across
+    # front-ends (shard routing would keep them on one shard and the
+    # front-end's own sub-query sharing would absorb them instead).
+    results = c.query_concurrent([TEXT] * 2, routing="round-robin")
     delta = c.stats.delta_since(before)
     assert [r.value for r in results] == [12, 12]
     assert delta.messages_of(mt.FRONTEND_QUERY) == 2
@@ -292,7 +295,7 @@ def test_cold_concurrent_burst_across_frontends_shares_one_walk() -> None:
 def test_subscription_disabled_walks_per_frontend() -> None:
     c = _cluster(config=MoaraConfig.uncached())
     before = c.stats.snapshot()
-    results = c.query_concurrent([TEXT] * 2)
+    results = c.query_concurrent([TEXT] * 2, routing="round-robin")
     delta = c.stats.delta_since(before)
     assert [r.value for r in results] == [12, 12]
     assert c.stats.root_subscriptions == 0
@@ -363,7 +366,9 @@ def test_add_frontend_after_construction() -> None:
 
 def test_round_robin_spread_is_capped_by_frontends_argument() -> None:
     c = _cluster(num_frontends=4)
-    results = c.query_concurrent([TEXT] * 4, frontends=2)
+    results = c.query_concurrent(
+        [TEXT] * 4, frontends=2, routing="round-robin"
+    )
     assert [r.value for r in results] == [12] * 4
     # Only the first two front-ends saw traffic.
     assert c.frontends[2].is_idle() and not c.frontends[2].results

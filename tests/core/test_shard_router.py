@@ -1,0 +1,149 @@
+"""Shard-routing determinism and consistent-hashing properties.
+
+The satellite checklist pins: same query text -> same shard across runs,
+router instances, and submission orderings; syntactic variants of one
+query route identically; adding a shard moves keys only onto the new
+shard (consistent hashing); the ``limit`` walk agrees with the full ring
+for keys already inside the range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MoaraCluster
+from repro.core.shard_router import (
+    FrontendShardRouter,
+    canonical_query_text,
+)
+
+KEYS = [f"SELECT COUNT(*) WHERE S{i} = true" for i in range(200)]
+
+
+def test_same_key_same_shard_across_router_instances() -> None:
+    a = FrontendShardRouter(num_shards=8)
+    b = FrontendShardRouter(num_shards=8)
+    assert [a.shard_for(k) for k in KEYS] == [b.shard_for(k) for k in KEYS]
+
+
+def test_routing_is_independent_of_query_order() -> None:
+    router = FrontendShardRouter(num_shards=4)
+    forward = {k: router.shard_for(k) for k in KEYS}
+    backward = {k: router.shard_for(k) for k in reversed(KEYS)}
+    assert forward == backward
+
+
+def test_syntactic_variants_share_a_shard() -> None:
+    router = FrontendShardRouter(num_shards=8)
+    variants = [
+        "SELECT COUNT(*) WHERE a = true AND b = true",
+        "SELECT COUNT(*) WHERE b = true AND a = true",
+    ]
+    texts = {canonical_query_text(v) for v in variants}
+    assert len(texts) == 1  # one canonical identity...
+    shards = {router.route(v) for v in variants}
+    assert len(shards) == 1  # ...hence one shard
+
+
+def test_distinct_queries_spread_over_shards() -> None:
+    router = FrontendShardRouter(num_shards=8)
+    counts = [0] * 8
+    for key in KEYS:
+        counts[router.shard_for(key)] += 1
+    assert all(count > 0 for count in counts)  # nobody idle
+    assert max(counts) < len(KEYS) // 2  # nobody dominant
+
+
+def test_add_shard_moves_keys_only_onto_the_new_shard() -> None:
+    router = FrontendShardRouter(num_shards=4)
+    before = {k: router.shard_for(k) for k in KEYS}
+    new_shard = router.add_shard()
+    assert new_shard == 4
+    moved = 0
+    for key in KEYS:
+        after = router.shard_for(key)
+        if after != before[key]:
+            assert after == new_shard  # never reshuffled between old shards
+            moved += 1
+    # Consistent hashing: roughly 1/N of the space remaps, not all of it.
+    assert 0 < moved < len(KEYS) // 2
+
+
+def test_limit_agrees_with_full_ring_inside_the_range() -> None:
+    router = FrontendShardRouter(num_shards=8)
+    for key in KEYS:
+        full = router.shard_for(key)
+        if full < 4:
+            assert router.shard_for(key, limit=4) == full
+        else:
+            assert router.shard_for(key, limit=4) < 4
+
+
+def test_empty_router_and_bad_limit_are_rejected() -> None:
+    with pytest.raises(ValueError):
+        FrontendShardRouter().shard_for("x")
+    router = FrontendShardRouter(num_shards=2)
+    with pytest.raises(ValueError):
+        router.shard_for("x", limit=0)
+    with pytest.raises(ValueError):
+        FrontendShardRouter(num_shards=-1)
+    with pytest.raises(ValueError):
+        FrontendShardRouter(replicas=0)
+
+
+# ----------------------------------------------------------------------
+# cluster integration
+# ----------------------------------------------------------------------
+
+
+def _cluster(num_frontends: int) -> MoaraCluster:
+    c = MoaraCluster(32, seed=95, num_frontends=num_frontends)
+    c.set_group("g", c.node_ids[:8])
+    c.set_group("h", c.node_ids[4:14])
+    return c
+
+
+def test_cluster_query_routes_by_canonical_text() -> None:
+    c = _cluster(num_frontends=4)
+    text = "SELECT COUNT(*) WHERE g = true"
+    expected = c.router.shard_for(canonical_query_text(text))
+    assert c.query(text).value == 8
+    assert dict(c.stats.shard_queries) == {expected: 1}
+    # The commuted form of a composite lands on the same shard.
+    composite = "SELECT COUNT(*) WHERE g = true AND h = true"
+    commuted = "SELECT COUNT(*) WHERE h = true AND g = true"
+    c.query(composite)
+    c.query(commuted)
+    assert c.router.route(composite) == c.router.route(commuted)
+
+
+def test_concurrent_shard_routing_keeps_identical_queries_local() -> None:
+    """A batch of identical queries lands on one shard regardless of
+    batch position, so sub-query dedup stays front-end-local."""
+    c = _cluster(num_frontends=4)
+    text = "SELECT COUNT(*) WHERE g = true"
+    results = c.query_concurrent([text] * 8)
+    assert [r.value for r in results] == [8] * 8
+    active = [s for s, n in c.stats.shard_queries.items() if n]
+    assert len(active) == 1
+    assert c.stats.shard_queries[active[0]] == 8
+    # All eight shared one dispatched sub-query (batched on one shard).
+    assert sum(1 for r in results if r.shared) == 7
+
+
+def test_routing_stable_across_cluster_instances_and_orderings() -> None:
+    texts = [f"SELECT COUNT(*) WHERE S{i} = true" for i in range(12)]
+    c1 = _cluster(num_frontends=4)
+    c2 = _cluster(num_frontends=4)
+    assert [c1.router.route(t) for t in texts] == [
+        c2.router.route(t) for t in texts
+    ]
+    assert [c1.router.route(t) for t in reversed(texts)] == list(
+        reversed([c1.router.route(t) for t in texts])
+    )
+
+
+def test_query_pinning_still_works() -> None:
+    c = _cluster(num_frontends=3)
+    c.query("SELECT COUNT(*) WHERE g = true", frontend=2)
+    assert dict(c.stats.shard_queries) == {2: 1}

@@ -1,0 +1,111 @@
+"""perf_guard baseline handling: never silently reseed the trajectory.
+
+Pins the satellite fix: a full-scale run whose committed
+``BENCH_scale.json`` is missing or corrupt must error out (exit
+non-zero) instead of quietly writing a fresh baseline -- a silent reseed
+would turn a regression into the new normal.  ``--reseed`` makes
+re-creation explicit; a missing *tiny* baseline stays fine (it is a CI
+artifact, never committed).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "perf_guard.py"
+
+
+@pytest.fixture(scope="module")
+def perf_guard():
+    spec = importlib.util.spec_from_file_location("perf_guard", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["perf_guard"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+VALID = {
+    "schema": 1,
+    "tiny": False,
+    "benchmarks": {"scale": {"wall_s": 1.0}},
+}
+
+
+def test_missing_full_baseline_is_an_error(perf_guard, tmp_path) -> None:
+    with pytest.raises(perf_guard.BaselineError):
+        perf_guard.resolve_baseline(
+            tmp_path / "BENCH_scale.json", tiny=False, reseed=False
+        )
+
+
+def test_missing_tiny_baseline_just_seeds_one(perf_guard, tmp_path) -> None:
+    assert (
+        perf_guard.resolve_baseline(
+            tmp_path / "BENCH_scale_tiny.json", tiny=True, reseed=False
+        )
+        is None
+    )
+
+
+def test_reseed_flag_allows_a_missing_full_baseline(
+    perf_guard, tmp_path
+) -> None:
+    assert (
+        perf_guard.resolve_baseline(
+            tmp_path / "BENCH_scale.json", tiny=False, reseed=True
+        )
+        is None
+    )
+
+
+@pytest.mark.parametrize("tiny", [False, True])
+def test_corrupt_baseline_is_an_error_at_either_scale(
+    perf_guard, tmp_path, tiny
+) -> None:
+    path = tmp_path / "BENCH_scale.json"
+    path.write_text("{not json")
+    with pytest.raises(perf_guard.BaselineError):
+        perf_guard.resolve_baseline(path, tiny=tiny, reseed=False)
+
+
+def test_wrong_shape_counts_as_corrupt(perf_guard, tmp_path) -> None:
+    path = tmp_path / "BENCH_scale.json"
+    path.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(perf_guard.BaselineError):
+        perf_guard.resolve_baseline(path, tiny=False, reseed=False)
+    path.write_text(json.dumps({"schema": 1}))  # no "benchmarks"
+    with pytest.raises(perf_guard.BaselineError):
+        perf_guard.resolve_baseline(path, tiny=False, reseed=False)
+
+
+def test_reseed_flag_allows_replacing_a_corrupt_baseline(
+    perf_guard, tmp_path
+) -> None:
+    path = tmp_path / "BENCH_scale.json"
+    path.write_text("{not json")
+    assert (
+        perf_guard.resolve_baseline(path, tiny=False, reseed=True) is None
+    )
+
+
+def test_healthy_baseline_loads(perf_guard, tmp_path) -> None:
+    path = tmp_path / "BENCH_scale.json"
+    path.write_text(json.dumps(VALID))
+    assert (
+        perf_guard.resolve_baseline(path, tiny=False, reseed=False) == VALID
+    )
+
+
+def test_committed_baseline_is_healthy(perf_guard) -> None:
+    """The repo's own trajectory file must satisfy the loader (otherwise
+    every full-scale CI run would fail on a file we committed)."""
+    committed = perf_guard.resolve_baseline(
+        perf_guard.BENCH_FILE, tiny=False, reseed=False
+    )
+    assert committed is not None
+    assert "benchmarks" in committed and not committed.get("tiny", False)
