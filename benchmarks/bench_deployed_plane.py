@@ -1,0 +1,112 @@
+"""HTTP overhead of the deployed query plane (the serve layer).
+
+The deployed plane (``repro.serve``) promises the simulator's behaviour
+— same planner, caches, probe dedup — at the cost of real transport:
+HTTP/JSON parsing north of the front-end, pickle frames south of it,
+and thread/event-loop hops in between.  This benchmark measures that
+overhead directly: a warm dashboard workload (every plan and size
+cached, zero probes) is driven once through ``MoaraCluster.query``
+in-process and once over HTTP through a two-front-end socket fleet, and
+the per-query wall-clock difference is the transport tax.
+
+Reported: warm queries/sec in-process vs over HTTP, mean latency per
+path, and the fleet's wire-probe count (must stay at one per group
+regardless of the HTTP query volume — the shared tier's guarantee
+holding under real sockets).
+
+Acceptance: the HTTP path answers every query byte-identically to the
+in-process path, and the whole-run ``SIZE_PROBE`` count does not grow
+with the number of HTTP queries.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.core import MoaraCluster
+from repro.serve.fleet import Fleet
+
+from conftest import run_once, tiny_scale
+
+NUM_NODES = 80 if tiny_scale() else 300
+NUM_FRONTENDS = 2
+SEED = 23
+#: warm queries per path (the timed section)
+WARM_QUERIES = 40 if tiny_scale() else 240
+
+TEMPLATES = [
+    "SELECT COUNT(*) WHERE web = true",
+    "SELECT AVG(load) WHERE web = true AND db = true",
+    "SELECT MAX(load) WHERE db = true",
+]
+
+
+def _populate(cluster: MoaraCluster) -> None:
+    ids = cluster.overlay.node_ids
+    cluster.set_group("web", ids[: NUM_NODES // 4])
+    cluster.set_group("db", ids[NUM_NODES // 6 : NUM_NODES // 2])
+    cluster.set_attribute_all("load", 2.0)
+
+
+def _experiment() -> dict:
+    # In-process reference: simulated plane, same seed and groups.
+    sim = MoaraCluster(
+        num_nodes=NUM_NODES, num_frontends=NUM_FRONTENDS, seed=SEED
+    )
+    _populate(sim)
+    for text in TEMPLATES:  # warm every cache
+        sim.query(text)
+    t0 = time.perf_counter()
+    sim_values = [
+        sim.query(TEMPLATES[i % len(TEMPLATES)]).value
+        for i in range(WARM_QUERIES)
+    ]
+    sim_wall = time.perf_counter() - t0
+
+    backend = MoaraCluster(num_nodes=NUM_NODES, num_frontends=0, seed=SEED)
+    _populate(backend)
+    with Fleet(backend, num_frontends=NUM_FRONTENDS) as fleet:
+        for shard in range(NUM_FRONTENDS):  # warm every shard's caches
+            for text in TEMPLATES:
+                fleet.http_query(shard, text)
+        t0 = time.perf_counter()
+        http_values = [
+            fleet.http_query(i % NUM_FRONTENDS, TEMPLATES[i % len(TEMPLATES)])[
+                "value"
+            ]
+            for i in range(WARM_QUERIES)
+        ]
+        http_wall = time.perf_counter() - t0
+        probes = fleet.admin("stats")["stats"]["by_type"].get("SIZE_PROBE", 0)
+
+    assert [json.dumps(v) for v in http_values] == [
+        json.dumps(v) for v in sim_values
+    ], "HTTP answers diverged from the simulated plane"
+    assert probes <= 2 * len(TEMPLATES), (
+        f"probe count {probes} grew with HTTP query volume"
+    )
+    return {
+        "sim_wall": sim_wall,
+        "http_wall": http_wall,
+        "probes": probes,
+    }
+
+
+def test_deployed_plane_http_overhead(benchmark, emit) -> None:
+    out = run_once(benchmark, _experiment)
+    sim_qps = WARM_QUERIES / out["sim_wall"]
+    http_qps = WARM_QUERIES / out["http_wall"]
+    emit(
+        "deployed_plane",
+        [
+            f"nodes={NUM_NODES} frontends={NUM_FRONTENDS} "
+            f"warm_queries={WARM_QUERIES}",
+            f"in-process: {sim_qps:10.0f} q/s  "
+            f"({out['sim_wall'] / WARM_QUERIES * 1e6:8.1f} us/query)",
+            f"over HTTP:  {http_qps:10.0f} q/s  "
+            f"({out['http_wall'] / WARM_QUERIES * 1e6:8.1f} us/query)",
+            f"transport tax: {sim_qps / max(http_qps, 1e-9):.1f}x  "
+            f"wire SIZE_PROBEs: {out['probes']} (flat in query volume)",
+        ],
+    )

@@ -11,7 +11,15 @@ resolves inside the repository:
   ``repro.core.result_cache``), resolved under ``src/`` as either a
   module file or a package directory.  Components starting with an
   uppercase letter (class names) are never matched, so prose like
-  ``repro.core.frontend.FrontendConfig`` checks the module part only.
+  ``repro.core.frontend.FrontendConfig`` checks the module part only;
+* relative markdown links (``[text](other.md)``, ``[text](../README.md)``),
+  resolved against the linking file's directory — dead links fail CI.
+  External (``http(s)://``, ``mailto:``) and pure-anchor (``#...``)
+  targets are skipped;
+* environment-variable knobs (``MOARA_*``), which must occur in the
+  source tree — either literally, or derived from an ``_env("flag")``
+  call in ``repro.serve.__main__`` (``MOARA_SERVE_<FLAG>``) — so docs
+  cannot advertise a knob nothing reads.
 
 Usage::
 
@@ -34,6 +42,10 @@ PATH_RE = re.compile(
     r"\b(?:src|tests|benchmarks|examples|docs|scripts)/[\w./-]*"
 )
 MODULE_RE = re.compile(r"\brepro(?:\.[a-z_][a-z0-9_]*)+")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+ENV_RE = re.compile(r"\bMOARA_[A-Z][A-Z0-9_]*")
+ENV_DERIVE_RE = re.compile(r"""_env\(\s*["']([a-z0-9_]+)["']""")
+_EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
 
 
 def module_resolves(dotted: str) -> bool:
@@ -42,7 +54,26 @@ def module_resolves(dotted: str) -> bool:
     return rel.with_suffix(".py").is_file() or (rel / "__init__.py").is_file()
 
 
-def check_file(path: Path) -> list[str]:
+def known_env_vars() -> set[str]:
+    """Every MOARA_* knob the source tree actually reads (or documents
+    in a module docstring), plus the ``MOARA_SERVE_<FLAG>`` family
+    derived from ``_env("flag")`` calls."""
+    known: set[str] = set()
+    for root in ("src", "scripts", "benchmarks", "tests"):
+        base = REPO / root
+        if not base.is_dir():
+            continue
+        for source in base.rglob("*.py"):
+            text = source.read_text(encoding="utf-8")
+            known.update(ENV_RE.findall(text))
+            known.update(
+                f"MOARA_SERVE_{flag.upper()}"
+                for flag in ENV_DERIVE_RE.findall(text)
+            )
+    return known
+
+
+def check_file(path: Path, env_vars: set[str]) -> list[str]:
     errors: list[str] = []
     text = path.read_text(encoding="utf-8")
     try:
@@ -60,6 +91,22 @@ def check_file(path: Path) -> list[str]:
                 f"{rel_name}: module reference {dotted!r} does not "
                 f"resolve under src/"
             )
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL_SCHEMES) or target.startswith("#"):
+            continue
+        target = target.split("#", 1)[0]
+        if target and not (path.parent / target).exists():
+            errors.append(f"{rel_name}: dead relative link {target!r}")
+    for match in ENV_RE.finditer(text):
+        knob = match.group()
+        if knob.endswith("_"):  # a "MOARA_SERVE_<FLAG>" placeholder
+            continue
+        if knob not in env_vars:
+            errors.append(
+                f"{rel_name}: env knob {knob!r} is not read anywhere "
+                f"in the source tree"
+            )
     return errors
 
 
@@ -73,7 +120,8 @@ def main(argv: list[str]) -> int:
         for f in missing:
             print(f"check_docs: no such file: {f}", file=sys.stderr)
         return 2
-    errors = [error for f in files for error in check_file(f)]
+    env_vars = known_env_vars()
+    errors = [error for f in files for error in check_file(f, env_vars)]
     for error in errors:
         print(f"check_docs: {error}", file=sys.stderr)
     if errors:

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Deploy smoke: boot the socket fleet, hit it over HTTP, scrape stats.
+
+CI's deploy-smoke job runs this on every push: it boots the full
+deployed topology (overlay service, cache service, N HTTP front-ends —
+real localhost sockets, one thread + event loop per role via
+``repro.serve.fleet``), fires a canned query burst over HTTP/JSON,
+checks every answer against a same-seed *simulated* plane, and writes
+one JSON report (query results, per-front-end ``/stats`` and
+``/healthz``, cache-service counters, cluster-wide admin message
+totals) that the job uploads as an artifact.
+
+Exit status is the point: 0 only if the fleet booted, every query
+returned 200 with the simulator's exact answer, and every front-end is
+healthy.  Usage::
+
+    PYTHONPATH=src python scripts/deploy_smoke.py [--out deploy_smoke.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.cluster import MoaraCluster
+from repro.serve.fleet import Fleet
+
+NODES = 120
+SEED = 11
+FRONTENDS = 2
+#: the canned burst: each text is posted to both shards, twice (cold
+#: then warm), so the report shows probes, cache hits, and sharing.
+BURST = [
+    "SELECT COUNT(*) WHERE web = true",
+    "SELECT COUNT(*) WHERE web = true OR db = true",
+    "SELECT AVG(load) WHERE web = true AND db = true",
+    "SELECT MAX(load) WHERE db = true",
+    "SELECT SUM(load) WHERE web = true AND NOT db = true",
+]
+
+
+def _populate(cluster: MoaraCluster) -> None:
+    ids = cluster.overlay.node_ids
+    cluster.set_group("web", ids[:35])
+    cluster.set_group("db", ids[25:60])
+    cluster.set_attribute_all("load", 3.0)
+    for nid in ids[:10]:
+        cluster.set_attribute(nid, "load", 9.0)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--out", default="deploy_smoke.json", help="JSON report path"
+    )
+    args = parser.parse_args(argv)
+
+    reference = MoaraCluster(
+        num_nodes=NODES, num_frontends=FRONTENDS, seed=SEED
+    )
+    _populate(reference)
+    expected = {text: reference.query(text).value for text in BURST}
+
+    backend = MoaraCluster(num_nodes=NODES, num_frontends=0, seed=SEED)
+    _populate(backend)
+
+    failures: list[str] = []
+    report: dict = {"nodes": NODES, "frontends": FRONTENDS, "queries": []}
+    with Fleet(backend, num_frontends=FRONTENDS) as fleet:
+        for round_no in range(2):  # cold, then warm
+            for index, text in enumerate(BURST):
+                shard = (index + round_no) % FRONTENDS
+                status, reply = fleet.http(
+                    shard, "POST", "/query", {"query": text}
+                )
+                entry = {
+                    "round": round_no,
+                    "shard": shard,
+                    "query": text,
+                    "status": status,
+                    "value": reply.get("value"),
+                    "message_cost": reply.get("message_cost"),
+                    "plan_cached": reply.get("plan_cached"),
+                    "shared": reply.get("shared"),
+                }
+                report["queries"].append(entry)
+                if status != 200:
+                    failures.append(f"{text!r} on shard {shard}: {status}")
+                elif json.dumps(reply["value"]) != json.dumps(expected[text]):
+                    failures.append(
+                        f"{text!r}: fleet said {reply['value']!r}, "
+                        f"simulator said {expected[text]!r}"
+                    )
+
+        report["frontends_stats"] = []
+        for shard in range(FRONTENDS):
+            health_status, health = fleet.http(shard, "GET", "/healthz")
+            _, stats = fleet.http(shard, "GET", "/stats")
+            report["frontends_stats"].append(
+                {"healthz": health, "stats": stats}
+            )
+            if health_status != 200:
+                failures.append(f"shard {shard} unhealthy: {health}")
+        report["cluster_messages"] = fleet.admin("stats")["stats"]
+
+    report["expected"] = {k: v for k, v in expected.items()}
+    report["ok"] = not failures
+    report["failures"] = failures
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    probes = report["cluster_messages"]["by_type"].get("SIZE_PROBE", 0)
+    print(
+        f"deploy_smoke: {len(report['queries'])} HTTP queries, "
+        f"{probes} wire probes cluster-wide, report in {args.out}"
+    )
+    for failure in failures:
+        print(f"deploy_smoke: FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -52,8 +52,8 @@ class MoaraCluster:
     ) -> None:
         if num_nodes < 1:
             raise ValueError("cluster needs at least one node")
-        if num_frontends < 1:
-            raise ValueError("cluster needs at least one front-end")
+        if num_frontends < 0:
+            raise ValueError("num_frontends must be >= 0")
         self.engine = Engine()
         # Counts-only stats by default; pass detailed_bytes=True to restore
         # per-message byte estimation for bandwidth analysis (slower).
@@ -125,11 +125,18 @@ class MoaraCluster:
                 ),
             )
         #: cooperating front-ends sharing this cluster (ids -1, -2, ...).
+        #: ``num_frontends=0`` builds a *frontend-less backend*: just the
+        #: overlay, agents, and engine — the deployed query plane
+        #: (:mod:`repro.serve.overlay_service`) hosts one of these and
+        #: lets remote asyncio front-ends attach over sockets instead.
         self.frontends: list[Frontend] = []
         for _ in range(num_frontends):
             self.add_frontend()
-        #: the default front-end (back-compat: ``cluster.frontend``).
-        self.frontend = self.frontends[0]
+        #: the default front-end (back-compat: ``cluster.frontend``);
+        #: None on a frontend-less backend.
+        self.frontend: Optional[Frontend] = (
+            self.frontends[0] if self.frontends else None
+        )
 
     def add_frontend(
         self, config: Optional[FrontendConfig] = None

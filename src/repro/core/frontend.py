@@ -21,8 +21,14 @@ built for repeated, overlapping workloads:
 * identical concurrent queries share one sub-query per cover group, with
   the answer fanned back out to every subscriber (batched dispatch).
 
-It attaches to the simulated network as an ordinary process (a client
-machine outside the overlay).
+The front-end is **transport-agnostic**: everything it needs from the
+world is the :class:`repro.sim.network.FrontendTransport` seam (attach,
+send, stats, a clock, and a synchronous-burst counter).  Attached to the
+simulated :class:`~repro.sim.network.Network` it is a client machine
+outside the overlay, exactly as before; attached to a
+:class:`repro.serve.transport.RemoteNetwork` the *same code* is the core
+of a deployed asyncio front-end server speaking real sockets
+(:mod:`repro.serve.frontend_server`).
 """
 
 from __future__ import annotations
@@ -51,7 +57,7 @@ from repro.core.planner import (
 from repro.core.predicates import Predicate, TruePredicate
 from repro.core.query import Query, QueryResult
 from repro.pastry.overlay import Overlay
-from repro.sim.network import Message, Network
+from repro.sim.network import FrontendTransport, Message
 from repro.sim.stats import QueryRecord
 
 __all__ = ["Frontend", "FrontendConfig", "ProbePolicy"]
@@ -188,7 +194,7 @@ class Frontend:
 
     def __init__(
         self,
-        network: Network,
+        network: FrontendTransport,
         overlay: Overlay,
         node_id: int = -1,
         probe_policy: ProbePolicy = ProbePolicy.COMPOSITE,
@@ -276,7 +282,7 @@ class Frontend:
         if isinstance(query, str):
             query = parse_query(query)
         qid = f"fe{self.node_id}-{next(self._qid_counter)}"
-        now = self.network.engine.now
+        now = self.network.now
         self.network.stats.shard_queries[self.shard_id] += 1
         plan, plan_cached = self._plan(query.predicate)
 
@@ -379,7 +385,7 @@ class Frontend:
 
     def _join_probe(self, qid: str, group: Predicate) -> None:
         key = group.canonical()
-        seq = self.network.engine.events_processed
+        seq = self.network.burst_seq
         if self.config.dedupe_probes:
             tag = self._probe_by_group.get(key)
             if tag is not None:
@@ -418,7 +424,9 @@ class Frontend:
         if self.config.dedupe_probes:
             self._probe_by_group[key] = tag
             if self._shared is not None:
-                self._shared.open_probe(key, self.shard_id, tag, seq)
+                self._shared.open_probe(
+                    key, self.shard_id, tag, seq, self.network.now
+                )
         self.network.send(
             self.node_id,
             root,
@@ -430,7 +438,7 @@ class Frontend:
         payload = message.payload
         key = payload["pred_key"]
         cost = payload["cost"]
-        now = self.network.engine.now
+        now = self.network.now
         probe = self._probes.pop(payload["probe_id"], None)
         # Exactly one write path for the answer: resolving a registered
         # shared probe force-publishes it to the tier (the prober is
@@ -507,7 +515,7 @@ class Frontend:
             pending.query.predicate.canonical(),
             tuple(pending.cover),
         )
-        seq = self.network.engine.events_processed
+        seq = self.network.burst_seq
         if self.config.share_subqueries:
             share = self._shares.get(share_key)
             # Share only with an identical query dispatched in this same
@@ -556,7 +564,7 @@ class Frontend:
 
     def _handle_frontend_response(self, message: Message) -> None:
         payload = message.payload
-        now = self.network.engine.now
+        now = self.network.now
         key = payload["pred_key"]
         if self.config.piggyback_sizes and "cost" in payload:
             # Every answered sub-query refreshes the group-size cache.
@@ -593,7 +601,7 @@ class Frontend:
         del self._share_by_id[share.share_id]
         if self._shares.get(share.share_key) is share:
             del self._shares[share.share_key]
-        now = self.network.engine.now
+        now = self.network.now
         shared_messages = self.network.stats.pop_tag(share.share_id)
         value = share.query.function.finalize(share.partial)
         root_cached = (
@@ -690,7 +698,7 @@ class Frontend:
         treated as answered empty, so waiting queries terminate with the
         survivors' data instead of hanging and leaking front-end state.
         """
-        now = self.network.engine.now
+        now = self.network.now
         if (
             (joined or left)
             and self._shared is None

@@ -273,6 +273,10 @@ class _SharedProbe:
     #: within the same synchronous burst, mirroring the front-end's local
     #: probe-dedup rule (an older probe may be stuck on a lost response).
     created_seq: int
+    #: transport clock at creation (the deployed cache service's
+    #: time-based joinability rule reads this; 0.0 under the simulator,
+    #: where ``created_seq`` governs instead).
+    opened_at: float = 0.0
     waiters: list[tuple[int, SharedSizeCallback]] = field(
         default_factory=list
     )
@@ -375,7 +379,9 @@ class SharedGroupSizeCache(GroupSizeCache):
     # cluster-wide probe registry
     # ------------------------------------------------------------------
 
-    def open_probe(self, key: str, shard: int, tag: str, seq: int) -> None:
+    def open_probe(
+        self, key: str, shard: int, tag: str, seq: int, now: float = 0.0
+    ) -> None:
         """Register a wire probe this shard just sent for ``key``.
 
         A newer probe replaces a stale registry entry (the old prober's
@@ -391,8 +397,20 @@ class SharedGroupSizeCache(GroupSizeCache):
             shard=shard,
             tag=tag,
             created_seq=seq,
+            opened_at=now,
             waiters=old.waiters if old is not None else [],
         )
+
+    def _joinable(self, probe: _SharedProbe, seq: int) -> bool:
+        """Is this registered probe fresh enough to subscribe to?
+
+        Under the simulator "fresh" means *same synchronous burst* (no
+        engine events processed since it was opened).  The deployed cache
+        service (:mod:`repro.serve.cache_service`) overrides this with a
+        wall-clock window, since its clients' event counters are not
+        comparable; everything else about the registry is shared code.
+        """
+        return probe.created_seq == seq
 
     def join_probe(
         self,
@@ -404,11 +422,12 @@ class SharedGroupSizeCache(GroupSizeCache):
         """Subscribe to another shard's in-flight probe for ``key``.
 
         Returns True (and registers the callback) iff a probe from a
-        *different* shard is in flight in this same synchronous burst;
-        the caller then sends no wire probe of its own.
+        *different* shard is in flight and still joinable
+        (:meth:`_joinable`); the caller then sends no wire probe of its
+        own.
         """
         probe = self._probes.get(key)
-        if probe is None or probe.shard == shard or probe.created_seq != seq:
+        if probe is None or probe.shard == shard or not self._joinable(probe, seq):
             return False
         probe.waiters.append((shard, callback))
         self.probe_joins += 1

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from hashlib import md5
-from typing import Optional, Union
+from typing import Iterable, Optional, Union
 
 from repro.core.parser import parse_query
 from repro.core.query import Query
@@ -78,6 +78,9 @@ class FrontendShardRouter:
             raise ValueError("replicas must be >= 1")
         self.replicas = replicas
         self.num_shards = 0
+        #: shard ids currently on the ring (the deployed plane's ring
+        #: daemon removes departed shards; the simulated plane only adds).
+        self.members: set[int] = set()
         #: sorted virtual points and their owning shard, as parallel
         #: arrays (bisect works on the points list).
         self._points: list[int] = []
@@ -86,18 +89,64 @@ class FrontendShardRouter:
             self.add_shard()
 
     def __len__(self) -> int:
-        return self.num_shards
+        return len(self.members)
 
-    def add_shard(self) -> int:
-        """Add one shard's virtual points to the ring; returns its id."""
-        shard = self.num_shards
+    @classmethod
+    def from_members(
+        cls, members: Iterable[int], replicas: int = DEFAULT_REPLICAS
+    ) -> "FrontendShardRouter":
+        """A ring holding exactly ``members`` (ring-daemon epochs rebuild
+        their mirror through here; ids need not be contiguous)."""
+        router = cls(replicas=replicas)
+        for shard in sorted(set(members)):
+            router.add_shard(shard)
+        return router
+
+    def add_shard(self, shard: Optional[int] = None) -> int:
+        """Add one shard's virtual points to the ring; returns its id.
+
+        Without an explicit ``shard`` the next free id is used (the
+        simulated plane's append-only growth).  An explicit id lets the
+        ring daemon re-admit a shard that was suspected dead: its virtual
+        points are recomputed from the same ``shard:<id>:<replica>``
+        labels, so exactly the arcs it owned before come back to it.
+        """
+        if shard is None:
+            shard = self.num_shards
+        elif shard < 0:
+            raise ValueError("shard id must be >= 0")
+        if shard in self.members:
+            raise ValueError(f"shard {shard} is already on the ring")
         for replica in range(self.replicas):
             point = _hash_point(f"shard:{shard}:{replica}")
             index = bisect_left(self._points, point)
             self._points.insert(index, point)
             self._shards.insert(index, shard)
-        self.num_shards = shard + 1
+        self.members.add(shard)
+        if shard >= self.num_shards:
+            self.num_shards = shard + 1
         return shard
+
+    def remove_shard(self, shard: int) -> None:
+        """Drop a shard's virtual points from the ring (leave/suspect).
+
+        Consistent hashing's removal guarantee: only the keys that mapped
+        to the departed shard remap (each onto the next surviving point
+        on the ring, spreading its ~1/N of the key space over everyone
+        else); every other key keeps its owner.  ``num_shards`` is *not*
+        decremented — shard ids are never reused, so a re-join via
+        :meth:`add_shard` restores the exact previous assignment.
+        """
+        if shard not in self.members:
+            raise ValueError(f"shard {shard} is not on the ring")
+        self.members.discard(shard)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._shards)
+            if owner != shard
+        ]
+        self._points = [point for point, _ in keep]
+        self._shards = [owner for _, owner in keep]
 
     def shard_for(self, key: str, limit: Optional[int] = None) -> int:
         """The shard owning ``key``.
@@ -108,7 +157,7 @@ class FrontendShardRouter:
         restricted assignment consistent with the full one for every key
         that already mapped inside the range.
         """
-        if self.num_shards == 0:
+        if not self._points:
             raise ValueError("router has no shards")
         bound = self.num_shards if limit is None else limit
         if bound < 1:

@@ -1,0 +1,242 @@
+"""Run the whole deployed query plane inside one process.
+
+Production runs one process per role (``python -m repro.serve <role>``);
+tests and the CI deploy-smoke job want the same fleet without process
+management.  :class:`Fleet` boots every component in this process, **one
+thread + one event loop per component** — which is not just convenience:
+the front-end's shared-cache calls are synchronous blocking RPCs, so a
+front-end and the cache service sharing one event loop would deadlock
+(the front-end blocks the loop awaiting a reply the loop would have to
+produce).  Real sockets on localhost, real frames, real HTTP — the only
+thing removed is ``fork()``.
+
+Typical use::
+
+    cluster = MoaraCluster(num_nodes=64, num_frontends=0, seed=7)
+    cluster.set_group("g", range(20))
+    with Fleet(cluster, num_frontends=2) as fleet:
+        reply = fleet.http_query(0, "SELECT COUNT(*) WHERE g = true")
+        assert reply["value"] == 20
+
+The backend cluster is built (and its groups/attributes set) in the
+caller's thread *before* ``start``; afterwards it belongs to the overlay
+service's loop and must only be touched through admin ops
+(:meth:`Fleet.admin`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+from typing import Any, Optional
+
+from repro.core.cluster import MoaraCluster
+from repro.core.frontend import FrontendConfig, ProbePolicy
+from repro.serve.cache_service import CacheService
+from repro.serve.frontend_server import FrontendServer
+from repro.serve.overlay_service import OverlayService
+from repro.serve.protocol import SyncRpcChannel
+from repro.serve.ring_daemon import RingDaemon
+
+__all__ = ["Fleet", "ServiceThread"]
+
+
+class ServiceThread:
+    """A daemon thread running one component's event loop."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name=name, daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def call(self, coro: Any, timeout: float = 30.0) -> Any:
+        """Run a coroutine on this component's loop; block for the result."""
+        future = asyncio.run_coroutine_threadsafe(coro, self.loop)
+        return future.result(timeout)
+
+    def stop(self) -> None:
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=5.0)
+        if not self.loop.is_running():
+            self.loop.close()
+
+
+class Fleet:
+    """The full deployed topology on localhost, one thread per role."""
+
+    def __init__(
+        self,
+        cluster: MoaraCluster,
+        num_frontends: int = 2,
+        cache_service: bool = True,
+        ring_daemon: bool = False,
+        frontend_config: Optional[FrontendConfig] = None,
+        probe_policy: ProbePolicy = ProbePolicy.COMPOSITE,
+        query_timeout: float = 10.0,
+        host: str = "127.0.0.1",
+        base_http_port: int = 0,
+    ) -> None:
+        if num_frontends < 1:
+            raise ValueError("fleet needs at least one front-end")
+        self.cluster = cluster
+        self.num_frontends = num_frontends
+        self.with_cache = cache_service
+        self.with_ring = ring_daemon
+        self.frontend_config = frontend_config
+        self.probe_policy = probe_policy
+        self.query_timeout = query_timeout
+        self.host = host
+        #: first front-end's HTTP port; shard i binds base+i (0 = auto).
+        self.base_http_port = base_http_port
+        self.overlay: Optional[OverlayService] = None
+        self.cache: Optional[CacheService] = None
+        self.ring: Optional[RingDaemon] = None
+        self.frontends: list[FrontendServer] = []
+        self.http_ports: list[int] = []
+        self._threads: list[ServiceThread] = []
+        self._admin: Optional[SyncRpcChannel] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "Fleet":
+        overlay_thread = ServiceThread("overlay-service")
+        self._threads.append(overlay_thread)
+        self.overlay = OverlayService(self.cluster, host=self.host)
+        overlay_thread.call(self.overlay.start())
+        overlay_addr = (self.host, self.overlay.port)
+
+        cache_addr: Optional[tuple[str, int]] = None
+        if self.with_cache:
+            cache_thread = ServiceThread("cache-service")
+            self._threads.append(cache_thread)
+            fc = self.frontend_config or FrontendConfig()
+            self.cache = CacheService(
+                host=self.host,
+                ttl=fc.size_cache_ttl,
+                ttl_min=fc.size_cache_ttl_min,
+                adaptive=fc.adaptive_size_ttl,
+                churn_window=fc.churn_window,
+                overlay_addr=overlay_addr,
+            )
+            cache_thread.call(self.cache.start())
+            cache_addr = (self.host, self.cache.port)
+
+        ring_addr: Optional[tuple[str, int]] = None
+        if self.with_ring:
+            ring_thread = ServiceThread("ring-daemon")
+            self._threads.append(ring_thread)
+            self.ring = RingDaemon(host=self.host)
+            ring_thread.call(self.ring.start())
+            ring_addr = (self.host, self.ring.port)
+
+        for shard in range(self.num_frontends):
+            fe_thread = ServiceThread(f"frontend-{shard}")
+            self._threads.append(fe_thread)
+            server = FrontendServer(
+                overlay_addr,
+                http_host=self.host,
+                http_port=(
+                    self.base_http_port + shard if self.base_http_port else 0
+                ),
+                shard=shard,
+                cache_addr=cache_addr,
+                ring_addr=ring_addr,
+                config=self.frontend_config,
+                probe_policy=self.probe_policy,
+                query_timeout=self.query_timeout,
+            )
+            fe_thread.call(server.start())
+            self.frontends.append(server)
+            self.http_ports.append(server.http_port)
+        return self
+
+    def close(self) -> None:
+        if self._admin is not None:
+            self._admin.close()
+        # Reverse boot order: front-ends drain first, services last.
+        components: list[tuple[ServiceThread, Any]] = []
+        thread_iter = iter(self._threads)
+        overlay_thread = next(thread_iter, None)
+        if self.overlay is not None and overlay_thread is not None:
+            components.append((overlay_thread, self.overlay))
+        if self.with_cache and self.cache is not None:
+            components.append((next(thread_iter), self.cache))
+        if self.with_ring and self.ring is not None:
+            components.append((next(thread_iter), self.ring))
+        for server, thread in zip(self.frontends, thread_iter):
+            components.append((thread, server))
+        for thread, component in reversed(components):
+            try:
+                thread.call(component.close(), timeout=5.0)
+            except Exception:  # noqa: BLE001 — best-effort teardown
+                pass
+        for thread in self._threads:
+            thread.stop()
+        self._threads.clear()
+
+    def __enter__(self) -> "Fleet":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- client helpers (blocking; used by tests and the smoke job) ----
+
+    def http(
+        self,
+        shard: int,
+        method: str,
+        path: str,
+        body: Optional[dict[str, Any]] = None,
+        timeout: float = 30.0,
+    ) -> tuple[int, dict[str, Any]]:
+        """One blocking HTTP round-trip to a front-end; JSON in/out."""
+        conn = http.client.HTTPConnection(
+            self.host, self.http_ports[shard], timeout=timeout
+        )
+        try:
+            payload = json.dumps(body) if body is not None else None
+            conn.request(
+                method,
+                path,
+                body=payload,
+                headers={"Content-Type": "application/json"}
+                if payload
+                else {},
+            )
+            response = conn.getresponse()
+            return response.status, json.loads(response.read() or b"{}")
+        finally:
+            conn.close()
+
+    def http_query(
+        self, shard: int, query: str, timeout: Optional[float] = None
+    ) -> dict[str, Any]:
+        """POST /query to one front-end; raises on non-200."""
+        body: dict[str, Any] = {"query": query}
+        if timeout is not None:
+            body["timeout"] = timeout
+        status, reply = self.http(shard, "POST", "/query", body)
+        if status != 200:
+            raise RuntimeError(f"query failed ({status}): {reply}")
+        return reply
+
+    def admin(self, op: str, **kwargs: Any) -> dict[str, Any]:
+        """An overlay-service admin op (set_group, stats, join_node, …)."""
+        assert self.overlay is not None
+        if self._admin is None or not self._admin.connected:
+            self._admin = SyncRpcChannel(self.host, self.overlay.port)
+            self._admin.connect()
+            welcome = self._admin.request({"kind": "hello", "role": "admin"})
+            if welcome.get("kind") != "welcome":
+                raise ConnectionError(f"admin hello refused: {welcome!r}")
+        return self._admin.request({"kind": "admin", "op": op, **kwargs})

@@ -1,0 +1,460 @@
+"""Deployed-plane transports behind the :class:`~repro.sim.network.
+FrontendTransport` seam.
+
+Two implementations, both of which run an **unmodified**
+:class:`repro.core.frontend.Frontend`:
+
+* :class:`RemoteNetwork` — the real thing: a TCP link to the overlay
+  service (:mod:`repro.serve.overlay_service`).  Outbound ``send`` calls
+  are counted in a local :class:`~repro.sim.stats.MessageStats` ledger
+  (exactly the counts-only accounting the simulated network does) and
+  framed onto the socket; the reader task turns inbound frames back into
+  :class:`~repro.sim.network.Message` objects, bumps the burst counter,
+  and hands them to the front-end.  The clock is monotonic wall time.
+* :class:`LocalLoopback` — the same topology with no sockets: the
+  transport is wired straight to a frontend-less backend
+  :class:`~repro.core.cluster.MoaraCluster` in the same process.
+  Delivery is *deferred* (inbound messages queue until :meth:`~
+  LocalLoopback.pump`), which reproduces the event-loop's
+  never-re-entrant delivery discipline deterministically — this is the
+  transport the equivalence tests drive.
+
+:class:`LoopbackPlane` assembles N loopback front-ends plus the
+in-process :class:`~repro.core.plan_cache.SharedGroupSizeCache` tier
+into a full deployed-shape query plane in one process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable, Optional, Union
+
+from repro.core.adaptive_ttl import AdaptiveTTL
+from repro.core.cluster import MoaraCluster
+from repro.core.errors import QueryTimeoutError
+from repro.core.frontend import Frontend, FrontendConfig, ProbePolicy
+from repro.core.plan_cache import SharedGroupSizeCache
+from repro.core.planner import SemanticContext
+from repro.core.query import Query, QueryResult
+from repro.core.shard_router import FrontendShardRouter, canonical_query_text
+from repro.pastry.idspace import IdSpace
+from repro.pastry.overlay import Overlay
+from repro.serve.protocol import encode_frame, read_frame
+from repro.sim.network import Message
+from repro.sim.stats import MessageStats
+
+__all__ = [
+    "LocalLoopback",
+    "LoopbackPlane",
+    "OverlayMirror",
+    "RemoteNetwork",
+]
+
+
+def _count_send(
+    stats: MessageStats,
+    src: int,
+    dst: int,
+    mtype: str,
+    payload: dict[str, Any],
+) -> None:
+    """The simulated network's counts-only send accounting, shared by
+    both deployed transports (kept in sync with ``Network.send``)."""
+    stats.total_messages += 1
+    stats.by_type[mtype] += 1
+    stats.sent_by_node[src] += 1
+    stats.received_by_node[dst] += 1
+    tag = payload.get("qid")
+    if tag is None:
+        tag = payload.get("probe_id")
+    if tag is not None and tag not in stats._closed_tags:
+        stats.per_query[tag] += 1
+
+
+class OverlayMirror:
+    """A front-end's local replica of the overlay membership.
+
+    Tree-root resolution (``overlay.root``) is a pure function of the
+    live membership and the ID space, so a front-end that mirrors the
+    member list routes identically to an in-process one — no per-query
+    round-trip to ask "who is the root for this group?".  The overlay
+    service streams membership deltas to keep the mirror current.
+    """
+
+    def __init__(self, space: IdSpace, members: list[int]) -> None:
+        self.overlay = Overlay(space)
+        if members:
+            self.overlay.bulk_join(members)
+
+    def apply(self, joined: set[int], left: set[int]) -> None:
+        for node_id in left:
+            if node_id in self.overlay:
+                self.overlay.remove_node(node_id)
+        for node_id in joined:
+            if node_id not in self.overlay:
+                self.overlay.add_node(node_id)
+
+
+class RemoteNetwork:
+    """:class:`FrontendTransport` over a TCP link to the overlay service.
+
+    Use::
+
+        net = RemoteNetwork("127.0.0.1", 7401, node_id=-1)
+        await net.start()          # HELLO/WELCOME + membership snapshot
+        fe = Frontend(net, net.overlay, node_id=net.node_id, ...)
+
+    ``send`` never blocks (frames are buffered on the stream writer);
+    inbound frames are dispatched by the reader task on the event loop,
+    so the front-end's handlers always run on the loop thread.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        node_id: int,
+        stats: Optional[MessageStats] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.node_id = node_id
+        self.stats = stats or MessageStats()
+        self.mirror: Optional[OverlayMirror] = None
+        self._frontend: Any = None
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._t0 = time.monotonic()
+        self._burst = 0
+        self.connected = False
+        #: observers of membership deltas (the server wires health/stats
+        #: surfaces in here; the attached front-end is always notified).
+        self.on_members: list[Callable[[set[int], set[int]], None]] = []
+
+    # -- FrontendTransport seam ---------------------------------------
+
+    def attach(self, process: Any) -> None:
+        self._frontend = process
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        mtype: str,
+        payload: Optional[dict[str, Any]] = None,
+    ) -> None:
+        if payload is None:
+            payload = {}
+        _count_send(self.stats, src, dst, mtype, payload)
+        writer = self._writer
+        if writer is None or writer.is_closing():
+            # Overlay link down: the message is "in flight and lost" —
+            # the same observable outcome as a crashed simulated root.
+            self.stats.record_drop()
+            return
+        writer.write(
+            encode_frame(
+                {
+                    "kind": "wire",
+                    "src": src,
+                    "dst": dst,
+                    "mtype": mtype,
+                    "payload": payload,
+                }
+            )
+        )
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._t0
+
+    @property
+    def burst_seq(self) -> int:
+        return self._burst
+
+    def bump_burst(self) -> None:
+        """Advance the synchronous-burst counter (an inbound event was
+        processed by something other than the overlay link — e.g. the
+        cache-service subscription channel)."""
+        self._burst += 1
+
+    @property
+    def overlay(self) -> Overlay:
+        if self.mirror is None:
+            raise RuntimeError("RemoteNetwork.start() has not completed")
+        return self.mirror.overlay
+
+    # -- link lifecycle ------------------------------------------------
+
+    async def start(self) -> None:
+        """Connect, introduce ourselves, and load the membership snapshot."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        self._reader, self._writer = reader, writer
+        writer.write(
+            encode_frame(
+                {"kind": "hello", "role": "frontend", "node_id": self.node_id}
+            )
+        )
+        await writer.drain()
+        welcome = await read_frame(reader)
+        if welcome is None or welcome.get("kind") != "welcome":
+            raise ConnectionError(f"overlay service refused us: {welcome!r}")
+        space = welcome["space"]
+        self.mirror = OverlayMirror(
+            IdSpace(bits=space["bits"], digit_bits=space["digit_bits"]),
+            welcome["members"],
+        )
+        self.connected = True
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                kind = frame["kind"]
+                if kind == "wire":
+                    self._burst += 1
+                    message = Message(
+                        frame["mtype"],
+                        frame["src"],
+                        frame["dst"],
+                        frame["payload"],
+                        sent_at=self.now,
+                    )
+                    if self._frontend is not None:
+                        self._frontend.handle_message(message)
+                elif kind == "members":
+                    self._burst += 1
+                    joined = set(frame["joined"])
+                    left = set(frame["left"])
+                    assert self.mirror is not None
+                    self.mirror.apply(joined, left)
+                    if self._frontend is not None:
+                        self._frontend.on_membership_change(joined, left)
+                    for listener in self.on_members:
+                        listener(joined, left)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self.connected = False
+
+    async def close(self) -> None:
+        self.connected = False
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+class _LoopbackProxy:
+    """The front-end's stand-in on the backend's simulated network."""
+
+    __slots__ = ("node_id", "events")
+
+    def __init__(self, node_id: int, events: list) -> None:
+        self.node_id = node_id
+        self.events = events
+
+    def handle_message(self, message: Message) -> None:
+        self.events.append(("wire", message))
+
+
+class LocalLoopback:
+    """Deployed-shape transport wired straight to an in-process backend.
+
+    The front-end behaves exactly as it would behind
+    :class:`RemoteNetwork` — sends are counted in a private ledger and
+    *queued*, inbound delivery happens strictly between bursts — but the
+    "wire" is a list and the "overlay service" is the backend cluster in
+    the same process.  Drive it with :meth:`pump` (or use
+    :class:`LoopbackPlane`, which does).
+    """
+
+    def __init__(
+        self,
+        backend: MoaraCluster,
+        node_id: int,
+        burst_counter: Optional[list[int]] = None,
+    ) -> None:
+        self.backend = backend
+        self.node_id = node_id
+        self.stats = MessageStats()
+        self._frontend: Any = None
+        #: plane-wide delivery counter (a shared one-element list):
+        #: cross-shard probe joins compare ``created_seq`` values, so
+        #: every transport of one plane must read the *same* counter —
+        #: the loopback analog of the engine's global event count.
+        self._burst = burst_counter if burst_counter is not None else [0]
+        self._events: list[tuple] = []
+        self._proxy = _LoopbackProxy(node_id, self._events)
+        backend.network.attach(self._proxy)
+        backend.overlay.add_listener(self._queue_membership)
+
+    # -- FrontendTransport seam ---------------------------------------
+
+    def attach(self, process: Any) -> None:
+        self._frontend = process
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        mtype: str,
+        payload: Optional[dict[str, Any]] = None,
+    ) -> None:
+        if payload is None:
+            payload = {}
+        _count_send(self.stats, src, dst, mtype, payload)
+        self.backend.network.send(src, dst, mtype, payload)
+
+    @property
+    def now(self) -> float:
+        # Sharing the backend's simulated clock keeps loopback runs
+        # deterministic and time-comparable with the simulated plane.
+        return self.backend.engine.now
+
+    @property
+    def burst_seq(self) -> int:
+        # Plane-wide deliveries plus backend engine events: a probe or
+        # share opened before *any* event was processed anywhere stops
+        # being joinable, matching the simulated plane's global rule.
+        return self._burst[0] + self.backend.engine.events_processed
+
+    # -- delivery ------------------------------------------------------
+
+    def _queue_membership(self, joined: set[int], left: set[int]) -> None:
+        self._events.append(("members", set(joined), set(left)))
+
+    def pump(self, drain_backend: bool = True) -> int:
+        """Deliver queued inbound events to the front-end.
+
+        Returns the number of events delivered.  ``drain_backend`` first
+        runs the backend engine until idle, so queued sends turn into
+        queued responses.
+        """
+        if drain_backend:
+            self.backend.run_until_idle()
+        delivered = 0
+        while self._events:
+            event = self._events.pop(0)
+            self._burst[0] += 1
+            delivered += 1
+            if self._frontend is None:
+                continue
+            if event[0] == "wire":
+                self._frontend.handle_message(event[1])
+            else:
+                self._frontend.on_membership_change(event[1], event[2])
+        return delivered
+
+    def close(self) -> None:
+        self.backend.network.detach(self.node_id)
+
+
+class LoopbackPlane:
+    """The whole deployed query plane in one process, with no sockets.
+
+    N unmodified :class:`~repro.core.frontend.Frontend` instances on
+    :class:`LocalLoopback` transports over one frontend-less backend
+    cluster, sharing an in-process
+    :class:`~repro.core.plan_cache.SharedGroupSizeCache` tier keyed by a
+    :class:`~repro.core.shard_router.FrontendShardRouter` — the fleet's
+    topology minus the wires.  This is the default, dependency-free way
+    to run the deployed shape (the cache *service* is opt-in), and the
+    reference the socket fleet is tested for equivalence against.
+    """
+
+    def __init__(
+        self,
+        backend: MoaraCluster,
+        num_frontends: int = 2,
+        frontend_config: Optional[FrontendConfig] = None,
+        probe_policy: ProbePolicy = ProbePolicy.COMPOSITE,
+        shared_size_cache: bool = True,
+    ) -> None:
+        if num_frontends < 1:
+            raise ValueError("plane needs at least one front-end")
+        self.backend = backend
+        self.router = FrontendShardRouter(num_frontends)
+        self.semantics = SemanticContext()
+        fc = frontend_config or FrontendConfig()
+        self.shared_sizes: Optional[SharedGroupSizeCache] = None
+        if shared_size_cache:
+            ttl_policy = AdaptiveTTL.if_enabled(
+                fc.adaptive_size_ttl,
+                fc.size_cache_ttl_min,
+                fc.size_cache_ttl,
+                fc.churn_window,
+            )
+            self.shared_sizes = SharedGroupSizeCache(
+                router=self.router,
+                ttl=fc.size_cache_ttl,
+                ttl_policy=ttl_policy,
+            )
+            backend.overlay.add_listener(self._feed_tier_churn)
+        self.transports: list[LocalLoopback] = []
+        self.frontends: list[Frontend] = []
+        burst_counter = [0]
+        for shard in range(num_frontends):
+            transport = LocalLoopback(
+                backend, node_id=-1 - shard, burst_counter=burst_counter
+            )
+            frontend = Frontend(
+                transport,
+                backend.overlay,
+                node_id=-1 - shard,
+                probe_policy=probe_policy,
+                semantics=self.semantics,
+                config=frontend_config,
+                shard_id=shard,
+                shared_sizes=self.shared_sizes,
+            )
+            self.transports.append(transport)
+            self.frontends.append(frontend)
+
+    def _feed_tier_churn(self, joined: set[int], left: set[int]) -> None:
+        if (joined or left) and self.shared_sizes is not None:
+            self.shared_sizes.on_membership_change(self.backend.engine.now)
+
+    def route(self, query: Union[str, Query]) -> int:
+        return self.router.shard_for(canonical_query_text(query))
+
+    def query(self, query: Union[str, Query]) -> QueryResult:
+        """Submit through the shard router and drive to completion."""
+        return self.query_concurrent([query])[0]
+
+    def query_concurrent(
+        self, queries: list[Union[str, Query]], max_pumps: int = 10_000
+    ) -> list[QueryResult]:
+        """Submit a batch in one burst and pump the plane until done."""
+        submitted = [
+            (self.frontends[self.route(query)], query) for query in queries
+        ]
+        pairs = [(fe, fe.submit(query)) for fe, query in submitted]
+        for _ in range(max_pumps):
+            if all(qid in fe.results for fe, qid in pairs):
+                return [fe.results.pop(qid) for fe, qid in pairs]
+            delivered = sum(t.pump() for t in self.transports)
+            if delivered == 0 and self.backend.engine.pending == 0:
+                missing = [
+                    qid for fe, qid in pairs if qid not in fe.results
+                ]
+                if missing:
+                    raise QueryTimeoutError(
+                        f"{len(missing)} queries did not complete "
+                        f"(loopback plane went idle)"
+                    )
+        raise QueryTimeoutError("loopback plane did not converge")

@@ -26,7 +26,13 @@ from repro.sim.engine import Engine
 from repro.sim.latency import LatencyModel, ZeroLatencyModel
 from repro.sim.stats import MessageStats
 
-__all__ = ["Message", "Network", "Process", "estimate_size"]
+__all__ = [
+    "FrontendTransport",
+    "Message",
+    "Network",
+    "Process",
+    "estimate_size",
+]
 
 _BASE_HEADER_BYTES = 40  # rough IP+UDP+framing overhead per message
 
@@ -69,6 +75,49 @@ class Process(Protocol):
 
     def handle_message(self, message: "Message") -> None:
         """Process one delivered message."""
+
+
+@runtime_checkable
+class FrontendTransport(Protocol):
+    """The transport seam the query plane's :class:`~repro.core.frontend.
+    Frontend` is written against.
+
+    This protocol is the *entire* surface a front-end needs from the
+    world, which is what lets the simulated plane (this module's
+    :class:`Network`) and the deployed asyncio plane
+    (:class:`repro.serve.transport.RemoteNetwork` /
+    :class:`repro.serve.transport.LocalLoopback`) share the
+    planner/cache/router code verbatim:
+
+    * :meth:`attach` / :meth:`send` — register the front-end for inbound
+      :class:`Message` delivery and emit wire messages toward tree roots;
+    * :attr:`stats` — the :class:`~repro.sim.stats.MessageStats` ledger
+      every send and query completion is recorded in;
+    * :attr:`now` — the transport's clock (simulated seconds on the
+      engine, monotonic wall seconds in a deployed front-end);
+    * :attr:`burst_seq` — a counter that advances whenever an inbound
+      event is processed.  Probe/sub-query joins are only legal within
+      one ``burst_seq`` value ("same synchronous burst"), which is the
+      rule that stops a lost response from poisoning later queries.
+    """
+
+    stats: MessageStats
+
+    def attach(self, process: Process) -> None: ...
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        mtype: str,
+        payload: Optional[dict[str, Any]] = None,
+    ) -> Any: ...
+
+    @property
+    def now(self) -> float: ...
+
+    @property
+    def burst_seq(self) -> int: ...
 
 
 class Message:
@@ -143,6 +192,18 @@ class Network:
         self._const_send_service = self.latency_model.constant_send_service
         self._const_receive_service = self.latency_model.constant_receive_service
         self._pair_delay_cache = self.latency_model.pair_delay_cache
+
+    @property
+    def now(self) -> float:
+        """The transport clock (:class:`FrontendTransport` seam)."""
+        return self.engine._now
+
+    @property
+    def burst_seq(self) -> int:
+        """Synchronous-burst counter (:class:`FrontendTransport` seam):
+        the engine's processed-event count, which only advances between
+        bursts of same-tick submissions."""
+        return self.engine.events_processed
 
     def set_latency_model(self, model: LatencyModel) -> None:
         """Swap the latency model (e.g., after node ids are known)."""

@@ -1,0 +1,146 @@
+"""Ring daemon: shard membership, stable ids, and ~1/N remaps."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.shard_router import FrontendShardRouter
+from repro.serve.fleet import ServiceThread
+from repro.serve.ring_daemon import RingClient, RingDaemon
+
+KEYS = [f"group-{i}" for i in range(400)]
+
+
+# ----------------------------------------------------------------------
+# router removal semantics (the consistent-hash contract the daemon
+# relies on; no sockets involved)
+# ----------------------------------------------------------------------
+
+
+def test_remove_shard_remaps_only_its_keys() -> None:
+    router = FrontendShardRouter(4)
+    before = {key: router.shard_for(key) for key in KEYS}
+    router.remove_shard(2)
+    after = {key: router.shard_for(key) for key in KEYS}
+    for key in KEYS:
+        if before[key] != 2:
+            assert after[key] == before[key], "unaffected key remapped"
+        else:
+            assert after[key] != 2
+    moved = sum(1 for key in KEYS if before[key] != after[key])
+    # Only shard 2's ~1/4 of the key space may move.
+    assert moved == sum(1 for key in KEYS if before[key] == 2)
+
+
+def test_readding_a_shard_restores_its_exact_arcs() -> None:
+    router = FrontendShardRouter(4)
+    before = {key: router.shard_for(key) for key in KEYS}
+    router.remove_shard(1)
+    router.add_shard(1)
+    assert {key: router.shard_for(key) for key in KEYS} == before
+
+
+def test_from_members_matches_incremental_construction() -> None:
+    grown = FrontendShardRouter(3)
+    rebuilt = FrontendShardRouter.from_members({0, 1, 2})
+    assert all(
+        grown.shard_for(key) == rebuilt.shard_for(key) for key in KEYS
+    )
+
+
+def test_empty_router_raises_not_asserts() -> None:
+    router = FrontendShardRouter(1)
+    router.remove_shard(0)
+    with pytest.raises(ValueError):
+        router.shard_for("anything")
+
+
+# ----------------------------------------------------------------------
+# the daemon over real sockets
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def daemon():
+    thread = ServiceThread("ring-daemon-test")
+    daemon = RingDaemon(suspect_after=0.4, dead_after=5.0, tick=0.05)
+    thread.call(daemon.start())
+    yield daemon
+    try:
+        thread.call(daemon.close(), timeout=5.0)
+    finally:
+        thread.stop()
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_daemon_assigns_stable_ids_and_pushes_epochs(daemon) -> None:
+    async def scenario():
+        a = RingClient("127.0.0.1", daemon.port, "fe-a", heartbeat_every=0.1)
+        b = RingClient("127.0.0.1", daemon.port, "fe-b", heartbeat_every=0.1)
+        await a.start()
+        await b.start()
+        assert (a.shard, b.shard) == (0, 1)
+        deadline = time.monotonic() + 3.0
+        while len(a.router) < 2 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        assert a.router.members == {0, 1}
+        assert b.router.members == {0, 1}
+        # Same epoch -> same ring -> same routing everywhere.
+        assert all(
+            a.router.shard_for(key) == b.router.shard_for(key)
+            for key in KEYS
+        )
+        # b leaves gracefully; a's ring shrinks to {0} within an epoch.
+        await b.close()
+        deadline = time.monotonic() + 3.0
+        while len(a.router) > 1 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        assert a.router.members == {0}
+        # b re-joins under the same name: same shard id.
+        b2 = RingClient("127.0.0.1", daemon.port, "fe-b", heartbeat_every=0.1)
+        await b2.start()
+        assert b2.shard == 1
+        await b2.close()
+        await a.close()
+
+    _run(scenario())
+
+
+def test_daemon_suspects_silent_shards_and_remaps_one_nth(daemon) -> None:
+    async def scenario():
+        clients = []
+        for i in range(3):
+            client = RingClient(
+                "127.0.0.1", daemon.port, f"fe-{i}", heartbeat_every=0.1
+            )
+            await client.start()
+            clients.append(client)
+        watcher = clients[0]
+        deadline = time.monotonic() + 3.0
+        while len(watcher.router) < 3 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        before = {key: watcher.router.shard_for(key) for key in KEYS}
+        # Shard 2 goes silent (heartbeat task cancelled, link kept open so
+        # there is no graceful leave): must be *suspected*.
+        for task in clients[2]._tasks:
+            task.cancel()
+        deadline = time.monotonic() + 4.0
+        while 2 in watcher.router.members and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        assert watcher.router.members == {0, 1}
+        after = {key: watcher.router.shard_for(key) for key in KEYS}
+        for key in KEYS:
+            if before[key] != 2:
+                assert after[key] == before[key]
+        statuses = {m["name"]: m["status"] for m in watcher.members}
+        assert statuses["fe-2"] == "suspect"
+        for client in clients:
+            await client.close()
+
+    _run(scenario())
