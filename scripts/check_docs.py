@@ -19,7 +19,11 @@ resolves inside the repository:
 * environment-variable knobs (``MOARA_*``), which must occur in the
   source tree — either literally, or derived from an ``_env("flag")``
   call in ``repro.serve.__main__`` (``MOARA_SERVE_<FLAG>``) — so docs
-  cannot advertise a knob nothing reads.
+  cannot advertise a knob nothing reads;
+* campaign schema keys: every backticked key in a ``docs/CAMPAIGNS.md``
+  table row must be accepted by ``repro.campaigns.schema``, and every
+  key the schema accepts must appear in such a row — the YAML reference
+  can neither invent keys nor silently omit one.
 
 Usage::
 
@@ -46,6 +50,38 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 ENV_RE = re.compile(r"\bMOARA_[A-Z][A-Z0-9_]*")
 ENV_DERIVE_RE = re.compile(r"""_env\(\s*["']([a-z0-9_]+)["']""")
 _EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
+#: the campaign YAML reference; its schema-key tables are validated
+#: against repro.campaigns.schema in both directions.
+CAMPAIGN_DOC = "CAMPAIGNS.md"
+#: a markdown table row whose first cell is a backticked schema key
+KEY_ROW_RE = re.compile(r"^\|\s*`([a-z][a-z0-9_]*)`", re.MULTILINE)
+
+
+def campaign_schema_keys() -> frozenset[str]:
+    """Every key the campaign schema accepts (pure-stdlib import: the
+    schema module defers its YAML dependency, so this works in the bare
+    docs-job interpreter)."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.campaigns.schema import all_schema_keys
+
+    return all_schema_keys()
+
+
+def check_campaign_keys(path: Path, text: str, rel_name) -> list[str]:
+    errors: list[str] = []
+    documented = set(KEY_ROW_RE.findall(text))
+    accepted = campaign_schema_keys()
+    for key in sorted(documented - accepted):
+        errors.append(
+            f"{rel_name}: documents campaign key {key!r} that the schema "
+            f"does not accept (repro.campaigns.schema)"
+        )
+    for key in sorted(accepted - documented):
+        errors.append(
+            f"{rel_name}: campaign schema key {key!r} is missing from the "
+            f"reference tables"
+        )
+    return errors
 
 
 def module_resolves(dotted: str) -> bool:
@@ -107,6 +143,8 @@ def check_file(path: Path, env_vars: set[str]) -> list[str]:
                 f"{rel_name}: env knob {knob!r} is not read anywhere "
                 f"in the source tree"
             )
+    if path.name == CAMPAIGN_DOC:
+        errors.extend(check_campaign_keys(path, text, rel_name))
     return errors
 
 

@@ -50,10 +50,51 @@ def _populate(cluster: MoaraCluster) -> None:
         cluster.set_attribute(nid, "load", 9.0)
 
 
+#: how many base ports to try when a fixed --base-port is already bound
+PORT_RETRIES = 3
+#: gap between successive base-port attempts (must exceed the number of
+#: front-ends, since shard i binds base+i)
+PORT_STRIDE = 16
+
+
+def _boot_fleet(backend: MoaraCluster, base_port: int) -> Fleet:
+    """Boot the fleet, sidestepping port collisions.
+
+    With ``base_port == 0`` the OS picks free ephemeral ports and no
+    collision is possible.  A fixed base port (CI jobs pin ports so the
+    artifact's URLs are stable) can race another job: retry at strided
+    offsets before giving up, so a stale listener doesn't fail the run.
+    """
+    last_error: OSError | None = None
+    for attempt in range(PORT_RETRIES if base_port else 1):
+        port = base_port + attempt * PORT_STRIDE if base_port else 0
+        fleet = Fleet(backend, num_frontends=FRONTENDS, base_http_port=port)
+        try:
+            fleet.start()
+            return fleet
+        except OSError as error:
+            last_error = error
+            fleet.close()
+            print(
+                f"deploy_smoke: base port {port} unavailable ({error}); "
+                f"retrying",
+                file=sys.stderr,
+            )
+    raise last_error  # every candidate base port was taken
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
         "--out", default="deploy_smoke.json", help="JSON report path"
+    )
+    parser.add_argument(
+        "--base-port",
+        type=int,
+        default=0,
+        help="first front-end HTTP port; shard i binds base+i "
+        "(default 0: let the OS pick; collisions retried at +%d strides)"
+        % PORT_STRIDE,
     )
     args = parser.parse_args(argv)
 
@@ -68,7 +109,8 @@ def main(argv: list[str]) -> int:
 
     failures: list[str] = []
     report: dict = {"nodes": NODES, "frontends": FRONTENDS, "queries": []}
-    with Fleet(backend, num_frontends=FRONTENDS) as fleet:
+    fleet = _boot_fleet(backend, args.base_port)
+    try:
         for round_no in range(2):  # cold, then warm
             for index, text in enumerate(BURST):
                 shard = (index + round_no) % FRONTENDS
@@ -104,6 +146,8 @@ def main(argv: list[str]) -> int:
             if health_status != 200:
                 failures.append(f"shard {shard} unhealthy: {health}")
         report["cluster_messages"] = fleet.admin("stats")["stats"]
+    finally:
+        fleet.close()
 
     report["expected"] = {k: v for k, v in expected.items()}
     report["ok"] = not failures

@@ -1,10 +1,13 @@
 """Wall-clock perf guard: time the headline benchmarks, track a trajectory.
 
-Runs the three timing-sensitive benchmarks -- Figure 17's concurrent
-front-end throughput, the 10k-node scale run, and the sharded-query-plane
-scale-out sweep -- under plain ``time.perf_counter``, writes the numbers
-to ``BENCH_scale.json`` at the repo root, and compares against the
-committed baseline.
+Runs the four timing-sensitive benchmarks -- Figure 17's concurrent
+front-end throughput, the 10k-node scale run, the sharded-query-plane
+scale-out sweep, and a scenario campaign (flash crowd at full scale,
+the smoke campaign under ``MOARA_BENCH_TINY=1``) -- under plain
+``time.perf_counter``, writes the numbers to ``BENCH_scale.json`` at
+the repo root, and compares against the committed baseline.  The
+campaign row doubles as a correctness gate: any invariant violation
+exits non-zero regardless of timing.
 
 The *comparison* is **non-blocking**: a wall-clock regression worse than
 ``--threshold`` (default 25%) prints a GitHub Actions ``::warning::``
@@ -101,6 +104,34 @@ def _time_shard_scaleout() -> dict:
         ),
         "probe_msgs_shared": rows["8-shard"]["probe_msgs"],
         "probe_msgs_private": rows["private-8"]["probe_msgs"],
+    }
+
+
+def _time_campaign() -> dict:
+    """Time a scenario campaign end-to-end (driver + oracle included).
+
+    Full scale runs the flash-crowd campaign (the heaviest query volume
+    of the shipped set); tiny mode runs the CI smoke campaign.  Unlike
+    the wall-clock numbers, the violation count is a *correctness*
+    signal: ``main`` turns a non-zero count into a hard failure.
+    """
+    from repro.campaigns import load_campaign, run_campaign
+
+    tiny = os.environ.get("MOARA_BENCH_TINY", "") not in ("", "0")
+    name = "smoke" if tiny else "flash_crowd"
+    spec = load_campaign(REPO_ROOT / "campaigns" / f"{name}.yaml")
+    started = time.perf_counter()
+    report = run_campaign(spec, plane="sim")
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 3),
+        "campaign": spec.name,
+        "queries": report["totals"]["queries"],
+        "messages": report["totals"]["messages"],
+        "violations": report["totals"]["violations"],
+        "p95_latency_sim": max(
+            phase["latency"]["p95"] for phase in report["phases"]
+        ),
     }
 
 
@@ -202,6 +233,10 @@ def main() -> int:
     shard = _time_shard_scaleout()
     print(f"  shard_scaleout: {shard['wall_s']:.2f}s wall "
           f"({shard['scaleout_x']:.1f}x qps at 8 front-ends vs 1)")
+    campaign = _time_campaign()
+    print(f"  campaign[{campaign['campaign']}]: "
+          f"{campaign['wall_s']:.2f}s wall ({campaign['queries']} queries, "
+          f"{campaign['violations']} violations)")
 
     record = {
         "schema": 1,
@@ -211,6 +246,7 @@ def main() -> int:
             "fig17_throughput": fig17,
             "scale": scale,
             "shard_scaleout": shard,
+            "campaign": campaign,
         },
     }
 
@@ -233,6 +269,14 @@ def main() -> int:
     if not args.no_write:
         bench_file.write_text(json.dumps(record, indent=2) + "\n")
         print(f"  wrote {bench_file.relative_to(REPO_ROOT)}")
+    if campaign["violations"]:
+        # Wall-clock drift only warns; a broken invariant is a real bug.
+        print(
+            f"::error title=campaign invariants::campaign "
+            f"{campaign['campaign']!r} finished with "
+            f"{campaign['violations']} invariant violation(s)"
+        )
+        return 1
     return 0
 
 

@@ -8,6 +8,16 @@
   (:class:`repro.core.MaintenancePolicy.ALWAYS_UPDATE`).
 """
 
-from repro.baselines.centralized import CentralizedAggregator, CentralizedSystem
+from repro.baselines.centralized import (
+    CentralizedAggregator,
+    CentralizedSystem,
+    centralized_answer,
+    local_answer,
+)
 
-__all__ = ["CentralizedAggregator", "CentralizedSystem"]
+__all__ = [
+    "CentralizedAggregator",
+    "CentralizedSystem",
+    "centralized_answer",
+    "local_answer",
+]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional, Union
+from typing import Any, Iterable, Optional, Union
 
 from repro.core.attributes import AttributeStore
 from repro.core.errors import QueryTimeoutError
@@ -28,10 +28,60 @@ from repro.sim.latency import LatencyModel, ZeroLatencyModel
 from repro.sim.network import Message, Network
 from repro.sim.stats import MessageStats, QueryRecord
 
-__all__ = ["CentralizedAggregator", "CentralizedSystem"]
+__all__ = [
+    "CentralizedAggregator",
+    "CentralizedSystem",
+    "centralized_answer",
+    "local_answer",
+]
 
 CENTRAL_QUERY = "CENTRAL_QUERY"
 CENTRAL_RESPONSE = "CENTRAL_RESPONSE"
+
+
+def local_answer(
+    query: Query, node_id: int, attributes: AttributeStore
+) -> tuple[Any, int]:
+    """One node's contribution to a query: ``(partial, contributed)``.
+
+    This is the centralized aggregator's per-node evaluation rule --
+    predicate over the local attribute store, then ``lift`` of the local
+    value -- shared by the simulated :class:`_PlainAgent` and by the
+    campaign invariant checker's online oracle
+    (:mod:`repro.campaigns.oracle`), so the oracle and the baseline can
+    never drift apart.
+    """
+    if not query.predicate.evaluate(attributes):
+        return None, 0
+    if query.attr == STAR_ATTRIBUTE:
+        value: Any = 1
+    elif query.attr in attributes:
+        value = attributes[query.attr]
+    else:
+        value = None
+    if value is None:
+        return None, 0
+    return query.function.lift(value, node_id), 1
+
+
+def centralized_answer(
+    query: Union[str, Query],
+    stores: Iterable[tuple[int, AttributeStore]],
+) -> Any:
+    """The centralized oracle's answer, computed with zero messages.
+
+    Folds :func:`local_answer` over ``(node_id, attribute_store)`` pairs
+    -- exactly what :class:`CentralizedSystem` computes by fanning the
+    query out over the network, minus the network.  Campaign runs use it
+    as the ground-truth oracle for online differential checks.
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    partial: Any = None
+    for node_id, attributes in stores:
+        contribution, _ = local_answer(query, node_id, attributes)
+        partial = query.function.merge(partial, contribution)
+    return query.function.finalize(partial)
 
 
 class _PlainAgent:
@@ -46,18 +96,9 @@ class _PlainAgent:
         if message.mtype != CENTRAL_QUERY:
             raise ValueError(f"unexpected message {message.mtype!r}")
         query: Query = message.payload["query"]
-        partial: Any = None
-        contributed = 0
-        if query.predicate.evaluate(self.attributes):
-            if query.attr == STAR_ATTRIBUTE:
-                value: Any = 1
-            elif query.attr in self.attributes:
-                value = self.attributes[query.attr]
-            else:
-                value = None
-            if value is not None:
-                partial = query.function.lift(value, self.node_id)
-                contributed = 1
+        partial, contributed = local_answer(
+            query, self.node_id, self.attributes
+        )
         self.network.send(
             self.node_id,
             message.src,

@@ -1,0 +1,247 @@
+"""The campaign correctness oracle: online invariant checking.
+
+Every campaign run is also a test run.  After each query batch (and at
+every phase boundary) the :class:`InvariantChecker` validates the system
+against four invariants, recording a violation dict for each breach:
+
+``differential``
+    Sampled query answers must match the centralized oracle
+    (:func:`repro.baselines.centralized_answer`) folded over the live
+    attribute stores -- the same ground truth the paper's Figure 15
+    baseline computes, minus the network.  Answers served from a root's
+    TTL'd result cache are allowed to lag ground truth by at most the
+    result's reported ``cache_age`` (checked separately by the
+    staleness invariant); batches that overlapped a membership change
+    are skipped (trees may legitimately be mid-repair).
+
+``probes``
+    One wire probe per group, cluster-wide: within one concurrent
+    batch, the number of ``SIZE_PROBE`` wire messages must not exceed
+    the number of distinct predicate attributes across the batch (plus
+    a configurable slack for planner-driven extra probes).
+
+``inflight``
+    No leaked entries: at a quiesced phase boundary, every in-flight
+    table in the plane (front-end pending queries / probes / shared
+    waits, node execution tables, shared-cache probe registry) must be
+    empty.
+
+``staleness``
+    The TTL contract: a root-cached answer's ``cache_age`` must never
+    exceed the configured result-cache TTL.
+
+Violations don't abort the run -- they are collected into the report
+(and the CLI exits non-zero if any exist), so one campaign surfaces
+every breach, not just the first.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Optional, Union
+
+from repro.baselines.centralized import centralized_answer
+from repro.core.messages import SIZE_PROBE
+from repro.core.parser import parse_query
+from repro.core.query import Query, QueryResult
+from repro.sim.stats import StatsSnapshot
+
+from repro.campaigns.planes import CampaignPlane
+from repro.campaigns.schema import OracleSpec
+
+__all__ = ["InvariantChecker", "values_equal"]
+
+
+def values_equal(a: Any, b: Any, tolerance: float = 1e-9) -> bool:
+    """Structural equality with float tolerance.
+
+    Aggregates return numbers (COUNT, SUM, AVG), sequences (TOPK,
+    ENUMERATE), and mappings (HISTOGRAM); compare each shape
+    recursively so ``0.30000000000000004 == 0.3`` doesn't fail a run.
+    """
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a == b
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return math.isclose(a, b, rel_tol=tolerance, abs_tol=tolerance)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            values_equal(x, y, tolerance) for x, y in zip(a, b)
+        )
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(
+            values_equal(a[k], b[k], tolerance) for k in a
+        )
+    return a == b
+
+
+class InvariantChecker:
+    """Validates one campaign run online; accumulates violations."""
+
+    def __init__(
+        self,
+        spec: OracleSpec,
+        plane: CampaignPlane,
+        seed: int = 0,
+        result_cache_ttl: Optional[float] = None,
+    ) -> None:
+        self.spec = spec
+        self.plane = plane
+        #: private sampling stream, so oracle sampling never perturbs the
+        #: workload's random choices (reports stay reproducible whether
+        #: or not checks are enabled).
+        self._rng = random.Random((seed << 8) ^ 0x0AC1E)
+        #: the node-side result-cache TTL the staleness invariant
+        #: enforces; None when the result cache is disabled (then every
+        #: root_cached answer is itself a violation).
+        self.result_cache_ttl = result_cache_ttl
+        self.violations: list[dict] = []
+        self.checked = 0
+        self.sampled = 0
+        self.skipped_epoch = 0
+
+    # ------------------------------------------------------------------
+
+    def _record(self, invariant: str, detail: dict) -> None:
+        self.violations.append({"invariant": invariant, **detail})
+
+    def _ground_truth(self, query: Union[str, Query]) -> Any:
+        return centralized_answer(query, self.plane.live_stores())
+
+    # ------------------------------------------------------------------
+    # per-batch checks
+    # ------------------------------------------------------------------
+
+    def check_batch(
+        self,
+        phase: str,
+        queries: list[str],
+        results: list[QueryResult],
+        before: StatsSnapshot,
+        membership_stable: bool,
+    ) -> None:
+        """Validate one concurrent batch that just completed.
+
+        ``before`` is the wire-stats snapshot taken just before the
+        batch was submitted; ``membership_stable`` is False when any
+        churn/failure/join was applied since the previous quiesce, which
+        suppresses the differential check (the staleness and probe
+        checks still run -- their contracts hold under churn).
+        """
+        self.checked += len(results)
+        if self.spec.check_probes:
+            self._check_probe_budget(phase, queries, before)
+        for text, result in zip(queries, results):
+            if self.spec.check_staleness:
+                self._check_staleness(phase, text, result)
+            if not self.spec.check_differential:
+                continue
+            if not membership_stable:
+                self.skipped_epoch += 1
+                continue
+            if self._rng.random() >= self.spec.sample_rate:
+                continue
+            self.sampled += 1
+            self._check_differential(phase, text, result)
+
+    def _check_differential(
+        self, phase: str, text: str, result: QueryResult
+    ) -> None:
+        expected = self._ground_truth(result.query)
+        if values_equal(result.value, expected, self.spec.tolerance):
+            return
+        # A root-cached answer may legitimately lag ground truth: the
+        # TTL contract bounds *how long*, not *whether*.  The staleness
+        # invariant separately enforces the bound.
+        if result.root_cached and result.cache_age > 0:
+            return
+        self._record(
+            "differential",
+            {
+                "phase": phase,
+                "query": text,
+                "got": result.value,
+                "expected": expected,
+                "root_cached": result.root_cached,
+                "cache_age": result.cache_age,
+            },
+        )
+
+    def _check_staleness(
+        self, phase: str, text: str, result: QueryResult
+    ) -> None:
+        if not result.root_cached:
+            return
+        if self.result_cache_ttl is None:
+            self._record(
+                "staleness",
+                {
+                    "phase": phase,
+                    "query": text,
+                    "detail": "root-cached answer with result cache disabled",
+                    "cache_age": result.cache_age,
+                },
+            )
+            return
+        # Small epsilon: the cache serves entries at exactly age == TTL.
+        if result.cache_age > self.result_cache_ttl + 1e-9:
+            self._record(
+                "staleness",
+                {
+                    "phase": phase,
+                    "query": text,
+                    "cache_age": result.cache_age,
+                    "ttl": self.result_cache_ttl,
+                },
+            )
+
+    def _check_probe_budget(
+        self, phase: str, queries: list[str], before: StatsSnapshot
+    ) -> None:
+        delta = self.plane.stats.delta_since(before)
+        probes = delta.by_type.get(SIZE_PROBE, 0)
+        attrs: set[str] = set()
+        for text in queries:
+            attrs |= parse_query(text).predicate.attributes()
+        budget = len(attrs) + self.spec.probe_slack
+        if probes > budget:
+            self._record(
+                "probes",
+                {
+                    "phase": phase,
+                    "probes": probes,
+                    "budget": budget,
+                    "distinct_attrs": len(attrs),
+                    "batch_size": len(queries),
+                },
+            )
+
+    # ------------------------------------------------------------------
+    # phase-boundary checks
+    # ------------------------------------------------------------------
+
+    def check_phase_end(self, phase: str) -> None:
+        """Validate a quiesced phase boundary (no leaked in-flight state)."""
+        if not self.spec.check_inflight:
+            return
+        leaks = self.plane.inflight_leaks()
+        leaked = {table: count for table, count in leaks.items() if count}
+        if leaked:
+            self._record("inflight", {"phase": phase, "leaked": leaked})
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> dict:
+        by_invariant: dict[str, int] = {}
+        for violation in self.violations:
+            name = violation["invariant"]
+            by_invariant[name] = by_invariant.get(name, 0) + 1
+        return {
+            "checked": self.checked,
+            "sampled": self.sampled,
+            "skipped_epoch": self.skipped_epoch,
+            "violations": len(self.violations),
+            "by_invariant": by_invariant,
+        }

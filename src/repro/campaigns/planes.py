@@ -1,0 +1,305 @@
+"""Execution planes: one campaign, two systems under test.
+
+A campaign never talks to :class:`~repro.core.cluster.MoaraCluster` or
+:class:`~repro.serve.transport.LoopbackPlane` directly -- it drives a
+:class:`CampaignPlane`, a small adapter interface both systems satisfy:
+
+* :class:`SimPlane` -- the in-process simulator with its attached
+  front-ends (``MoaraCluster.query_concurrent``).
+* :class:`LoopbackCampaignPlane` -- the *deployed shape*: a
+  frontend-less backend cluster with unmodified front-ends mounted on
+  :class:`~repro.serve.transport.LocalLoopback` transports, the same
+  topology the socket fleet deploys.
+
+Because the adapter surface is identical, the same campaign YAML runs on
+either plane with ``--plane sim`` / ``--plane loopback``, the invariant
+checker sees the same hooks (live attribute stores, wire stats,
+in-flight tables), and the JSON reports share one schema -- which is
+what lets CI diff the two planes' behaviour on the same scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Union
+
+from repro.core.cluster import MoaraCluster
+from repro.core.frontend import Frontend, FrontendConfig
+from repro.core.moara_node import MoaraConfig
+from repro.core.predicates import Predicate
+from repro.core.query import Query, QueryResult
+from repro.serve.transport import LoopbackPlane
+from repro.sim.latency import (
+    LANLatencyModel,
+    LatencyModel,
+    UniformLatencyModel,
+    ZeroLatencyModel,
+)
+from repro.sim.stats import MessageStats
+
+__all__ = [
+    "CampaignPlane",
+    "LoopbackCampaignPlane",
+    "SimPlane",
+    "build_plane",
+    "make_latency_model",
+]
+
+
+def make_latency_model(name: str, seed: int = 0) -> LatencyModel:
+    """The latency models campaigns may name (``latency:`` key)."""
+    if name == "zero":
+        return ZeroLatencyModel()
+    if name == "lan":
+        return LANLatencyModel(seed=seed)
+    if name == "uniform":
+        return UniformLatencyModel(0.01, 0.1, seed=seed)
+    raise ValueError(f"unknown latency model {name!r}")
+
+
+class CampaignPlane:
+    """The adapter surface a campaign driver needs from a system under test.
+
+    Subclasses wrap one deployment topology; everything here is the
+    shared part.  ``self.cluster`` is always the :class:`MoaraCluster`
+    holding the monitored agents (on the loopback plane that is the
+    frontend-less backend), so membership, attributes, time, and wire
+    stats are uniform across planes.
+    """
+
+    name = "abstract"
+
+    def __init__(self, cluster: MoaraCluster) -> None:
+        self.cluster = cluster
+
+    # -- time ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.cluster.now
+
+    def advance(self, seconds: float) -> None:
+        """Let simulated time pass (timers fire, crashes get detected)."""
+        if seconds > 0:
+            self.cluster.run(seconds)
+
+    def quiesce(self) -> None:
+        """Drain all pending protocol activity (gossip, repairs)."""
+        self.cluster.run_until_idle()
+
+    # -- queries -------------------------------------------------------
+
+    def query_batch(
+        self, queries: list[Union[str, Query]]
+    ) -> list[QueryResult]:
+        raise NotImplementedError
+
+    # -- membership and state ------------------------------------------
+
+    @property
+    def node_ids(self) -> list[int]:
+        return self.cluster.node_ids
+
+    def set_attribute(self, node_id: int, name: str, value: Any) -> None:
+        self.cluster.set_attribute(node_id, name, value)
+
+    def set_group(
+        self,
+        attr: str,
+        members: Iterable[int],
+        member_value: Any = True,
+        other_value: Any = False,
+    ) -> None:
+        self.cluster.set_group(attr, members, member_value, other_value)
+
+    def members_satisfying(
+        self, predicate: Union[str, Predicate]
+    ) -> set[int]:
+        return self.cluster.members_satisfying(predicate)
+
+    def crash(self, node_id: int, detection_delay: float = 0.0) -> None:
+        self.cluster.crash_node(node_id, detection_delay=detection_delay)
+
+    def recover(self, node_id: int) -> None:
+        """Bring a crashed node back (it rejoins the overlay)."""
+        self.cluster.network.recover(node_id)
+        if node_id not in self.cluster.overlay:
+            self.cluster.overlay.add_node(node_id)
+
+    def join(self) -> int:
+        return self.cluster.join_node()
+
+    def leave(self, node_id: int) -> None:
+        self.cluster.leave_node(node_id)
+
+    def live_stores(self):
+        """``(node_id, attribute_store)`` for every live overlay member --
+        the ground truth the differential oracle folds over."""
+        cluster = self.cluster
+        return [
+            (node_id, node.attributes)
+            for node_id, node in cluster.nodes.items()
+            if node_id in cluster.overlay
+            and cluster.network.is_alive(node_id)
+        ]
+
+    # -- observability hooks (for the invariant checker) ---------------
+
+    @property
+    def stats(self) -> MessageStats:
+        """The wire-message ledger (backend stats on the loopback plane --
+        :class:`LocalLoopback` mirrors its sends into it)."""
+        return self.cluster.stats
+
+    @property
+    def frontends(self) -> list[Frontend]:
+        raise NotImplementedError
+
+    @property
+    def shared_sizes(self):
+        raise NotImplementedError
+
+    def inflight_leaks(self) -> dict[str, int]:
+        """Entries still held in any in-flight table.
+
+        At a quiesced phase boundary every one of these must be zero:
+        a non-zero count means a query, probe, share, or execution was
+        opened and never closed -- the bug class the in-flight table
+        refactors are most prone to.
+        """
+        pending = probes = waits = shares = 0
+        for fe in self.frontends:
+            pending += len(fe._pending_queries)
+            probes += len(fe._probes)
+            waits += sum(len(v) for v in fe._shared_waits.values())
+            shares += len(fe._shares) + len(fe._share_by_id)
+        executions = sum(
+            len(node.inflight) for node in self.cluster.nodes.values()
+        )
+        shared_probes = 0
+        if self.shared_sizes is not None:
+            shared_probes = len(self.shared_sizes._probes)
+        return {
+            "frontend_pending": pending,
+            "frontend_probes": probes,
+            "frontend_shared_waits": waits,
+            "frontend_shares": shares,
+            "node_executions": executions,
+            "shared_cache_probes": shared_probes,
+        }
+
+
+class SimPlane(CampaignPlane):
+    """The in-process simulator: front-ends attached to the cluster."""
+
+    name = "sim"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        seed: int = 0,
+        num_frontends: int = 2,
+        latency: str = "zero",
+        config: Optional[MoaraConfig] = None,
+        frontend_config: Optional[FrontendConfig] = None,
+    ) -> None:
+        super().__init__(
+            MoaraCluster(
+                num_nodes,
+                seed=seed,
+                latency_model=make_latency_model(latency, seed=seed),
+                config=config,
+                frontend_config=frontend_config,
+                num_frontends=num_frontends,
+            )
+        )
+
+    def query_batch(
+        self, queries: list[Union[str, Query]]
+    ) -> list[QueryResult]:
+        return self.cluster.query_concurrent(queries)
+
+    @property
+    def frontends(self) -> list[Frontend]:
+        return self.cluster.frontends
+
+    @property
+    def shared_sizes(self):
+        return self.cluster.shared_sizes
+
+
+class LoopbackCampaignPlane(CampaignPlane):
+    """The deployed shape: loopback front-ends over a backend cluster."""
+
+    name = "loopback"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        seed: int = 0,
+        num_frontends: int = 2,
+        latency: str = "zero",
+        config: Optional[MoaraConfig] = None,
+        frontend_config: Optional[FrontendConfig] = None,
+    ) -> None:
+        backend = MoaraCluster(
+            num_nodes,
+            seed=seed,
+            latency_model=make_latency_model(latency, seed=seed),
+            config=config,
+            frontend_config=frontend_config,
+            num_frontends=0,
+        )
+        super().__init__(backend)
+        self.plane = LoopbackPlane(
+            backend,
+            num_frontends=num_frontends,
+            frontend_config=frontend_config,
+        )
+
+    def query_batch(
+        self, queries: list[Union[str, Query]]
+    ) -> list[QueryResult]:
+        return self.plane.query_concurrent(queries)
+
+    def quiesce(self) -> None:
+        """Drain the backend *and* the front-end transports: loopback
+        front-ends only see backend replies when pumped, so interleave
+        until neither side has anything left."""
+        while True:
+            self.cluster.run_until_idle()
+            delivered = sum(t.pump() for t in self.plane.transports)
+            if delivered == 0 and self.cluster.engine.pending == 0:
+                return
+
+    @property
+    def frontends(self) -> list[Frontend]:
+        return self.plane.frontends
+
+    @property
+    def shared_sizes(self):
+        return self.plane.shared_sizes
+
+
+def build_plane(
+    plane: str,
+    num_nodes: int,
+    seed: int = 0,
+    num_frontends: int = 2,
+    latency: str = "zero",
+    config: Optional[MoaraConfig] = None,
+    frontend_config: Optional[FrontendConfig] = None,
+) -> CampaignPlane:
+    """Factory keyed by the CLI's ``--plane`` choice."""
+    planes = {"sim": SimPlane, "loopback": LoopbackCampaignPlane}
+    if plane not in planes:
+        raise ValueError(
+            f"unknown plane {plane!r}; use one of {sorted(planes)}"
+        )
+    return planes[plane](
+        num_nodes,
+        seed=seed,
+        num_frontends=num_frontends,
+        latency=latency,
+        config=config,
+        frontend_config=frontend_config,
+    )

@@ -105,6 +105,13 @@ class MoaraConfig:
     result_cache_ttl: float = 0.0
     #: LRU bound on cached results per node.
     result_cache_size: int = 512
+    #: Victim-selection policy when the result cache is full: ``"lru"``
+    #: (the PR 2 behaviour) or ``"hot"`` -- metrics-driven eviction that
+    #: drops the least-*hit* entry instead of the least-recent one, so a
+    #: repeatedly refreshed dashboard query survives a scan of one-off
+    #: queries under memory pressure (see
+    #: :class:`~repro.core.result_cache.ResultCache`).
+    result_cache_eviction: str = "lru"
     #: Lower bound for churn-adaptive result-cache TTLs: a churn storm
     #: can shrink an entry's lifetime to this, never below (caching
     #: degrades gracefully instead of collapsing).  ``result_cache_ttl``
@@ -130,6 +137,11 @@ class MoaraConfig:
             raise ValueError("threshold must be >= 1")
         if self.result_cache_size < 1:
             raise ValueError("result_cache_size must be >= 1")
+        if self.result_cache_eviction not in ("lru", "hot"):
+            raise ValueError(
+                f"result_cache_eviction must be 'lru' or 'hot', "
+                f"not {self.result_cache_eviction!r}"
+            )
         if self.result_cache_ttl_min < 0:
             raise ValueError("result_cache_ttl_min must be >= 0")
         if self.churn_window <= 0:
@@ -238,6 +250,7 @@ class MoaraNode:
                 if self._ttl_policy is not None
                 else None
             ),
+            eviction=self.config.result_cache_eviction,
         )
         #: in-flight executions rooted here, joinable by identical requests.
         self.inflight = InflightTable()

@@ -136,19 +136,38 @@ class ResultCache:
     adaptively assigned TTL for the stats histogram.
     """
 
+    #: recognised eviction policies (see :attr:`eviction`).
+    EVICTION_POLICIES = ("lru", "hot")
+
     def __init__(
         self,
         ttl: float = 0.0,
         maxsize: int = 512,
         ttl_policy: Optional[AdaptiveTTL] = None,
         on_ttl: Optional[Callable[[float], None]] = None,
+        eviction: str = "lru",
     ) -> None:
+        if eviction not in self.EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {eviction!r}; "
+                f"use one of {self.EVICTION_POLICIES}"
+            )
         self.ttl = ttl
         self.maxsize = maxsize
         self.ttl_policy = ttl_policy
         self.on_ttl = on_ttl
+        #: how the cache picks a victim when full: ``"lru"`` drops the
+        #: least recently touched entry; ``"hot"`` is metrics-driven --
+        #: it drops the entry with the fewest hits since insertion
+        #: (recency as tie-break), so a dashboard query re-issued every
+        #: few seconds survives a scan of one-off queries that would
+        #: flush a plain LRU (the ROADMAP's "keep hot dashboards hot").
+        self.eviction = eviction
         self.stats = ResultCacheStats()
         self._entries: OrderedDict[ExecutionKey, CachedResult] = OrderedDict()
+        #: hits per live entry since it was (re-)inserted; drives "hot"
+        #: eviction and is reported by :meth:`hit_counts`.
+        self._hits: dict[ExecutionKey, int] = {}
 
     @property
     def enabled(self) -> bool:
@@ -190,9 +209,28 @@ class ResultCache:
             cached_at=now,
             expires_at=now + ttl,
         )
+        self._hits[key] = 0
         if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+            self._evict_one()
+
+    def _evict_one(self) -> None:
+        """Drop one victim according to :attr:`eviction`."""
+        if self.eviction == "hot":
+            # Least-hit entry loses; among equals the least recently
+            # touched (earliest in the OrderedDict) loses, which makes
+            # zero observed hits degenerate to plain LRU exactly.
+            victim = min(
+                self._entries, key=lambda key: self._hits.get(key, 0)
+            )
+        else:
+            victim = next(iter(self._entries))
+        del self._entries[victim]
+        self._hits.pop(victim, None)
+        self.stats.evictions += 1
+
+    def hit_counts(self) -> dict[ExecutionKey, int]:
+        """Hits per live entry (the metric driving ``"hot"`` eviction)."""
+        return dict(self._hits)
 
     def get(self, key: ExecutionKey, now: float) -> Optional[CachedResult]:
         """A fresh cached result (with its own copy of the partial), or
@@ -206,11 +244,13 @@ class ResultCache:
             return None
         if now > entry.expires_at:
             del self._entries[key]
+            self._hits.pop(key, None)
             self.stats.expirations += 1
             self.stats.misses += 1
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        self._hits[key] = self._hits.get(key, 0) + 1
         # Each hit hands out an independent partial: front-ends merge
         # (and users mutate) their answers freely.
         return CachedResult(
@@ -237,6 +277,7 @@ class ResultCache:
         ]
         for key in stale:
             del self._entries[key]
+            self._hits.pop(key, None)
         self.stats.invalidations += len(stale)
         return len(stale)
 
@@ -250,6 +291,7 @@ class ResultCache:
         ]
         for key in stale:
             del self._entries[key]
+            self._hits.pop(key, None)
         self.stats.invalidations += len(stale)
         return len(stale)
 
@@ -258,6 +300,7 @@ class ResultCache:
         have moved under or away from this root).  Returns the count."""
         dropped = len(self._entries)
         self._entries.clear()
+        self._hits.clear()
         self.stats.invalidations += dropped
         return dropped
 
@@ -270,6 +313,7 @@ class ResultCache:
         ]
         for key in stale:
             del self._entries[key]
+            self._hits.pop(key, None)
         self.stats.expirations += len(stale)
         return len(stale)
 

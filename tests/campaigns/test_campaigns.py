@@ -1,0 +1,246 @@
+"""System tier: full campaign runs on both planes, plus mutation checks.
+
+The mutation tests are the oracle's own test suite: each one injects a
+real fault into the system under test (wrong aggregation at the plane
+boundary, a leaking in-flight table, a probe storm) and requires the
+campaign run to *catch* it.  A campaign harness that stays green under
+mutation isn't checking anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaigns import (
+    CampaignRunner,
+    SimPlane,
+    campaign_from_dict,
+    load_campaign,
+    run_campaign,
+)
+from repro.core.plan_cache import SharedGroupSizeCache
+from repro.core.result_cache import InflightTable
+
+pytestmark = pytest.mark.system
+
+REPO = Path(__file__).resolve().parent.parent.parent
+SMOKE = REPO / "campaigns" / "smoke.yaml"
+
+pytest.importorskip("yaml", reason="campaign YAML needs PyYAML")
+
+
+def _strip_wall(report: dict) -> dict:
+    return {key: value for key, value in report.items() if key != "wall_s"}
+
+
+# ----------------------------------------------------------------------
+# cross-plane runs
+# ----------------------------------------------------------------------
+
+
+def test_smoke_campaign_on_sim_plane() -> None:
+    report = run_campaign(load_campaign(SMOKE), plane="sim")
+    assert report["ok"], report["invariants"]
+    assert report["totals"]["queries"] > 0
+    assert [p["name"] for p in report["phases"]] == ["steady", "perturbed"]
+
+
+def test_smoke_campaign_on_loopback_plane() -> None:
+    report = run_campaign(load_campaign(SMOKE), plane="loopback")
+    assert report["ok"], report["invariants"]
+    assert report["plane"] == "loopback"
+
+
+def test_reports_share_one_schema_across_planes() -> None:
+    spec = load_campaign(SMOKE)
+    sim = run_campaign(spec, plane="sim")
+    loopback = run_campaign(spec, plane="loopback")
+    assert sorted(sim) == sorted(loopback)
+    assert sorted(sim["totals"]) == sorted(loopback["totals"])
+    for sim_phase, loop_phase in zip(sim["phases"], loopback["phases"]):
+        assert sorted(sim_phase) == sorted(loop_phase)
+    # Same declarative scenario: identical workload volume either way.
+    assert sim["totals"]["queries"] == loopback["totals"]["queries"]
+
+
+def test_campaign_runs_are_deterministic() -> None:
+    spec = load_campaign(SMOKE)
+    first = _strip_wall(run_campaign(spec, plane="sim"))
+    second = _strip_wall(run_campaign(spec, plane="sim"))
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    )
+
+
+def test_run_campaign_cli_writes_report(tmp_path: Path) -> None:
+    out = tmp_path / "report.json"
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO / "scripts" / "run_campaign.py"),
+            str(SMOKE),
+            "--out",
+            str(out),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    report = json.loads(out.read_text())
+    assert report["schema"] == 1
+    assert report["ok"]
+    assert "status   : OK" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# mutation checks: injected faults must be caught
+# ----------------------------------------------------------------------
+
+
+def _mini_campaign(**overrides) -> dict:
+    doc = {
+        "name": "mutation",
+        "nodes": 24,
+        "seed": 9,
+        "frontends": 2,
+        "groups": [{"attr": "g", "size": 10}],
+        "phases": [
+            {
+                "name": "only",
+                "duration": 6,
+                "queries": [
+                    {"text": "SELECT COUNT(*) WHERE g = true", "rate": 2.0}
+                ],
+            }
+        ],
+        "oracle": {"sample_rate": 1.0},
+    }
+    doc.update(overrides)
+    return doc
+
+
+class _CorruptingPlane(SimPlane):
+    """A plane whose aggregation is off by one -- the injected fault."""
+
+    def query_batch(self, queries):
+        results = super().query_batch(queries)
+        for result in results:
+            if isinstance(result.value, (int, float)) and not isinstance(
+                result.value, bool
+            ):
+                result.value = result.value + 1
+        return results
+
+
+def test_campaign_catches_wrong_answers() -> None:
+    spec = campaign_from_dict(_mini_campaign())
+    plane = _CorruptingPlane(spec.nodes, seed=spec.seed, num_frontends=2)
+    report = CampaignRunner(spec, plane).run()
+    assert not report["ok"]
+    assert report["invariants"]["by_invariant"].get("differential", 0) > 0
+
+
+def test_campaign_catches_leaked_inflight_entries(monkeypatch) -> None:
+    def leaky_close(self, key):
+        execution = self._executions.get(key)  # never popped: the leak
+        return list(execution.subscribers) if execution is not None else []
+
+    monkeypatch.setattr(InflightTable, "close", leaky_close)
+    # Distinct query texts throughout: a repeat of a "closed" query would
+    # subscribe to the leaked entry and hang, which is not the invariant
+    # under test here.
+    doc = _mini_campaign(
+        phases=[
+            {
+                "name": "only",
+                "duration": 8,
+                "queries": [
+                    {
+                        "text": "SELECT COUNT(*) WHERE g = true",
+                        "count": 1,
+                        "start": 0.0,
+                        "stop": 2.0,
+                    },
+                    {
+                        "text": "SELECT SUM(cpu) WHERE g = true",
+                        "count": 1,
+                        "start": 2.0,
+                        "stop": 4.0,
+                    },
+                ],
+            }
+        ],
+        attributes=[
+            {"name": "cpu", "distribution": "uniform", "low": 0, "high": 9}
+        ],
+        oracle={"sample_rate": 0.0},
+    )
+    spec = campaign_from_dict(doc)
+    report = run_campaign(spec, plane="sim")
+    assert not report["ok"]
+    assert report["invariants"]["by_invariant"].get("inflight", 0) > 0
+
+
+def test_campaign_catches_probe_storms(monkeypatch) -> None:
+    # Disable every probe-suppression layer: the shared size tier always
+    # misses and never joins an in-flight probe, and the front-ends stop
+    # deduping and sharing -- so each query of the batch probes for
+    # itself, busting the one-wire-probe-per-attribute budget.
+    monkeypatch.setattr(
+        SharedGroupSizeCache, "get", lambda self, *a, **k: None
+    )
+    monkeypatch.setattr(
+        SharedGroupSizeCache, "join_probe", lambda self, *a, **k: False
+    )
+    doc = _mini_campaign(
+        groups=[{"attr": "a", "size": 8}, {"attr": "b", "size": 8}],
+        frontend_config={
+            "dedupe_probes": False,
+            "share_subqueries": False,
+            "piggyback_sizes": False,
+        },
+        phases=[
+            {
+                "name": "storm",
+                "duration": 2,
+                "queries": [
+                    {
+                        "text": "SELECT COUNT(*) WHERE a = true OR b = true",
+                        "count": 6,
+                    }
+                ],
+            }
+        ],
+        oracle={"sample_rate": 0.0, "check_inflight": False},
+    )
+    spec = campaign_from_dict(doc)
+    report = run_campaign(spec, plane="sim")
+    assert not report["ok"]
+    assert report["invariants"]["by_invariant"].get("probes", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# the memory-pressure knob: hot eviction must beat LRU
+# ----------------------------------------------------------------------
+
+
+def test_memory_pressure_campaign_hot_eviction_beats_lru() -> None:
+    spec = load_campaign(REPO / "campaigns" / "memory_pressure.yaml")
+    assert spec.node_config["result_cache_eviction"] == "hot"
+    hot = run_campaign(spec, plane="sim")
+    lru_config = dict(spec.node_config, result_cache_eviction="lru")
+    lru_spec = type(spec)(**{**spec.__dict__, "node_config": lru_config})
+    lru = run_campaign(lru_spec, plane="sim")
+    assert hot["ok"] and lru["ok"]
+    # The hot dashboard keeps its entry resident under "hot" eviction;
+    # plain LRU lets the one-off scan queries evict it every cycle.
+    assert hot["totals"]["root_cache_hits"] > lru["totals"]["root_cache_hits"]

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import pytest
+
+from repro.core.moara_node import MoaraConfig
 from repro.core.parser import parse_query
 from repro.core.result_cache import (
     InflightTable,
@@ -92,6 +95,45 @@ class TestResultCache:
         assert cache.get(_key(1), now=0.0) is None
         assert cache.get(_key(0), now=0.0) is not None
         assert cache.stats.evictions == 1
+
+    def test_hot_eviction_keeps_the_most_hit_entry(self) -> None:
+        """Metrics-driven eviction: the hot dashboard's entry survives a
+        scan that would evict it under plain LRU."""
+        cache = ResultCache(ttl=100.0, maxsize=2, eviction="hot")
+        _put(cache, _key(0), now=0.0)
+        _put(cache, _key(1), now=0.0)
+        for _ in range(3):
+            cache.get(_key(1), now=0.0)  # key 1 is the hot dashboard
+        _put(cache, _key(2), now=0.0)  # overflow: evicts cold key 0
+        assert cache.get(_key(0), now=0.0) is None
+        assert cache.get(_key(1), now=0.0) is not None
+        assert cache.stats.evictions == 1
+
+    def test_hot_eviction_prefers_the_newcomer_when_all_cold(self) -> None:
+        """With no hits anywhere, 'hot' degenerates to insertion order
+        (min() over equal counts takes the oldest entry)."""
+        cache = ResultCache(ttl=100.0, maxsize=2, eviction="hot")
+        _put(cache, _key(0), now=0.0)
+        _put(cache, _key(1), now=0.0)
+        _put(cache, _key(2), now=0.0)
+        assert cache.get(_key(0), now=0.0) is None
+        assert cache.get(_key(1), now=0.0) is not None
+
+    def test_hit_counts_track_gets_and_evictions(self) -> None:
+        cache = ResultCache(ttl=100.0, maxsize=2, eviction="hot")
+        _put(cache, _key(0), now=0.0)
+        cache.get(_key(0), now=0.0)
+        cache.get(_key(0), now=0.0)
+        assert cache.hit_counts()[_key(0)] == 2
+        _put(cache, _key(1), now=0.0)
+        _put(cache, _key(2), now=0.0)  # evicts key 1 (0 hits)
+        assert _key(1) not in cache.hit_counts()
+
+    def test_unknown_eviction_policy_is_rejected(self) -> None:
+        with pytest.raises(ValueError, match="eviction"):
+            ResultCache(ttl=1.0, eviction="random")
+        with pytest.raises(ValueError, match="result_cache_eviction"):
+            MoaraConfig(result_cache_eviction="random")
 
     def test_invalidate_attr_drops_fed_entries_only(self) -> None:
         cache = ResultCache(ttl=100.0)

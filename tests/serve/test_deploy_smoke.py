@@ -1,0 +1,95 @@
+"""deploy_smoke failure paths: port-collision retry on a fixed base port.
+
+With ``--base-port 0`` (the default) the OS hands out free ephemeral
+ports and nothing can collide; a *fixed* base port -- what CI pins for
+stable artifact URLs -- can race a stale listener.  The retry loop in
+``_boot_fleet`` must walk strided base ports past the collision, and
+give up with the underlying ``OSError`` once every candidate is taken.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import socket
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.cluster import MoaraCluster
+
+pytestmark = pytest.mark.system
+
+SCRIPT = (
+    Path(__file__).resolve().parent.parent.parent
+    / "scripts"
+    / "deploy_smoke.py"
+)
+
+
+@pytest.fixture(scope="module")
+def deploy_smoke():
+    spec = importlib.util.spec_from_file_location("deploy_smoke", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["deploy_smoke"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _occupy(port: int) -> socket.socket:
+    holder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    holder.bind(("127.0.0.1", port))
+    holder.listen(1)
+    return holder
+
+
+def _free_port() -> int:
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def test_boot_fleet_retries_past_an_occupied_base_port(
+    deploy_smoke,
+) -> None:
+    backend = MoaraCluster(num_nodes=16, num_frontends=0, seed=2)
+    base = _free_port()
+    holder = _occupy(base)
+    try:
+        fleet = deploy_smoke._boot_fleet(backend, base)
+        try:
+            # The collision pushed the fleet one stride past the holder.
+            assert fleet.http_ports[0] == base + deploy_smoke.PORT_STRIDE
+            status, health = fleet.http(0, "GET", "/healthz")
+            assert status == 200
+        finally:
+            fleet.close()
+    finally:
+        holder.close()
+
+
+def test_boot_fleet_gives_up_when_every_base_port_is_taken(
+    deploy_smoke,
+) -> None:
+    backend = MoaraCluster(num_nodes=16, num_frontends=0, seed=2)
+    base = _free_port()
+    holders = [
+        _occupy(base + attempt * deploy_smoke.PORT_STRIDE)
+        for attempt in range(deploy_smoke.PORT_RETRIES)
+    ]
+    try:
+        with pytest.raises(OSError):
+            deploy_smoke._boot_fleet(backend, base)
+    finally:
+        for holder in holders:
+            holder.close()
+
+
+def test_boot_fleet_auto_port_never_retries(deploy_smoke) -> None:
+    backend = MoaraCluster(num_nodes=16, num_frontends=0, seed=2)
+    fleet = deploy_smoke._boot_fleet(backend, 0)
+    try:
+        assert len(fleet.http_ports) == deploy_smoke.FRONTENDS
+        assert all(port > 0 for port in fleet.http_ports)
+    finally:
+        fleet.close()

@@ -17,6 +17,9 @@ import pytest
 from repro.core.cluster import MoaraCluster
 from repro.serve.fleet import Fleet
 
+# Boots real sockets and threads: system tier, not tier-1.
+pytestmark = pytest.mark.system
+
 NODES = 100
 SEED = 17
 

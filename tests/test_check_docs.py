@@ -1,0 +1,64 @@
+"""check_docs campaign-key validation: the schema reference cannot drift.
+
+``docs/CAMPAIGNS.md`` documents the campaign YAML schema as tables of
+backticked keys; ``scripts/check_docs.py`` must reject both directions
+of drift -- a documented key the schema does not accept, and a schema
+key the tables omit.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "scripts" / "check_docs.py"
+DOC = REPO / "docs" / "CAMPAIGNS.md"
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    spec = importlib.util.spec_from_file_location("check_docs", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_docs"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_committed_reference_matches_the_schema(check_docs) -> None:
+    errors = check_docs.check_campaign_keys(
+        DOC, DOC.read_text(encoding="utf-8"), "docs/CAMPAIGNS.md"
+    )
+    assert errors == []
+
+
+def test_invented_key_is_flagged(check_docs) -> None:
+    text = DOC.read_text(encoding="utf-8") + "\n| `warp_factor` | int |\n"
+    errors = check_docs.check_campaign_keys(DOC, text, "docs/CAMPAIGNS.md")
+    assert len(errors) == 1
+    assert "warp_factor" in errors[0]
+    assert "does not accept" in errors[0]
+
+
+def test_omitted_schema_key_is_flagged(check_docs) -> None:
+    text = DOC.read_text(encoding="utf-8").replace("`batch_window`", "(gone)")
+    errors = check_docs.check_campaign_keys(DOC, text, "docs/CAMPAIGNS.md")
+    assert len(errors) == 1
+    assert "batch_window" in errors[0]
+    assert "missing from" in errors[0]
+
+
+def test_key_rows_only_match_table_cells(check_docs) -> None:
+    """Prose backticks (`latency: lan`) and non-leading cells must not
+    count as documentation of a key."""
+    assert check_docs.KEY_ROW_RE.findall("use `latency: lan` here") == []
+    assert check_docs.KEY_ROW_RE.findall("| int | `seed` |") == []
+    assert check_docs.KEY_ROW_RE.findall("| `seed` | int |") == ["seed"]
+
+
+def test_full_run_over_committed_docs_is_clean(check_docs, capsys) -> None:
+    assert check_docs.main([]) == 0
+    assert "OK" in capsys.readouterr().out

@@ -15,7 +15,8 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.baselines import CentralizedSystem
+from repro.baselines import CentralizedSystem, centralized_answer
+from repro.campaigns import values_equal
 from repro.core import MoaraCluster
 from repro.sdims import SDIMSCluster
 
@@ -88,6 +89,105 @@ def test_cost_ordering_on_small_groups() -> None:
     assert moara_cost * 4 < central_cost
     # Broadcast and centralized costs are both ~2N.
     assert abs(sdims_cost - central_cost) < central_cost
+
+
+# ----------------------------------------------------------------------
+# property-based differential suite: generated queries under generated
+# churn, Moara vs the zero-message centralized oracle
+# ----------------------------------------------------------------------
+
+_AGGREGATES = [
+    "COUNT(*)",
+    "SUM(cpu)",
+    "AVG(cpu)",
+    "MIN(cpu)",
+    "MAX(cpu)",
+    "SUM(mem)",
+]
+_ATOMS = [
+    "svc = true",
+    "web = true",
+    "cpu >= 50",
+    "cpu < 30",
+    "os = 'Linux'",
+    "NOT web = true",
+]
+
+
+@st.composite
+def _query_texts(draw) -> str:
+    """A generated query: any aggregate over a 1-3 atom predicate.
+
+    Multi-atom predicates exercise the composite planner (cover
+    selection, size probes); single atoms exercise plain group trees.
+    """
+    aggregate = draw(st.sampled_from(_AGGREGATES))
+    atoms = draw(
+        st.lists(st.sampled_from(_ATOMS), min_size=1, max_size=3, unique=True)
+    )
+    op = draw(st.sampled_from([" AND ", " OR "]))
+    return f"SELECT {aggregate} WHERE {op.join(atoms)}"
+
+
+def _oracle_answer(cluster: MoaraCluster, text: str):
+    return centralized_answer(
+        text,
+        [
+            (node_id, node.attributes)
+            for node_id, node in cluster.nodes.items()
+            if node_id in cluster.overlay
+        ],
+    )
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    population_seed=st.integers(min_value=0, max_value=10_000),
+    queries=st.lists(_query_texts(), min_size=1, max_size=4, unique=True),
+    churn_rounds=st.integers(min_value=0, max_value=3),
+    churn_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_moara_matches_oracle_under_random_churn(
+    population_seed: int,
+    queries: list[str],
+    churn_rounds: int,
+    churn_seed: int,
+) -> None:
+    """Seeded property: for ANY generated query set and ANY random churn
+    schedule, a quiesced Moara plane answers exactly like the
+    centralized oracle.  Failures shrink to a minimal (seed, queries,
+    rounds) triple that reproduces deterministically."""
+    cluster = MoaraCluster(32, seed=108, num_frontends=2)
+    rng = random.Random(f"prop-{population_seed}")
+    for node_id in cluster.node_ids:
+        cluster.set_attribute(node_id, "cpu", float(rng.randrange(0, 100)))
+        cluster.set_attribute(node_id, "mem", float(rng.randrange(0, 64)))
+        cluster.set_attribute(node_id, "svc", rng.random() < 0.4)
+        cluster.set_attribute(node_id, "web", rng.random() < 0.3)
+        cluster.set_attribute(node_id, "os", rng.choice(["Linux", "BSD"]))
+
+    churn_rng = random.Random(churn_seed)
+    for _round in range(churn_rounds + 1):  # round 0: pristine population
+        for text in queries:
+            got = cluster.query(text).value
+            want = _oracle_answer(cluster, text)
+            assert values_equal(got, want), (
+                f"{text}: moara={got!r} oracle={want!r} "
+                f"(population_seed={population_seed}, "
+                f"churn_seed={churn_seed}, round={_round})"
+            )
+        # Apply one churn wave, then quiesce so trees finish repairing
+        # before the next comparison round.
+        node_ids = cluster.node_ids
+        for node_id in churn_rng.sample(node_ids, 6):
+            attr = churn_rng.choice(["svc", "web"])
+            current = bool(cluster.nodes[node_id].attributes.get(attr, False))
+            cluster.set_attribute(node_id, attr, not current)
+        cluster.run_until_idle()
 
 
 def test_agreement_survives_group_churn() -> None:

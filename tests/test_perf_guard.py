@@ -109,3 +109,101 @@ def test_committed_baseline_is_healthy(perf_guard) -> None:
     )
     assert committed is not None
     assert "benchmarks" in committed and not committed.get("tiny", False)
+
+
+# ----------------------------------------------------------------------
+# main(): end-to-end control flow with the benchmarks stubbed out
+# ----------------------------------------------------------------------
+
+
+def _stub_benchmarks(perf_guard, monkeypatch, campaign_violations=0) -> None:
+    """Replace the minutes-long benchmark functions with instant stubs."""
+    rows = {
+        "_time_fig17": {"wall_s": 1.0, "cached_msgs_per_query": 9.0},
+        "_time_scale": {"wall_s": 2.0, "nodes": 1, "queries": 1,
+                        "msgs_per_query": 1.0},
+        "_time_shard_scaleout": {"wall_s": 3.0, "scaleout_x": 4.0},
+        "_time_campaign": {
+            "wall_s": 0.5,
+            "campaign": "stub",
+            "queries": 10,
+            "messages": 100,
+            "violations": campaign_violations,
+            "p95_latency_sim": 0.0,
+        },
+    }
+    for name, row in rows.items():
+        monkeypatch.setattr(perf_guard, name, lambda row=row: dict(row))
+
+
+@pytest.fixture
+def guarded_main(perf_guard, monkeypatch, tmp_path):
+    """main() redirected at a tmp trajectory, benchmarks stubbed."""
+    monkeypatch.setattr(perf_guard, "REPO_ROOT", tmp_path)
+    monkeypatch.setattr(perf_guard, "BENCH_FILE", tmp_path / "BENCH.json")
+    monkeypatch.setattr(
+        perf_guard, "BENCH_FILE_TINY", tmp_path / "BENCH_tiny.json"
+    )
+    monkeypatch.delenv("MOARA_BENCH_TINY", raising=False)
+    monkeypatch.setattr(sys, "argv", ["perf_guard.py"])
+    return perf_guard
+
+
+def test_main_records_all_four_benchmarks(
+    guarded_main, monkeypatch, tmp_path
+) -> None:
+    _stub_benchmarks(guarded_main, monkeypatch)
+    guarded_main.BENCH_FILE.write_text(json.dumps(VALID))
+    assert guarded_main.main() == 0
+    record = json.loads(guarded_main.BENCH_FILE.read_text())
+    assert sorted(record["benchmarks"]) == [
+        "campaign",
+        "fig17_throughput",
+        "scale",
+        "shard_scaleout",
+    ]
+    assert record["benchmarks"]["campaign"]["violations"] == 0
+
+
+def test_main_fails_hard_on_campaign_violations(
+    guarded_main, monkeypatch, capsys
+) -> None:
+    _stub_benchmarks(guarded_main, monkeypatch, campaign_violations=3)
+    guarded_main.BENCH_FILE.write_text(json.dumps(VALID))
+    assert guarded_main.main() == 1
+    out = capsys.readouterr().out
+    assert "::error title=campaign invariants::" in out
+
+
+def test_main_warns_on_wall_clock_regression_but_passes(
+    guarded_main, monkeypatch, capsys
+) -> None:
+    _stub_benchmarks(guarded_main, monkeypatch)
+    baseline = {
+        "schema": 1,
+        "tiny": False,
+        "benchmarks": {"scale": {"wall_s": 0.1}},  # new stub says 2.0s
+    }
+    guarded_main.BENCH_FILE.write_text(json.dumps(baseline))
+    assert guarded_main.main() == 0
+    assert "::warning title=perf regression::" in capsys.readouterr().out
+
+
+def test_main_fails_fast_on_corrupt_baseline(
+    guarded_main, monkeypatch
+) -> None:
+    """A broken trajectory file must error out before any benchmark
+    burns minutes of CI time."""
+
+    def exploding_benchmark() -> dict:
+        raise AssertionError("benchmarks must not run on a corrupt baseline")
+
+    for name in (
+        "_time_fig17",
+        "_time_scale",
+        "_time_shard_scaleout",
+        "_time_campaign",
+    ):
+        monkeypatch.setattr(guarded_main, name, exploding_benchmark)
+    guarded_main.BENCH_FILE.write_text("{corrupt")
+    assert guarded_main.main() == 2
