@@ -1,13 +1,14 @@
 """Wall-clock perf guard: time the headline benchmarks, track a trajectory.
 
-Runs the four timing-sensitive benchmarks -- Figure 17's concurrent
+Runs the five timing-sensitive benchmarks -- Figure 17's concurrent
 front-end throughput, the 10k-node scale run, the sharded-query-plane
-scale-out sweep, and a scenario campaign (flash crowd at full scale,
-the smoke campaign under ``MOARA_BENCH_TINY=1``) -- under plain
-``time.perf_counter``, writes the numbers to ``BENCH_scale.json`` at
-the repo root, and compares against the committed baseline.  The
-campaign row doubles as a correctness gate: any invariant violation
-exits non-zero regardless of timing.
+scale-out sweep, a scenario campaign (flash crowd at full scale, the
+smoke campaign under ``MOARA_BENCH_TINY=1``), and the link-chaos
+campaign on the loopback plane -- under plain ``time.perf_counter``,
+writes the numbers to ``BENCH_scale.json`` at the repo root, and
+compares against the committed baseline.  The campaign rows double as
+correctness gates: any invariant violation exits non-zero regardless
+of timing.
 
 The *comparison* is **non-blocking**: a wall-clock regression worse than
 ``--threshold`` (default 25%) prints a GitHub Actions ``::warning::``
@@ -135,6 +136,30 @@ def _time_campaign() -> dict:
     }
 
 
+def _time_chaos() -> dict:
+    """Run the link-chaos campaign on the loopback plane (the only
+    plane with transport links to fault) at both scales — it is small.
+
+    The wall clock is trajectory data; the violation count is the gate:
+    under scripted link chaos the plane may answer slowly or return
+    explicit failures, but a wrong answer or leaked in-flight state is
+    an oracle violation and ``main`` turns it into a hard failure.
+    """
+    from repro.campaigns import load_campaign, run_campaign
+
+    spec = load_campaign(REPO_ROOT / "campaigns" / "chaos_links.yaml")
+    started = time.perf_counter()
+    report = run_campaign(spec, plane="loopback")
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 3),
+        "campaign": spec.name,
+        "queries": report["totals"]["queries"],
+        "failed_queries": report["totals"]["failed_queries"],
+        "violations": report["totals"]["violations"],
+    }
+
+
 class BaselineError(RuntimeError):
     """The committed baseline is unusable and reseeding was not requested."""
 
@@ -237,6 +262,11 @@ def main() -> int:
     print(f"  campaign[{campaign['campaign']}]: "
           f"{campaign['wall_s']:.2f}s wall ({campaign['queries']} queries, "
           f"{campaign['violations']} violations)")
+    chaos = _time_chaos()
+    print(f"  chaos[{chaos['campaign']}]: "
+          f"{chaos['wall_s']:.2f}s wall ({chaos['queries']} queries, "
+          f"{chaos['failed_queries']} explicit failures, "
+          f"{chaos['violations']} violations)")
 
     record = {
         "schema": 1,
@@ -247,6 +277,7 @@ def main() -> int:
             "scale": scale,
             "shard_scaleout": shard,
             "campaign": campaign,
+            "chaos": chaos,
         },
     }
 
@@ -269,15 +300,17 @@ def main() -> int:
     if not args.no_write:
         bench_file.write_text(json.dumps(record, indent=2) + "\n")
         print(f"  wrote {bench_file.relative_to(REPO_ROOT)}")
-    if campaign["violations"]:
-        # Wall-clock drift only warns; a broken invariant is a real bug.
-        print(
-            f"::error title=campaign invariants::campaign "
-            f"{campaign['campaign']!r} finished with "
-            f"{campaign['violations']} invariant violation(s)"
-        )
-        return 1
-    return 0
+    failed = False
+    for row in (campaign, chaos):
+        if row["violations"]:
+            # Wall-clock drift only warns; a broken invariant is a bug.
+            print(
+                f"::error title=campaign invariants::campaign "
+                f"{row['campaign']!r} finished with "
+                f"{row['violations']} invariant violation(s)"
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

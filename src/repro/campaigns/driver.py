@@ -73,6 +73,13 @@ class CampaignRunner:
         #: window, so the runner refuses to.
         self._detection_horizon = 0.0
         self._phase_reports: list[dict] = []
+        if any(phase.faults for phase in spec.phases):
+            if not plane.supports_link_faults:
+                raise ValueError(
+                    f"campaign {spec.name!r} scripts link faults but the "
+                    f"{plane.name!r} plane has no transport links; run it "
+                    f"with --plane loopback"
+                )
 
     # ------------------------------------------------------------------
     # initial state
@@ -146,6 +153,11 @@ class CampaignRunner:
         seq = 0
         for failure in phase.failures:
             events.append((failure.at, _FAILURE, seq, "failure", failure))
+            seq += 1
+        # Link faults apply at failure priority: a batch firing at the
+        # same instant must see the degraded wire, not race past it.
+        for fault in phase.faults:
+            events.append((fault.at, _FAILURE, seq, "fault", fault))
             seq += 1
         for wave in phase.churn:
             t = wave.interval
@@ -286,6 +298,16 @@ class CampaignRunner:
                 plane.advance(target - plane.now)
             if kind == "failure":
                 applied_failures.append(self._apply_failure(payload))
+            elif kind == "fault":
+                plane.apply_link_fault(payload)
+                applied_failures.append(
+                    {
+                        "kind": f"link-{payload.kind}",
+                        "link": payload.link,
+                        "direction": payload.direction,
+                        "duration": payload.duration,
+                    }
+                )
             elif kind == "churn":
                 self._apply_churn(payload)
             else:  # batch

@@ -101,6 +101,14 @@ class InvariantChecker:
         self.checked = 0
         self.sampled = 0
         self.skipped_epoch = 0
+        #: queries that resolved as *explicit* failures (link chaos):
+        #: allowed under the contract -- a failed answer is never a
+        #: wrong answer -- but reported, so a chaos campaign shows how
+        #: much of the workload the faults actually hit.
+        self.explicit_failures = 0
+        #: chaos-injected SIZE_PROBE duplicates already accounted for
+        #: (the wire's doing, not a front-end dedup regression).
+        self._dup_probes_seen = 0
 
     # ------------------------------------------------------------------
 
@@ -134,6 +142,13 @@ class InvariantChecker:
         if self.spec.check_probes:
             self._check_probe_budget(phase, queries, before)
         for text, result in zip(queries, results):
+            if result.failed:
+                # The Section 7 contract under link chaos: the plane may
+                # answer NULL-with-a-reason, never silently wrong.  The
+                # differential would flag the NULL as a mismatch, so an
+                # explicit failure is exempt (and counted).
+                self.explicit_failures += 1
+                continue
             if self.spec.check_staleness:
                 self._check_staleness(phase, text, result)
             if not self.spec.check_differential:
@@ -202,10 +217,16 @@ class InvariantChecker:
     ) -> None:
         delta = self.plane.stats.delta_since(before)
         probes = delta.by_type.get(SIZE_PROBE, 0)
+        # Chaos-duplicated probes are extra copies the *wire* made; the
+        # dedup contract binds the front-ends, so the budget grows by
+        # the duplicates injected during this batch.
+        dup_total = self.plane.probe_duplicates()
+        dup_delta = dup_total - self._dup_probes_seen
+        self._dup_probes_seen = dup_total
         attrs: set[str] = set()
         for text in queries:
             attrs |= parse_query(text).predicate.attributes()
-        budget = len(attrs) + self.spec.probe_slack
+        budget = len(attrs) + self.spec.probe_slack + dup_delta
         if probes > budget:
             self._record(
                 "probes",
@@ -242,6 +263,7 @@ class InvariantChecker:
             "checked": self.checked,
             "sampled": self.sampled,
             "skipped_epoch": self.skipped_epoch,
+            "explicit_failures": self.explicit_failures,
             "violations": len(self.violations),
             "by_invariant": by_invariant,
         }

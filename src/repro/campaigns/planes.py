@@ -67,6 +67,9 @@ class CampaignPlane:
     """
 
     name = "abstract"
+    #: True when the plane has transport links that can carry scripted
+    #: chaos (``faults:``); the sim plane's front-ends sit in-process.
+    supports_link_faults = False
 
     def __init__(self, cluster: MoaraCluster) -> None:
         self.cluster = cluster
@@ -187,6 +190,19 @@ class CampaignPlane:
             "shared_cache_probes": shared_probes,
         }
 
+    # -- link faults (loopback plane only) ------------------------------
+
+    def apply_link_fault(self, spec: Any) -> None:
+        raise NotImplementedError(
+            f"the {self.name!r} plane has no transport links to fault; "
+            f"run faults: campaigns on the loopback plane"
+        )
+
+    def probe_duplicates(self) -> int:
+        """Cumulative chaos-injected SIZE_PROBE duplicates (the probe
+        budget oracle discounts these — they are the wire's doing)."""
+        return 0
+
 
 class SimPlane(CampaignPlane):
     """The in-process simulator: front-ends attached to the cluster."""
@@ -231,6 +247,7 @@ class LoopbackCampaignPlane(CampaignPlane):
     """The deployed shape: loopback front-ends over a backend cluster."""
 
     name = "loopback"
+    supports_link_faults = True
 
     def __init__(
         self,
@@ -250,10 +267,15 @@ class LoopbackCampaignPlane(CampaignPlane):
             num_frontends=0,
         )
         super().__init__(backend)
+        # Chaos wrappers are always mounted (a ChaosTransport with no
+        # active faults is a pure pass-through), so a campaign may
+        # script faults without rebuilding the plane and fault-free
+        # campaigns stay bit-identical to the unwrapped topology.
         self.plane = LoopbackPlane(
             backend,
             num_frontends=num_frontends,
             frontend_config=frontend_config,
+            chaos_seed=seed,
         )
 
     def query_batch(
@@ -264,12 +286,67 @@ class LoopbackCampaignPlane(CampaignPlane):
     def quiesce(self) -> None:
         """Drain the backend *and* the front-end transports: loopback
         front-ends only see backend replies when pumped, so interleave
-        until neither side has anything left."""
+        until neither side has anything left.  Frames held by a delay
+        fault count as pending — the clock advances to their release
+        instead of declaring the plane idle with work in flight."""
         while True:
             self.cluster.run_until_idle()
             delivered = sum(t.pump() for t in self.plane.transports)
             if delivered == 0 and self.cluster.engine.pending == 0:
-                return
+                releases = [
+                    release
+                    for t in self.plane.transports
+                    for release in (
+                        getattr(t, "pending_release", lambda: None)(),
+                    )
+                    if release is not None
+                ]
+                if not releases:
+                    return
+                self.cluster.engine.run(until=min(releases))
+
+    def apply_link_fault(self, spec: Any) -> None:
+        """Map one campaign ``faults:`` entry onto the chaos wrappers.
+
+        ``spec`` is a :class:`~repro.campaigns.schema.LinkFaultSpec`;
+        state faults (drop/delay/duplicate/partition) carry their own
+        expiry (``until = now + duration``), so nothing needs a matching
+        clear event, and ``reset`` is an instantaneous event with an
+        optional dead window.
+        """
+        from repro.serve.chaos import LinkFault
+
+        if spec.link == "all":
+            targets = list(self.plane.transports)
+        else:
+            if spec.link >= len(self.plane.transports):
+                raise ValueError(
+                    f"fault names link {spec.link} but the plane has "
+                    f"{len(self.plane.transports)} front-end links"
+                )
+            targets = [self.plane.transports[spec.link]]
+        for transport in targets:
+            if spec.kind == "reset":
+                transport.reset_link(spec.duration)
+            else:
+                transport.inject(
+                    LinkFault(
+                        spec.kind,
+                        direction=spec.direction,
+                        p=spec.p,
+                        delay=spec.delay,
+                        until=self.now + spec.duration,
+                    )
+                )
+
+    def probe_duplicates(self) -> int:
+        import repro.core.messages as mt
+
+        return sum(
+            t.dup_counts.get(mt.SIZE_PROBE, 0)
+            for t in self.plane.transports
+            if getattr(t, "is_chaos", False)
+        )
 
     @property
     def frontends(self) -> list[Frontend]:

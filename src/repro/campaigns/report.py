@@ -12,12 +12,13 @@ Layout::
     wall_s,
     phases: [
       { name, duration, batches, queries, latency{...},
-        messages{total, by_type}, cache{...}, failures[...],
-        violations[...] }
+        messages{total, by_type}, cache{...}, failed_queries,
+        failures[...], violations[...] }
     ],
-    totals:     { queries, batches, messages, violations },
-    invariants: { checked, sampled, skipped_epoch, violations,
-                  by_invariant },
+    totals:     { queries, batches, messages, failed_queries,
+                  violations },
+    invariants: { checked, sampled, skipped_epoch, explicit_failures,
+                  violations, by_invariant },
     ok
 """
 
@@ -88,6 +89,7 @@ def phase_report(
             "by_type": dict(sorted(delta.by_type.items())),
         },
         "cache": _cache_summary(results),
+        "failed_queries": sum(1 for r in results if r.failed),
         "failures": failures,
         "violations": violations,
     }
@@ -121,6 +123,7 @@ def final_report(
             "root_cache_misses": stats.root_cache_misses,
             "root_subscriptions": stats.root_subscriptions,
             "shared_probe_joins": stats.shared_probe_joins,
+            "failed_queries": sum(p["failed_queries"] for p in phases),
             "violations": invariants["violations"],
         },
         "invariants": invariants,

@@ -34,6 +34,7 @@ __all__ = [
     "FAILURE_KEYS",
     "FRONTEND_CONFIG_KEYS",
     "GROUP_KEYS",
+    "LINK_FAULT_KEYS",
     "NODE_CONFIG_KEYS",
     "ORACLE_KEYS",
     "PHASE_KEYS",
@@ -44,6 +45,7 @@ __all__ = [
     "ChurnSpec",
     "FailureSpec",
     "GroupSpec",
+    "LinkFaultSpec",
     "OracleSpec",
     "PhaseSpec",
     "QueryMixSpec",
@@ -116,6 +118,27 @@ class FailureSpec:
 
 
 @dataclass(frozen=True)
+class LinkFaultSpec:
+    """A transport-level link fault at a phase-relative time.
+
+    Executed by the loopback plane's :class:`~repro.serve.chaos.
+    ChaosTransport` wrappers (the sim plane has no transport links and
+    rejects campaigns that script these).  ``reset`` is an event — the
+    link dies now, in-flight work fails, and sends fail fast for
+    ``duration`` seconds; the other kinds are a *state* held for
+    ``duration`` seconds.
+    """
+
+    kind: str  # drop | delay | duplicate | reset | partition
+    at: float
+    duration: float = 0.0
+    link: Union[int, str] = "all"  # front-end shard index, or "all"
+    direction: str = "both"  # outbound | inbound | both
+    p: float = 1.0  # per-frame probability (partition ignores it)
+    delay: float = 0.0  # seconds a delayed frame is held (kind=delay)
+
+
+@dataclass(frozen=True)
 class PhaseSpec:
     """One timed phase: query mixes + churn waves + failures."""
 
@@ -124,6 +147,7 @@ class PhaseSpec:
     queries: tuple[QueryMixSpec, ...] = ()
     churn: tuple[ChurnSpec, ...] = ()
     failures: tuple[FailureSpec, ...] = ()
+    faults: tuple[LinkFaultSpec, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -187,10 +211,15 @@ GROUP_KEYS = frozenset({"attr", "size", "fraction"})
 ATTRIBUTE_KEYS = frozenset(
     {"name", "distribution", "value", "low", "high", "choices"}
 )
-PHASE_KEYS = frozenset({"name", "duration", "queries", "churn", "failures"})
+PHASE_KEYS = frozenset(
+    {"name", "duration", "queries", "churn", "failures", "faults"}
+)
 QUERY_KEYS = frozenset({"text", "rate", "count", "arrival", "start", "stop"})
 CHURN_KEYS = frozenset({"attr", "churn", "interval"})
 FAILURE_KEYS = frozenset({"kind", "at", "count", "rack", "detection_delay"})
+LINK_FAULT_KEYS = frozenset(
+    {"kind", "at", "duration", "link", "direction", "p", "delay"}
+)
 ORACLE_KEYS = frozenset(
     {
         "sample_rate",
@@ -235,6 +264,8 @@ FRONTEND_CONFIG_KEYS = frozenset(
 _LATENCIES = ("zero", "lan", "uniform")
 _ARRIVALS = ("poisson", "uniform")
 _FAILURE_KINDS = ("crash", "rack", "join", "leave", "recover")
+_LINK_FAULT_KINDS = ("drop", "delay", "duplicate", "reset", "partition")
+_LINK_DIRECTIONS = ("outbound", "inbound", "both")
 
 
 def all_schema_keys() -> frozenset[str]:
@@ -248,6 +279,7 @@ def all_schema_keys() -> frozenset[str]:
         | QUERY_KEYS
         | CHURN_KEYS
         | FAILURE_KEYS
+        | LINK_FAULT_KEYS
         | ORACLE_KEYS
         | NODE_CONFIG_KEYS
         | FRONTEND_CONFIG_KEYS
@@ -375,6 +407,43 @@ def _parse_failure(data: Any, where: str) -> FailureSpec:
     return spec
 
 
+def _parse_link_fault(data: Any, where: str) -> LinkFaultSpec:
+    data = _require_mapping(data, where)
+    _check_keys(data, LINK_FAULT_KEYS, where)
+    spec = _build(LinkFaultSpec, data, where)
+    if spec.kind not in _LINK_FAULT_KINDS:
+        raise CampaignSchemaError(
+            f"{where}: unknown kind {spec.kind!r}; use {_LINK_FAULT_KINDS}"
+        )
+    if spec.at < 0:
+        raise CampaignSchemaError(f"{where}: 'at' must be >= 0")
+    if spec.duration < 0:
+        raise CampaignSchemaError(f"{where}: 'duration' must be >= 0")
+    if spec.kind != "reset" and spec.duration == 0:
+        raise CampaignSchemaError(
+            f"{where}: {spec.kind!r} faults need 'duration' > 0 "
+            f"(only 'reset' may be instantaneous)"
+        )
+    if spec.direction not in _LINK_DIRECTIONS:
+        raise CampaignSchemaError(
+            f"{where}: unknown direction {spec.direction!r}; "
+            f"use {_LINK_DIRECTIONS}"
+        )
+    if not 0.0 < spec.p <= 1.0:
+        raise CampaignSchemaError(f"{where}: 'p' must be in (0, 1]")
+    if spec.kind == "delay" and spec.delay <= 0:
+        raise CampaignSchemaError(
+            f"{where}: delay faults need 'delay' > 0"
+        )
+    if spec.link != "all" and (
+        not isinstance(spec.link, int) or spec.link < 0
+    ):
+        raise CampaignSchemaError(
+            f"{where}: 'link' must be a front-end shard index or 'all'"
+        )
+    return spec
+
+
 def _parse_phase(data: Any, where: str) -> PhaseSpec:
     data = _require_mapping(data, where)
     _check_keys(data, PHASE_KEYS, where)
@@ -390,12 +459,17 @@ def _parse_phase(data: Any, where: str) -> PhaseSpec:
         _parse_failure(entry, f"{where}.failures[{i}]")
         for i, entry in enumerate(data.get("failures", ()))
     )
+    faults = tuple(
+        _parse_link_fault(entry, f"{where}.faults[{i}]")
+        for i, entry in enumerate(data.get("faults", ()))
+    )
     spec = PhaseSpec(
         name=str(data.get("name", "")),
         duration=float(data.get("duration", 0.0)),
         queries=queries,
         churn=churn,
         failures=failures,
+        faults=faults,
     )
     if not spec.name:
         raise CampaignSchemaError(f"{where}: 'name' is required")
@@ -405,6 +479,12 @@ def _parse_phase(data: Any, where: str) -> PhaseSpec:
         if failure.at > spec.duration:
             raise CampaignSchemaError(
                 f"{where}.failures[{i}]: 'at' {failure.at} is past the "
+                f"phase duration {spec.duration}"
+            )
+    for i, fault in enumerate(faults):
+        if fault.at > spec.duration:
+            raise CampaignSchemaError(
+                f"{where}.faults[{i}]: 'at' {fault.at} is past the "
                 f"phase duration {spec.duration}"
             )
     return spec

@@ -187,6 +187,10 @@ class _SharedSubQuery:
     subscribed_groups: int = 0
     #: worst-case staleness over the cached replies (max ``cache_age``)
     max_cache_age: float = 0.0
+    #: set when a transport-link failure resolved this share NULL: the
+    #: fan-out marks every subscriber's result as explicitly failed
+    failed: bool = False
+    failure: str = ""
 
 
 class Frontend:
@@ -631,7 +635,11 @@ class Frontend:
                 root_cached=root_cached,
                 root_shared=root_shared,
                 cache_age=share.max_cache_age,
+                failed=share.failed,
+                failure=share.failure,
             )
+            if share.failed:
+                self.network.stats.failed_queries += 1
             self.network.stats.record_query(
                 QueryRecord(
                     qid=qid,
@@ -747,3 +755,59 @@ class Frontend:
             share.waiting -= gone
             if not share.waiting:
                 self._fan_out(share)
+
+    def on_link_failure(
+        self,
+        tags: Optional[set[str]] = None,
+        reason: str = "transport link failure",
+    ) -> None:
+        """Resolve in-flight work lost on a failed transport link.
+
+        The link-level analog of :meth:`on_membership_change`: a probe or
+        shared sub-query whose frames died with the link is resolved NULL
+        (the Section 7 contract), so waiting queries terminate *now* with
+        an **explicitly failed** result instead of hanging until an HTTP
+        timeout.  ``tags`` limits the damage to specific wire tags (the
+        probe_id/share_id a dead-link send carried); ``None`` fails
+        everything in flight (the whole link dropped).
+
+        NULL-resolved probes re-enter planning with default costs; the
+        dispatch that follows may hit the dead link again, which fails
+        those tags in turn — the cascade terminates with every affected
+        query completed and :attr:`QueryResult.failed` set.
+        """
+        now = self.network.now
+        for probe in [
+            p
+            for p in self._probes.values()
+            if tags is None or p.tag in tags
+        ]:
+            del self._probes[probe.tag]
+            if self._probe_by_group.get(probe.key) == probe.tag:
+                del self._probe_by_group[probe.key]
+            if self._shared is not None:
+                for callback in (
+                    self._shared.resolve_probe(probe.key, probe.tag, None, now)
+                    or ()
+                ):
+                    callback(probe.key, None, now)
+            probe_messages = self.network.stats.pop_tag(probe.tag)
+            for qid in probe.waiters:
+                pending = self._pending_queries.get(qid)
+                if pending is None:
+                    continue
+                pending.needed.discard(probe.key)
+                if qid == probe.initiator:
+                    pending.own_messages += probe_messages
+                if not pending.needed:
+                    pending.probe_latency = now - pending.probe_started
+                    self._finish_planning(pending)
+        for share in list(self._share_by_id.values()):
+            if tags is not None and share.share_id not in tags:
+                continue
+            if share.share_id not in self._share_by_id:
+                continue  # fanned out by a cascading failure above
+            share.failed = True
+            share.failure = reason
+            share.waiting.clear()
+            self._fan_out(share)

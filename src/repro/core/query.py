@@ -82,10 +82,18 @@ class QueryResult:
     #: True when the planner proved the predicate unsatisfiable and answered
     #: locally without touching the network
     short_circuited: bool = False
+    #: True when this query was resolved NULL by a transport-link failure
+    #: (Section 7 contract, surfaced explicitly): :attr:`value` reflects
+    #: only the sub-queries that answered before the link died and MUST
+    #: NOT be treated as a correct aggregate
+    failed: bool = False
+    #: human-readable reason when :attr:`failed` is set
+    failure: str = ""
 
     def __repr__(self) -> str:
+        flag = ", FAILED" if self.failed else ""
         return (
             f"QueryResult(value={self.value!r}, cover={self.cover}, "
             f"contributors={self.contributors}, latency={self.latency:.4f}s, "
-            f"messages={self.message_cost})"
+            f"messages={self.message_cost}{flag})"
         )

@@ -59,6 +59,7 @@ from repro.serve.protocol import (
     encode_frame,
     read_frame,
 )
+from repro.serve.resilience import CircuitBreaker, DeadlineExceeded
 
 __all__ = ["CacheService", "RemoteSizeTier"]
 
@@ -131,6 +132,10 @@ class CacheService:
         self._server: Optional[asyncio.base_events.Server] = None
         #: shard -> subscription writers (pushes fan out to all of them).
         self._subs: dict[int, set[asyncio.StreamWriter]] = {}
+        #: every live client connection (RPC and sub) — severed on
+        #: close(), so clients of a dead service see a dead socket
+        #: instead of a ghost that keeps answering from stale state.
+        self._writers: set[asyncio.StreamWriter] = set()
         self._observer_task: Optional[asyncio.Task] = None
 
     def now(self) -> float:
@@ -158,9 +163,8 @@ class CacheService:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        for writers in self._subs.values():
-            for writer in writers:
-                writer.close()
+        for writer in list(self._writers):
+            writer.close()
 
     async def _observe_overlay(self) -> None:
         """Subscribe to the overlay service's membership pushes so churn
@@ -210,6 +214,7 @@ class CacheService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         sub_shard: Optional[int] = None
+        self._writers.add(writer)
         try:
             hello = await read_frame(reader)
             if hello is None or hello.get("kind") != "hello":
@@ -252,6 +257,7 @@ class CacheService:
         except (FrameError, ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
+            self._writers.discard(writer)
             if sub_shard is not None:
                 self._subs.get(sub_shard, set()).discard(writer)
             writer.close()
@@ -347,9 +353,24 @@ class RemoteSizeTier:
     front-end falls back to exactly its private-cache behaviour (it
     probes for itself).  Results stay correct; only probe dedup and
     cross-shard freshness are lost until the service returns.
+
+    Recovery: a :class:`~repro.serve.resilience.CircuitBreaker` gates
+    every RPC.  Consecutive link failures trip it, turning further
+    calls into instant misses (no connect timeout per query); when it
+    half-opens, the one admitted probe call re-runs the HELLO handshake
+    — which re-registers this shard with the service's router — and
+    restarts the subscription connection.  Degradation is bounded by
+    the breaker's reset window instead of lasting forever.
     """
 
-    def __init__(self, host: str, port: int, shard: int, network: Any = None) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        shard: int,
+        network: Any = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
         self.host = host
         self.port = port
         self.shard = shard
@@ -359,29 +380,26 @@ class RemoteSizeTier:
         self.rpc = SyncRpcChannel(host, port)
         self.ttl = 60.0
         self._stats = CacheStats()
+        self.breaker = breaker or CircuitBreaker()
+        self.reconnects = 0
         #: key -> callbacks waiting on a joined probe's push.
         self._callbacks: dict[str, list[Callable]] = {}
         self._sub_task: Optional[asyncio.Task] = None
+        self._sub_writer: Optional[asyncio.StreamWriter] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
 
     # -- lifecycle -----------------------------------------------------
 
     async def start(self) -> None:
         """Open both connections and start the push reader task."""
+        self._loop = asyncio.get_running_loop()
         self.rpc.connect()
         hello = self.rpc.request(
             {"kind": "hello", "mode": "rpc", "shard": self.shard}
         )
         self.ttl = hello.get("ttl", self.ttl)
-        reader, writer = await asyncio.open_connection(self.host, self.port)
-        writer.write(
-            encode_frame({"kind": "hello", "mode": "sub", "shard": self.shard})
-        )
-        await writer.drain()
-        welcome = await read_frame(reader)
-        if welcome is None or welcome.get("kind") != "welcome":
-            raise ConnectionError(f"cache service refused us: {welcome!r}")
-        self._sub_writer = writer
-        self._sub_task = asyncio.ensure_future(self._read_pushes(reader))
+        await self._open_sub()
+        self.breaker.record_success()
 
     async def close(self) -> None:
         if self._sub_task is not None:
@@ -390,7 +408,70 @@ class RemoteSizeTier:
                 await self._sub_task
             except asyncio.CancelledError:
                 pass
+        if self._sub_writer is not None:
+            self._sub_writer.close()
         self.rpc.close()
+
+    async def _open_sub(self) -> None:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        writer.write(
+            encode_frame({"kind": "hello", "mode": "sub", "shard": self.shard})
+        )
+        await writer.drain()
+        welcome = await read_frame(reader)
+        if welcome is None or welcome.get("kind") != "welcome":
+            writer.close()
+            raise ConnectionError(f"cache service refused us: {welcome!r}")
+        if self._sub_writer is not None:
+            self._sub_writer.close()
+        self._sub_writer = writer
+        self._sub_task = asyncio.ensure_future(self._read_pushes(reader))
+
+    def _revive(self) -> None:
+        """Re-open the RPC connection after an outage.
+
+        The HELLO handshake is what registers this shard with the
+        service (and, for a restarted service learning its members from
+        scratch, what rebuilds the router), so a bare reconnect is not
+        enough — every revival replays it.  The subscription connection
+        restarts on the owning event loop.
+        """
+        self.rpc.connect()
+        hello = self.rpc.request(
+            {"kind": "hello", "mode": "rpc", "shard": self.shard}
+        )
+        self.ttl = hello.get("ttl", self.ttl)
+        self.reconnects += 1
+        if self.network is not None and self.network.stats is not None:
+            self.network.stats.link_reconnects += 1
+        self._schedule_resub()
+
+    def _schedule_resub(self) -> None:
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+
+        def _spawn() -> None:
+            if self._sub_task is None or self._sub_task.done():
+                self._sub_task = asyncio.ensure_future(self._resub())
+
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is loop:
+            _spawn()
+        else:
+            loop.call_soon_threadsafe(_spawn)
+
+    async def _resub(self) -> None:
+        try:
+            await self._open_sub()
+        except (ConnectionError, OSError):
+            # The RPC revival succeeded moments ago; if the sub side
+            # lost the race with another outage, the next revival
+            # (breaker half-open) retries it.
+            pass
 
     async def _read_pushes(self, reader: asyncio.StreamReader) -> None:
         try:
@@ -402,6 +483,16 @@ class RemoteSizeTier:
                     self._on_resolved(frame["key"], frame["cost"])
         except (ConnectionError, FrameError, asyncio.CancelledError):
             pass
+        finally:
+            # The push stream is gone: every joined probe this shard is
+            # waiting on would otherwise wait forever.  Release them
+            # NULL — the front-end re-probes for itself (Section 7's
+            # fail-not-hang contract, applied to the cache tier).
+            pending, self._callbacks = self._callbacks, {}
+            now = self._now()
+            for key, callbacks in pending.items():
+                for callback in callbacks:
+                    callback(key, None, now)
 
     def _on_resolved(self, key: str, cost: Optional[float]) -> None:
         callbacks = self._callbacks.pop(key, ())
@@ -417,10 +508,37 @@ class RemoteSizeTier:
         return self.network.now if self.network is not None else 0.0
 
     def _request(self, frame: dict[str, Any]) -> Optional[dict[str, Any]]:
+        if not self.breaker.allow():
+            return None  # open breaker: degrade instantly, no connect wait
+        deadline = (
+            self.network.active_deadline if self.network is not None else None
+        )
         try:
-            return self.rpc.request(frame)
-        except (ConnectionError, OSError):
+            if not self.rpc.connected:
+                self._revive()
+            reply = self.rpc.request(frame, deadline=deadline)
+        except DeadlineExceeded:
+            # The *caller's* budget ran out — says nothing about the
+            # service's health, so the breaker doesn't hear about it.
+            if self.network is not None and self.network.stats is not None:
+                self.network.stats.deadline_expired += 1
             return None
+        except (ConnectionError, OSError):
+            self.breaker.record_failure()
+            return None
+        self.breaker.record_success()
+        return reply
+
+    def link_health(self) -> dict[str, Any]:
+        """Per-link state for ``/stats`` (see ``docs/API.md``)."""
+        state = "connected" if self.rpc.connected else "degraded"
+        if self.breaker.state == CircuitBreaker.OPEN:
+            state = "breaker-open"
+        return {
+            "state": state,
+            "reconnects": self.reconnects,
+            "breaker": self.breaker.snapshot(),
+        }
 
     # -- SharedGroupSizeCache surface ----------------------------------
 

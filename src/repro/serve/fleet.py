@@ -103,6 +103,8 @@ class Fleet:
         self.frontends: list[FrontendServer] = []
         self.http_ports: list[int] = []
         self._threads: list[ServiceThread] = []
+        self._overlay_thread: Optional[ServiceThread] = None
+        self._cache_thread: Optional[ServiceThread] = None
         self._admin: Optional[SyncRpcChannel] = None
 
     # -- lifecycle -----------------------------------------------------
@@ -110,6 +112,7 @@ class Fleet:
     def start(self) -> "Fleet":
         overlay_thread = ServiceThread("overlay-service")
         self._threads.append(overlay_thread)
+        self._overlay_thread = overlay_thread
         self.overlay = OverlayService(self.cluster, host=self.host)
         overlay_thread.call(self.overlay.start())
         overlay_addr = (self.host, self.overlay.port)
@@ -118,6 +121,7 @@ class Fleet:
         if self.with_cache:
             cache_thread = ServiceThread("cache-service")
             self._threads.append(cache_thread)
+            self._cache_thread = cache_thread
             fc = self.frontend_config or FrontendConfig()
             self.cache = CacheService(
                 host=self.host,
@@ -188,6 +192,41 @@ class Fleet:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+    # -- failure injection (recovery tests) ----------------------------
+
+    def restart_cache(self) -> None:
+        """Kill the cache service and boot a fresh one on the same port.
+
+        The new service starts empty and learns its shard set from the
+        HELLOs the front-ends' circuit breakers replay when they
+        half-open — no front-end is told anything.
+        """
+        assert self.with_cache and self.cache is not None
+        assert self._cache_thread is not None and self.overlay is not None
+        port = self.cache.port
+        try:
+            self._cache_thread.call(self.cache.close(), timeout=5.0)
+        except Exception:  # noqa: BLE001 — it may already be half-dead
+            pass
+        fc = self.frontend_config or FrontendConfig()
+        self.cache = CacheService(
+            host=self.host,
+            port=port,
+            ttl=fc.size_cache_ttl,
+            ttl_min=fc.size_cache_ttl_min,
+            adaptive=fc.adaptive_size_ttl,
+            churn_window=fc.churn_window,
+            overlay_addr=(self.host, self.overlay.port),
+        )
+        self._cache_thread.call(self.cache.start())
+
+    def reset_overlay_links(self) -> int:
+        """Abruptly close every overlay-service client connection (the
+        fleet analog of a switch eating the TCP sessions); front-ends
+        reconnect and re-attach on their own.  Returns links cut."""
+        assert self.overlay is not None and self._overlay_thread is not None
+        return self._overlay_thread.call(self.overlay.reset_links())
 
     # -- client helpers (blocking; used by tests and the smoke job) ----
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from typing import Any, Optional
 
 from repro.core.errors import (
@@ -48,6 +49,7 @@ from repro.core.parser import parse_query
 from repro.core.planner import SemanticContext
 from repro.core.query import QueryResult
 from repro.serve.cache_service import RemoteSizeTier
+from repro.serve.resilience import Deadline
 from repro.serve.ring_daemon import RingClient
 from repro.serve.transport import RemoteNetwork
 
@@ -101,6 +103,8 @@ def result_to_json(qid: str, result: QueryResult) -> dict[str, Any]:
         "cache_age": result.cache_age,
         "short_circuited": result.short_circuited,
         "probed_costs": dict(result.probed_costs),
+        "failed": result.failed,
+        "failure": result.failure,
     }
 
 
@@ -213,7 +217,12 @@ class FrontendServer:
                     self.queries_failed += 1
                     status, payload = 500, {"error": repr(exc)}
                 close = headers.get("connection", "").lower() == "close"
-                self._write_response(writer, status, payload, close)
+                extra = (
+                    {"Retry-After": str(self._retry_after())}
+                    if status == 503
+                    else None
+                )
+                self._write_response(writer, status, payload, close, extra)
                 await writer.drain()
                 if close:
                     break
@@ -250,20 +259,35 @@ class FrontendServer:
         body = await reader.readexactly(length) if length else b""
         return method.upper(), target, headers, body
 
+    def _retry_after(self) -> int:
+        """Seconds a 503'd client should wait before retrying: the
+        overlay breaker's next half-open probe, rounded up (whole
+        seconds, per the HTTP ``Retry-After`` delta form)."""
+        wait = 1.0
+        if self.network is not None:
+            wait = max(wait, self.network.breaker.retry_after())
+        return max(1, math.ceil(wait))
+
     def _write_response(
         self,
         writer: asyncio.StreamWriter,
         status: int,
         payload: dict[str, Any],
         close: bool,
+        extra_headers: Optional[dict[str, str]] = None,
     ) -> None:
         body = (json.dumps(payload) + "\n").encode("utf-8")
+        extra = "".join(
+            f"{key}: {value}\r\n"
+            for key, value in (extra_headers or {}).items()
+        )
         writer.write(
             (
                 f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
                 "Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: {'close' if close else 'keep-alive'}\r\n"
+                f"{extra}"
                 "\r\n"
             ).encode("latin-1")
             + body
@@ -311,9 +335,15 @@ class FrontendServer:
             if not fut.done():
                 fut.set_result(result)
 
-        qid = self.frontend.submit(text, callback=on_result)
+        # The request timeout becomes an end-to-end deadline at
+        # admission: every southbound hop this query triggers (overlay
+        # frames, cache RPCs, retries) carries the *remaining* budget
+        # and is dropped once it is spent.  See docs/API.md.
+        deadline = Deadline.after(timeout)
+        with self.network.deadline_scope(deadline):
+            qid = self.frontend.submit(text, callback=on_result)
         try:
-            result = await asyncio.wait_for(fut, timeout)
+            result = await asyncio.wait_for(fut, deadline.remaining())
         except asyncio.TimeoutError:
             raise QueryTimeoutError(qid) from None
         return qid, result
@@ -345,6 +375,16 @@ class FrontendServer:
         except ConnectionError:
             self.queries_failed += 1
             return 503, {"error": "overlay link down; retry after reconnect"}
+        if result.failed:
+            # The query resolved as an *explicit* failure (link lost
+            # mid-flight): distinguishable from a timeout — the plane
+            # knows the answer is NULL, not late.
+            self.queries_failed += 1
+            return 503, {
+                "error": result.failure or "query failed on a lost link",
+                "qid": qid,
+                "failed": True,
+            }
         self.queries_served += 1
         return 200, result_to_json(qid, result)
 
@@ -373,6 +413,8 @@ class FrontendServer:
             return 504, {"error": f"size query {exc} timed out"}
         except ConnectionError:
             return 503, {"error": "overlay link down; retry after reconnect"}
+        if result.failed:
+            return 503, {"error": result.failure, "failed": True}
         return 200, {
             "group": name,
             "size": int(result.value or 0),
@@ -388,6 +430,7 @@ class FrontendServer:
             "name": self.name,
             "shard": self.shard,
             "overlay_connected": connected,
+            "overlay_link": self.network.link_state,
             "overlay_nodes": len(self.network.overlay)
             if self.network.mirror
             else 0,
@@ -395,6 +438,10 @@ class FrontendServer:
             and self.tier.rpc.connected,
             "ring_epoch": self.ring.epoch if self.ring else None,
         }
+        if not connected:
+            # Not-ready: tell pollers when the next reconnect attempt
+            # is worth waiting for (mirrors the Retry-After header).
+            payload["retry_after"] = self._retry_after()
         return (200 if connected else 503), payload
 
     def _stats_payload(self) -> dict[str, Any]:
@@ -410,6 +457,14 @@ class FrontendServer:
                 "total": stats.total_messages,
                 "dropped": stats.dropped_messages,
                 "by_type": dict(stats.by_type),
+            },
+            "links": self._links_payload(),
+            "resilience": {
+                "link_reconnects": stats.link_reconnects,
+                "link_send_failures": stats.link_send_failures,
+                "breaker_trips": stats.breaker_trips,
+                "deadline_expired": stats.deadline_expired,
+                "failed_queries": stats.failed_queries,
             },
             "size_cache": {
                 "hits": fe.size_cache.stats.hits,
@@ -427,6 +482,20 @@ class FrontendServer:
         if self.tier is not None:
             payload["cache_service"] = self.tier.service_stats()
         return payload
+
+    def _links_payload(self) -> dict[str, Any]:
+        """Per-link health: state, reconnects, breaker (docs/API.md)."""
+        assert self.network is not None
+        links: dict[str, Any] = {"overlay": self.network.link_health()}
+        if self.tier is not None:
+            links["cache"] = self.tier.link_health()
+        if self.ring is not None:
+            links["ring"] = {
+                "state": "connected" if self.ring.connected else "reconnecting",
+                "reconnects": self.ring.reconnects,
+                "epoch": self.ring.epoch,
+            }
+        return links
 
     def _ring_payload(self) -> dict[str, Any]:
         if self.ring is None:

@@ -111,6 +111,16 @@ class OverlayService:
         for writer in list(self._writers):
             writer.close()
 
+    async def reset_links(self) -> int:
+        """Drop every client connection without stopping the service —
+        the test hook for a transport-level link reset.  Each handler's
+        teardown detaches its proxy; clients are expected to reconnect
+        under their own backoff."""
+        writers = list(self._writers)
+        for writer in writers:
+            writer.close()
+        return len(writers)
+
     # -- engine driving ------------------------------------------------
 
     def _sync_clock(self) -> None:
@@ -195,6 +205,15 @@ class OverlayService:
                 kind = frame.get("kind")
                 if kind == "wire":
                     self._sync_clock()
+                    # Deadline propagation: the front-end stamps frames
+                    # with the caller's *remaining* budget at send time.
+                    # Budget already spent (queueing, a retry, a slow
+                    # link) means nobody is waiting — drop, don't work.
+                    budget = frame.get("deadline")
+                    if budget is not None and budget <= 0:
+                        self.cluster.stats.record_drop()
+                        self.cluster.stats.deadline_expired += 1
+                        continue
                     self.cluster.network.send(
                         frame["src"],
                         frame["dst"],

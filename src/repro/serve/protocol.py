@@ -37,6 +37,8 @@ import struct
 import threading
 from typing import Any, Optional
 
+from repro.serve.resilience import Deadline, DeadlineExceeded
+
 __all__ = [
     "FrameError",
     "MAX_FRAME_BYTES",
@@ -142,16 +144,36 @@ class SyncRpcChannel:
             count -= len(chunk)
         return b"".join(chunks)
 
-    def request(self, obj: dict[str, Any]) -> dict[str, Any]:
+    def request(
+        self,
+        obj: dict[str, Any],
+        deadline: Optional[Deadline] = None,
+    ) -> dict[str, Any]:
         """Send one frame, block for the reply frame.
 
         A reply frame of kind ``"error"`` is raised as
         :class:`FrameError` — the service refused the request.
+
+        ``deadline`` caps the hop to the caller's remaining end-to-end
+        budget: an already-expired deadline raises
+        :class:`~repro.serve.resilience.DeadlineExceeded` without
+        touching the socket, the per-hop socket timeout is clamped to
+        the remaining budget, and the remaining budget rides the frame
+        (``obj["deadline"]``) so the service can drop work nobody is
+        still waiting for.
         """
         with self._lock:
+            if deadline is not None:
+                if deadline.expired:
+                    raise DeadlineExceeded(
+                        "RPC abandoned: end-to-end budget exhausted"
+                    )
+                obj = dict(obj, deadline=deadline.remaining())
             if self._sock is None:
                 self.connect()
             assert self._sock is not None
+            if deadline is not None:
+                self._sock.settimeout(deadline.cap(self.timeout))
             try:
                 self._sock.sendall(encode_frame(obj))
                 (length,) = _LEN.unpack(self._recv_exactly(_LEN.size))
@@ -164,6 +186,9 @@ class SyncRpcChannel:
                 # A dead channel must not be reused half-synchronized.
                 self.close()
                 raise
+            finally:
+                if deadline is not None and self._sock is not None:
+                    self._sock.settimeout(self.timeout)
         if reply.get("kind") == "error":
             raise FrameError(reply.get("message", "service error"))
         return reply

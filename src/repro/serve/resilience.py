@@ -1,0 +1,271 @@
+"""Resilience primitives shared by every serve-plane link.
+
+Three small, deterministic building blocks, used by
+:class:`~repro.serve.transport.RemoteNetwork` (overlay link),
+:class:`~repro.serve.cache_service.RemoteSizeTier` (cache RPC link), and
+:class:`~repro.serve.ring_daemon.RingClient` (ring link):
+
+* :class:`Deadline` — an absolute point on an injectable clock carrying a
+  caller's *remaining budget*.  The budget rides every RPC frame and HTTP
+  query (``timeout`` becomes an absolute deadline at admission), so a
+  retried hop can never outlive the end-to-end budget.
+* :class:`RetryPolicy` — exponential backoff with **full jitter**
+  (AWS-style: ``delay = uniform(0, min(cap, base * 2**attempt))``),
+  capped by a maximum attempt count and, optionally, by a
+  :class:`Deadline`.  Deterministic per seed, so reconnect schedules are
+  reproducible in tests and campaigns.
+* :class:`CircuitBreaker` — the classic closed / open / half-open state
+  machine, per link: consecutive failures trip it open, a timer admits a
+  single half-open probe, one success closes it again.  While open,
+  callers fail fast instead of paying a connect timeout per call.
+
+Tunables come from ``MOARA_SERVE_*`` environment knobs (see
+``docs/DEPLOYMENT.md``); every class also takes explicit arguments so
+tests never depend on process environment.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+import time
+from typing import Callable, Iterator, Optional
+
+__all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+]
+
+
+def _env(flag: str, default: float) -> float:
+    """Read the ``MOARA_SERVE_<FLAG>`` knob, falling back to ``default``."""
+    raw = os.environ.get(f"MOARA_SERVE_{flag.upper()}")
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+class DeadlineExceeded(ConnectionError):
+    """An operation was refused or abandoned because its end-to-end
+    budget had already expired (distinct from a transport failure: the
+    link may be healthy; the *caller* is out of time)."""
+
+
+class Deadline:
+    """An absolute expiry on an injectable monotonic clock.
+
+    Budgets, not instants, cross process boundaries: peers' clocks are
+    not comparable, so :attr:`remaining` (seconds of budget left) is
+    what rides a wire frame, and the receiver re-anchors it on its own
+    clock with :meth:`after`.
+    """
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(
+        self,
+        expires_at: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.expires_at = expires_at
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls,
+        budget: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """A deadline ``budget`` seconds from now on ``clock``."""
+        return cls(clock() + budget, clock)
+
+    def remaining(self) -> float:
+        """Seconds of budget left (clamped at 0.0 once expired — a
+        budget of zero is what crosses the wire, never a negative)."""
+        return max(0.0, self.expires_at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self.expires_at
+
+    def cap(self, timeout: Optional[float]) -> float:
+        """Clamp a per-hop ``timeout`` to the remaining budget (a hop
+        never waits longer than the end-to-end deadline allows)."""
+        left = self.remaining()
+        if timeout is None:
+            return left
+        return min(timeout, left)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+class RetryPolicy:
+    """Exponential backoff with full jitter, attempt- and deadline-capped.
+
+    ``delay(attempt)`` for attempt ``0, 1, 2, ...`` draws uniformly from
+    ``[0, min(max_delay, base * 2**attempt)]``.  Full jitter (rather
+    than equal or decorrelated jitter) is what de-synchronizes a
+    thundering herd of clients reconnecting to one restarted service.
+    """
+
+    def __init__(
+        self,
+        base: Optional[float] = None,
+        max_delay: Optional[float] = None,
+        max_attempts: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.base = base if base is not None else _env("retry_base", 0.1)
+        self.max_delay = (
+            max_delay
+            if max_delay is not None
+            else _env("retry_max_delay", 5.0)
+        )
+        attempts = (
+            max_attempts
+            if max_attempts is not None
+            else int(_env("retry_attempts", 0))
+        )
+        #: attempt budget; 0 means unbounded (retry until deadline/close)
+        self.max_attempts = attempts
+        self._rng = random.Random(seed)
+
+    def ceiling(self, attempt: int) -> float:
+        """The jitter-free upper bound for ``attempt`` (useful to tests
+        and to "Retry-After" hints, which should quote the worst case)."""
+        if self.base <= 0.0:
+            return 0.0
+        exp = min(attempt, 63)  # avoid silly overflow for huge attempts
+        return min(self.max_delay, self.base * math.pow(2.0, exp))
+
+    def delay(self, attempt: int) -> float:
+        """The jittered sleep before retry number ``attempt`` (0-based)."""
+        return self._rng.uniform(0.0, self.ceiling(attempt))
+
+    def attempts(
+        self, deadline: Optional[Deadline] = None
+    ) -> Iterator[float]:
+        """Yield successive jittered delays until the attempt budget or
+        the ``deadline`` is exhausted.  The caller sleeps between tries::
+
+            for pause in policy.attempts(deadline):
+                await asyncio.sleep(pause)
+                if try_once():
+                    break
+        """
+        attempt = 0
+        while self.max_attempts <= 0 or attempt < self.max_attempts:
+            if deadline is not None and deadline.expired:
+                return
+            pause = self.delay(attempt)
+            if deadline is not None:
+                pause = deadline.cap(pause)
+            yield pause
+            attempt += 1
+
+
+class CircuitBreaker:
+    """Per-link closed / open / half-open breaker.
+
+    * **closed** — calls flow; ``failure_threshold`` *consecutive*
+      failures trip the breaker open (and bump :attr:`trips`).
+    * **open** — calls fail fast (``allow()`` is False) until
+      ``reset_after`` seconds pass on the injected clock.
+    * **half-open** — the timer has elapsed: ``allow()`` admits a single
+      probe call; its success closes the breaker, its failure re-opens
+      it (and re-arms the timer).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: Optional[int] = None,
+        reset_after: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = max(
+            1,
+            failure_threshold
+            if failure_threshold is not None
+            else int(_env("breaker_failures", 3)),
+        )
+        self.reset_after = (
+            reset_after
+            if reset_after is not None
+            else _env("breaker_reset", 2.0)
+        )
+        self._clock = clock
+        self.consecutive_failures = 0
+        self.trips = 0
+        self._opened_at: Optional[float] = None
+        self._probe_out = False
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return self.CLOSED
+        if (
+            self._probe_out
+            or self._clock() - self._opened_at >= self.reset_after
+        ):
+            return self.HALF_OPEN
+        return self.OPEN
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  In half-open state this admits
+        exactly one in-flight probe; concurrent callers fail fast until
+        the probe reports back."""
+        state = self.state
+        if state == self.CLOSED:
+            return True
+        if state == self.OPEN:
+            return False
+        if self._probe_out:
+            return False
+        self._probe_out = True
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self._opened_at = None
+        self._probe_out = False
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self._opened_at is not None:
+            # A failed half-open probe: re-open and re-arm the timer.
+            self._opened_at = self._clock()
+            self._probe_out = False
+            return
+        if self.consecutive_failures >= self.failure_threshold:
+            self.trips += 1
+            self._opened_at = self._clock()
+            self._probe_out = False
+
+    def retry_after(self) -> float:
+        """Seconds until the next half-open probe is admitted (0 when
+        closed or already probing) — the ``Retry-After`` hint."""
+        if self._opened_at is None:
+            return 0.0
+        return max(
+            0.0, self.reset_after - (self._clock() - self._opened_at)
+        )
+
+    def snapshot(self) -> dict:
+        """Link-health surface for ``/stats``."""
+        return {
+            "state": self.state,
+            "trips": self.trips,
+            "consecutive_failures": self.consecutive_failures,
+            "retry_after": round(self.retry_after(), 3),
+        }

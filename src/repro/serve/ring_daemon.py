@@ -31,11 +31,13 @@ their last epoch and re-register when it returns.
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from typing import Any, Callable, Optional
 
 from repro.core.shard_router import FrontendShardRouter
 from repro.serve.protocol import FrameError, encode_frame, read_frame
+from repro.serve.resilience import RetryPolicy
 
 __all__ = ["RingClient", "RingDaemon"]
 
@@ -248,8 +250,16 @@ class RingClient:
     After :meth:`start`, :attr:`shard` is this front-end's stable id and
     :attr:`router` is a live :class:`FrontendShardRouter` rebuilt from
     every epoch push; :attr:`on_change` callbacks fire after each
-    rebuild.  A background task heartbeats every ``heartbeat_every``
-    seconds.
+    rebuild.  A background task heartbeats roughly every
+    ``heartbeat_every`` seconds — **jittered ±20%** so a fleet of
+    shards started together never phase-locks its heartbeats (nor its
+    reconnect storms) onto the daemon.
+
+    If the daemon link drops, the client keeps routing by its last
+    epoch and rejoins under backoff (:class:`~repro.serve.resilience.
+    RetryPolicy`, full jitter) **with the same name**: the daemon's
+    persistent name→shard map hands back the same id, and with it the
+    same ring arcs — a restart is invisible to the key space.
     """
 
     def __init__(
@@ -258,37 +268,58 @@ class RingClient:
         port: int,
         name: str,
         heartbeat_every: float = 1.0,
+        retry: Optional[RetryPolicy] = None,
+        reconnect: bool = True,
     ) -> None:
         self.host = host
         self.port = port
         self.name = name
         self.heartbeat_every = heartbeat_every
+        self.retry = retry or RetryPolicy()
+        self.auto_reconnect = reconnect
         self.shard: Optional[int] = None
         self.epoch = 0
         self.members: list[dict[str, Any]] = []
         self.router = FrontendShardRouter.from_members(set())
         self.on_change: list[Callable[[], None]] = []
+        self.connected = False
+        self.reconnects = 0
+        #: seeded per-name so each shard jitters differently but a
+        #: given deployment replays the same schedule.
+        self._rng = random.Random(name)
+        self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._tasks: list[asyncio.Task] = []
+        self._closing = False
 
     async def start(self) -> None:
+        await self._connect()
+        self._tasks = [
+            asyncio.ensure_future(self._read_epochs()),
+            asyncio.ensure_future(self._heartbeat()),
+        ]
+
+    async def _connect(self) -> None:
         reader, writer = await asyncio.open_connection(self.host, self.port)
-        self._writer = writer
         writer.write(
             encode_frame({"kind": "hello", "role": "shard", "name": self.name})
         )
         await writer.drain()
         welcome = await read_frame(reader)
         if welcome is None or welcome.get("kind") != "welcome":
+            writer.close()
             raise ConnectionError(f"ring daemon refused us: {welcome!r}")
+        self._reader = reader
+        self._writer = writer
         self.shard = welcome["shard"]
+        # A restarted daemon counts epochs from scratch; trust the
+        # welcome unconditionally rather than comparing across lifetimes.
+        self.epoch = 0
         self._apply(welcome["epoch"], welcome["members"])
-        self._tasks = [
-            asyncio.ensure_future(self._read_epochs(reader)),
-            asyncio.ensure_future(self._heartbeat()),
-        ]
+        self.connected = True
 
     async def close(self) -> None:
+        self._closing = True
         for task in self._tasks:
             task.cancel()
             try:
@@ -313,24 +344,55 @@ class RingClient:
         for callback in self.on_change:
             callback()
 
-    async def _read_epochs(self, reader: asyncio.StreamReader) -> None:
+    async def _read_epochs(self) -> None:
+        while True:
+            try:
+                while True:
+                    frame = await read_frame(self._reader)
+                    if frame is None:
+                        break
+                    if frame.get("kind") == "epoch":
+                        self._apply(frame["epoch"], frame["members"])
+            except asyncio.CancelledError:
+                return
+            except (ConnectionError, FrameError, OSError):
+                pass
+            self.connected = False
+            if self._closing or not self.auto_reconnect:
+                return
+            if not await self._rejoin():
+                return
+
+    async def _rejoin(self) -> bool:
+        """Backoff-governed re-registration under the same name."""
         try:
-            while True:
-                frame = await read_frame(reader)
-                if frame is None:
-                    break
-                if frame.get("kind") == "epoch":
-                    self._apply(frame["epoch"], frame["members"])
-        except (ConnectionError, FrameError, asyncio.CancelledError):
+            for pause in self.retry.attempts():
+                await asyncio.sleep(pause)
+                if self._closing:
+                    return False
+                try:
+                    await self._connect()
+                except (ConnectionError, OSError):
+                    continue
+                self.reconnects += 1
+                return True
+        except asyncio.CancelledError:
             pass
+        return False
 
     async def _heartbeat(self) -> None:
         try:
-            while True:
-                await asyncio.sleep(self.heartbeat_every)
-                if self._writer is None or self._writer.is_closing():
-                    break
-                self._writer.write(encode_frame({"kind": "heartbeat"}))
-                await self._writer.drain()
-        except (ConnectionError, OSError, asyncio.CancelledError):
+            while not self._closing:
+                await asyncio.sleep(
+                    self.heartbeat_every * self._rng.uniform(0.8, 1.2)
+                )
+                writer = self._writer
+                if writer is None or writer.is_closing() or not self.connected:
+                    continue  # mid-rejoin: keep ticking, skip the beat
+                try:
+                    writer.write(encode_frame({"kind": "heartbeat"}))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    self.connected = False
+        except asyncio.CancelledError:
             pass

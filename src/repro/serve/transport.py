@@ -27,8 +27,9 @@ into a full deployed-shape query plane in one process.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import time
-from typing import Any, Callable, Optional, Union
+from typing import Any, Callable, Iterator, Optional, Union
 
 from repro.core.adaptive_ttl import AdaptiveTTL
 from repro.core.cluster import MoaraCluster
@@ -41,6 +42,7 @@ from repro.core.shard_router import FrontendShardRouter, canonical_query_text
 from repro.pastry.idspace import IdSpace
 from repro.pastry.overlay import Overlay
 from repro.serve.protocol import encode_frame, read_frame
+from repro.serve.resilience import CircuitBreaker, Deadline, RetryPolicy
 from repro.sim.network import Message
 from repro.sim.stats import MessageStats
 
@@ -116,6 +118,9 @@ class RemoteNetwork:
         port: int,
         node_id: int,
         stats: Optional[MessageStats] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        reconnect: bool = True,
     ) -> None:
         self.host = host
         self.port = port
@@ -126,9 +131,26 @@ class RemoteNetwork:
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
+        self._reconnect_task: Optional[asyncio.Task] = None
         self._t0 = time.monotonic()
         self._burst = 0
         self.connected = False
+        self._closing = False
+        #: reconnect pacing (full-jitter backoff; unbounded attempts by
+        #: default — the link heals whenever the service comes back).
+        self.retry = retry or RetryPolicy()
+        #: link-state surface: trips open the instant the socket dies
+        #: (threshold 1 — there is nothing to probe except reconnecting),
+        #: closes again on a successful re-attach.
+        self.breaker = breaker or CircuitBreaker(failure_threshold=1)
+        self.auto_reconnect = reconnect
+        self.reconnects = 0
+        self.reconnect_failures = 0
+        #: the deadline scope: while set, outbound frames carry the
+        #: remaining end-to-end budget and register their wire tag so
+        #: response-triggered sends inherit the same budget.
+        self._active_deadline: Optional[Deadline] = None
+        self._tag_deadlines: dict[str, Deadline] = {}
         #: observers of membership deltas (the server wires health/stats
         #: surfaces in here; the attached front-end is always notified).
         self.on_members: list[Callable[[set[int], set[int]], None]] = []
@@ -148,23 +170,87 @@ class RemoteNetwork:
         if payload is None:
             payload = {}
         _count_send(self.stats, src, dst, mtype, payload)
+        tag = payload.get("qid")
+        if tag is None:
+            tag = payload.get("probe_id")
+        deadline = self._active_deadline
+        if deadline is None and tag is not None:
+            deadline = self._tag_deadlines.get(tag)
+        if deadline is not None and deadline.expired:
+            # Nobody is waiting any more: don't burn the overlay's time.
+            self.stats.record_drop()
+            self.stats.deadline_expired += 1
+            if tag is not None:
+                self._fail_tags({tag}, "end-to-end deadline exceeded")
+            return
         writer = self._writer
         if writer is None or writer.is_closing():
-            # Overlay link down: the message is "in flight and lost" —
-            # the same observable outcome as a crashed simulated root.
+            # Overlay link down.  PR 6 treated this as "in flight and
+            # lost" (a silent drop the caller only discovered by HTTP
+            # timeout); now the send *fails*: the affected query resolves
+            # NULL immediately, per the Section 7 contract.
             self.stats.record_drop()
+            self.stats.link_send_failures += 1
+            if tag is not None:
+                self._fail_tags({tag}, "overlay link down")
             return
-        writer.write(
-            encode_frame(
-                {
-                    "kind": "wire",
-                    "src": src,
-                    "dst": dst,
-                    "mtype": mtype,
-                    "payload": payload,
-                }
-            )
-        )
+        frame = {
+            "kind": "wire",
+            "src": src,
+            "dst": dst,
+            "mtype": mtype,
+            "payload": payload,
+        }
+        if deadline is not None:
+            frame["deadline"] = deadline.remaining()
+            if tag is not None:
+                self._register_deadline(tag, deadline)
+        writer.write(encode_frame(frame))
+
+    # -- deadline propagation ------------------------------------------
+
+    @property
+    def active_deadline(self) -> Optional[Deadline]:
+        """The deadline scope currently in force (None outside a query);
+        side-channel RPCs (the cache tier) cap their hops with it."""
+        return self._active_deadline
+
+    @contextlib.contextmanager
+    def deadline_scope(self, deadline: Optional[Deadline]) -> Iterator[None]:
+        """While active, outbound frames carry ``deadline``'s remaining
+        budget (and tag-register it, so the sends triggered later by the
+        responses — e.g. the FRONTEND_QUERY fan-out after a SIZE_RESPONSE
+        — stay under the same end-to-end budget)."""
+        previous = self._active_deadline
+        self._active_deadline = deadline
+        try:
+            yield
+        finally:
+            self._active_deadline = previous
+
+    def _register_deadline(self, tag: str, deadline: Deadline) -> None:
+        if len(self._tag_deadlines) > 512:
+            self._tag_deadlines = {
+                t: d
+                for t, d in self._tag_deadlines.items()
+                if not d.expired
+            }
+        self._tag_deadlines[tag] = deadline
+
+    def _fail_tags(self, tags: Optional[set[str]], reason: str) -> None:
+        """Resolve in-flight front-end work for ``tags`` as NULL (all of
+        it when None).  Deferred to the next loop tick when a loop is
+        running, so a failure surfacing mid-``submit`` never re-enters
+        the front-end's state machine."""
+        frontend = self._frontend
+        if frontend is None:
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            frontend.on_link_failure(tags, reason)
+            return
+        loop.call_soon(frontend.on_link_failure, tags, reason)
 
     @property
     def now(self) -> float:
@@ -188,10 +274,11 @@ class RemoteNetwork:
 
     # -- link lifecycle ------------------------------------------------
 
-    async def start(self) -> None:
-        """Connect, introduce ourselves, and load the membership snapshot."""
+    async def _connect(
+        self,
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter, dict[str, Any]]:
+        """One HELLO/WELCOME handshake; returns the fresh link + snapshot."""
         reader, writer = await asyncio.open_connection(self.host, self.port)
-        self._reader, self._writer = reader, writer
         writer.write(
             encode_frame(
                 {"kind": "hello", "role": "frontend", "node_id": self.node_id}
@@ -200,14 +287,41 @@ class RemoteNetwork:
         await writer.drain()
         welcome = await read_frame(reader)
         if welcome is None or welcome.get("kind") != "welcome":
+            writer.close()
             raise ConnectionError(f"overlay service refused us: {welcome!r}")
+        return reader, writer, welcome
+
+    async def start(self) -> None:
+        """Connect, introduce ourselves, and load the membership snapshot."""
+        reader, writer, welcome = await self._connect()
+        self._reader, self._writer = reader, writer
         space = welcome["space"]
         self.mirror = OverlayMirror(
             IdSpace(bits=space["bits"], digit_bits=space["digit_bits"]),
             welcome["members"],
         )
         self.connected = True
+        self.breaker.record_success()
         self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @property
+    def link_state(self) -> str:
+        """``connected`` / ``reconnecting`` / ``down`` (for ``/stats``)."""
+        if self.connected:
+            return "connected"
+        if self._reconnect_task is not None and not self._reconnect_task.done():
+            return "reconnecting"
+        return "down"
+
+    def link_health(self) -> dict[str, Any]:
+        """The per-link health surface exposed by the front-end server."""
+        return {
+            "state": self.link_state,
+            "reconnects": self.reconnects,
+            "reconnect_failures": self.reconnect_failures,
+            "send_failures": self.stats.link_send_failures,
+            "breaker": self.breaker.snapshot(),
+        }
 
     async def _read_loop(self) -> None:
         assert self._reader is not None
@@ -219,15 +333,28 @@ class RemoteNetwork:
                 kind = frame["kind"]
                 if kind == "wire":
                     self._burst += 1
+                    payload = frame["payload"]
                     message = Message(
                         frame["mtype"],
                         frame["src"],
                         frame["dst"],
-                        frame["payload"],
+                        payload,
                         sent_at=self.now,
                     )
                     if self._frontend is not None:
-                        self._frontend.handle_message(message)
+                        tag = payload.get("qid")
+                        if tag is None:
+                            tag = payload.get("probe_id")
+                        scope = (
+                            self._tag_deadlines.get(tag)
+                            if tag is not None
+                            else None
+                        )
+                        # Sends triggered while handling this response
+                        # (cover fan-out after a probe answer) inherit
+                        # the originating query's end-to-end budget.
+                        with self.deadline_scope(scope):
+                            self._frontend.handle_message(message)
                 elif kind == "members":
                     self._burst += 1
                     joined = set(frame["joined"])
@@ -242,15 +369,70 @@ class RemoteNetwork:
             pass
         finally:
             self.connected = False
+            if not self._closing:
+                self._on_link_lost()
+
+    def _on_link_lost(self) -> None:
+        """The overlay socket died: fail (don't lose) everything in
+        flight, trip the breaker, and start the backoff-paced reconnect."""
+        trips_before = self.breaker.trips
+        self.breaker.record_failure()
+        self.stats.breaker_trips += self.breaker.trips - trips_before
+        # Frames queued on the dead writer are gone; pending queries
+        # resolve NULL now instead of hanging until their HTTP timeout.
+        self._fail_tags(None, "overlay link lost")
+        if self.auto_reconnect and (
+            self._reconnect_task is None or self._reconnect_task.done()
+        ):
+            self._reconnect_task = asyncio.ensure_future(
+                self._reconnect_loop()
+            )
+
+    async def _reconnect_loop(self) -> None:
+        """Re-dial with full-jitter backoff until the service answers,
+        then re-attach: fresh membership snapshot diffed into the mirror
+        (notifying the front-end, which NULL-resolves work stuck on
+        roots that departed during the outage) and a new reader task."""
+        try:
+            for pause in self.retry.attempts():
+                await asyncio.sleep(pause)
+                if self._closing:
+                    return
+                try:
+                    reader, writer, welcome = await self._connect()
+                except (OSError, ConnectionError):
+                    self.reconnect_failures += 1
+                    continue
+                self._reader, self._writer = reader, writer
+                assert self.mirror is not None
+                current = set(self.mirror.overlay.node_ids)
+                fresh = set(welcome["members"])
+                joined, left = fresh - current, current - fresh
+                self.mirror.apply(joined, left)
+                self.connected = True
+                self.reconnects += 1
+                self.stats.link_reconnects += 1
+                self.breaker.record_success()
+                self._reader_task = asyncio.ensure_future(self._read_loop())
+                if joined or left:
+                    if self._frontend is not None:
+                        self._frontend.on_membership_change(joined, left)
+                    for listener in self.on_members:
+                        listener(joined, left)
+                return
+        except asyncio.CancelledError:
+            pass
 
     async def close(self) -> None:
+        self._closing = True
         self.connected = False
-        if self._reader_task is not None:
-            self._reader_task.cancel()
-            try:
-                await self._reader_task
-            except asyncio.CancelledError:
-                pass
+        for task in (self._reconnect_task, self._reader_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
         if self._writer is not None:
             self._writer.close()
             try:
@@ -384,6 +566,7 @@ class LoopbackPlane:
         frontend_config: Optional[FrontendConfig] = None,
         probe_policy: ProbePolicy = ProbePolicy.COMPOSITE,
         shared_size_cache: bool = True,
+        chaos_seed: Optional[int] = None,
     ) -> None:
         if num_frontends < 1:
             raise ValueError("plane needs at least one front-end")
@@ -405,13 +588,20 @@ class LoopbackPlane:
                 ttl_policy=ttl_policy,
             )
             backend.overlay.add_listener(self._feed_tier_churn)
-        self.transports: list[LocalLoopback] = []
+        self.transports: list[Any] = []
         self.frontends: list[Frontend] = []
         burst_counter = [0]
         for shard in range(num_frontends):
-            transport = LocalLoopback(
+            transport: Any = LocalLoopback(
                 backend, node_id=-1 - shard, burst_counter=burst_counter
             )
+            if chaos_seed is not None:
+                # Deferred import: chaos wraps this module's transports.
+                from repro.serve.chaos import ChaosTransport
+
+                transport = ChaosTransport(
+                    transport, seed=chaos_seed * 1_000_003 + shard
+                )
             frontend = Frontend(
                 transport,
                 backend.overlay,
@@ -439,22 +629,62 @@ class LoopbackPlane:
     def query_concurrent(
         self, queries: list[Union[str, Query]], max_pumps: int = 10_000
     ) -> list[QueryResult]:
-        """Submit a batch in one burst and pump the plane until done."""
+        """Submit a batch in one burst and pump the plane until done.
+
+        Under chaos (``chaos_seed`` set and link faults active), frames
+        may be held back or lost; a plane that goes idle with queries
+        outstanding first advances the clock to the next scheduled
+        chaos release, and — when nothing is pending anywhere — resolves
+        the stuck queries as **explicit NULL failures** (the Section 7
+        contract) instead of raising: slow or failed, never silently
+        hung.  Without chaos, idle-with-missing is still a hard error
+        (it means a plane bug, not an injected fault).
+        """
         submitted = [
             (self.frontends[self.route(query)], query) for query in queries
         ]
         pairs = [(fe, fe.submit(query)) for fe, query in submitted]
+        chaos = any(getattr(t, "is_chaos", False) for t in self.transports)
+        stall_fails = 0
         for _ in range(max_pumps):
             if all(qid in fe.results for fe, qid in pairs):
                 return [fe.results.pop(qid) for fe, qid in pairs]
             delivered = sum(t.pump() for t in self.transports)
             if delivered == 0 and self.backend.engine.pending == 0:
+                release = min(
+                    (
+                        r
+                        for r in (
+                            getattr(t, "pending_release", lambda: None)()
+                            for t in self.transports
+                        )
+                        if r is not None
+                    ),
+                    default=None,
+                )
+                if release is not None:
+                    # Chaos is holding frames: jump to their release time.
+                    self.backend.engine.run(until=release)
+                    continue
                 missing = [
                     qid for fe, qid in pairs if qid not in fe.results
                 ]
-                if missing:
-                    raise QueryTimeoutError(
-                        f"{len(missing)} queries did not complete "
-                        f"(loopback plane went idle)"
-                    )
+                if not missing:
+                    continue
+                if chaos and stall_fails < 3:
+                    # In-flight frames died to injected faults: fail the
+                    # remaining work explicitly (NULL resolution).  The
+                    # cascade may take a second pass (NULL-resolved
+                    # probes re-dispatch, the re-dispatch may be eaten
+                    # by the same fault), hence the small retry budget.
+                    for fe in self.frontends:
+                        fe.on_link_failure(
+                            None, "in-flight frames lost to link faults"
+                        )
+                    stall_fails += 1
+                    continue
+                raise QueryTimeoutError(
+                    f"{len(missing)} queries did not complete "
+                    f"(loopback plane went idle)"
+                )
         raise QueryTimeoutError("loopback plane did not converge")

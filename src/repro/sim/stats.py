@@ -119,6 +119,18 @@ class MessageStats:
     #: histogram of per-entry TTLs assigned by the churn-adaptive policies
     #: (repro.core.adaptive_ttl), bucketed by upper edge in seconds.
     adaptive_ttl_hist: Counter = field(default_factory=Counter)
+    #: serve-plane link health (see repro.serve.resilience): successful
+    #: reconnects of a dead transport link, sends that failed fast on a
+    #: dead link (surfaced as explicitly failed queries rather than
+    #: silent drops), circuit-breaker trips, and frames dropped because
+    #: their end-to-end deadline budget had already expired.
+    link_reconnects: int = 0
+    link_send_failures: int = 0
+    breaker_trips: int = 0
+    deadline_expired: int = 0
+    #: queries that completed with an explicit link-failure NULL
+    #: resolution (QueryResult.failed).
+    failed_queries: int = 0
     #: opt-in byte accounting: when True the network estimates every
     #: message's wire size (recursive payload walk) and feeds
     #: :attr:`total_bytes`; when False (the default, counts-only mode) it
@@ -246,6 +258,11 @@ class MessageStats:
         self.shard_size_misses.clear()
         self.shared_probe_joins = 0
         self.adaptive_ttl_hist.clear()
+        self.link_reconnects = 0
+        self.link_send_failures = 0
+        self.breaker_trips = 0
+        self.deadline_expired = 0
+        self.failed_queries = 0
         self._closed_tags.clear()
 
     def messages_per_node(self, num_nodes: int) -> float:

@@ -142,6 +142,7 @@ def test_every_shipped_campaign_validates() -> None:
     assert len(names) == len(shipped), "campaign names must be unique"
     expected = {
         "cascading_rack_failure",
+        "chaos_links",
         "datacenter_rollout",
         "diurnal_load",
         "flash_crowd",

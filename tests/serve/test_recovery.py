@@ -1,0 +1,139 @@
+"""Self-healing fleet: components die and come back; queries keep working.
+
+The acceptance test for the resilience layer on the *real* topology —
+sockets, threads, event loops.  A cache-service restart and an
+overlay-link reset must both be absorbed without manual intervention:
+answers stay correct throughout (degraded mode for the cache, explicit
+503s at worst for the overlay), and the links re-attach on their own
+within a bounded number of breaker/backoff cycles.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.cluster import MoaraCluster
+from repro.serve.fleet import Fleet
+
+# Boots real sockets and threads: system tier, not tier-1.
+pytestmark = pytest.mark.system
+
+NODES = 60
+SEED = 19
+WEB = 18  # |web| below — COUNT(*) WHERE web = true must equal this
+COUNT_WEB = "SELECT COUNT(*) WHERE web = true"
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    backend = MoaraCluster(num_nodes=NODES, num_frontends=0, seed=SEED)
+    ids = backend.overlay.node_ids
+    backend.set_group("web", ids[:WEB])
+    backend.set_attribute_all("load", 4.0)
+    fleet = Fleet(backend, num_frontends=2, cache_service=True)
+    with fleet:
+        yield fleet
+
+
+def _await(check, timeout: float = 10.0, every: float = 0.05):
+    """Poll ``check`` until it returns truthy or ``timeout`` elapses."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = check()
+        if value:
+            return value
+        time.sleep(every)
+    return check()
+
+
+def test_queries_survive_a_cache_service_restart(fleet) -> None:
+    # Warm the shared tier so the front-ends hold live RPC links to it.
+    assert fleet.http_query(0, COUNT_WEB)["value"] == WEB
+    assert fleet.http(0, "GET", "/stats")[1]["links"]["cache"]["state"] == (
+        "connected"
+    )
+
+    fleet.restart_cache()
+
+    # Every answer during and after the outage is correct: the cache
+    # tier degrades (front-ends probe the wire themselves) but never
+    # lies.  No restarts, no reconfiguration — the tier's breaker
+    # half-opens, the revived RPC replays HELLO, and the link heals.
+    def healed() -> bool:
+        for shard in (0, 1):
+            assert fleet.http_query(shard, COUNT_WEB)["value"] == WEB
+        stats = fleet.http(0, "GET", "/stats")[1]
+        return stats["links"]["cache"]["state"] == "connected"
+
+    assert _await(healed), "cache link did not re-attach"
+    # The fresh service relearned its shard set from the replayed HELLOs.
+    service = fleet.http(0, "GET", "/stats")[1].get("cache_service")
+    assert service is not None
+    assert 0 in service["shards"]
+    reconnects = fleet.http(0, "GET", "/stats")[1]["links"]["cache"][
+        "reconnects"
+    ]
+    assert reconnects >= 1
+
+
+def test_queries_survive_an_overlay_link_reset(fleet) -> None:
+    assert fleet.http_query(0, COUNT_WEB)["value"] == WEB
+    cut = fleet.reset_overlay_links()
+    assert cut >= 2  # both front-ends at least (plus the cache service)
+
+    # Pending work fails explicitly (503 + Retry-After), never silently;
+    # the reconnect loop re-dials with jittered backoff and refreshes
+    # the membership mirror.  Within the poll window both shards must be
+    # answering correctly again with zero manual intervention.
+    def recovered() -> bool:
+        for shard in (0, 1):
+            status, body = fleet.http(
+                shard, "POST", "/query", {"query": COUNT_WEB}
+            )
+            if status == 503:
+                assert body.get("error")
+                return False
+            assert status == 200
+            assert body["value"] == WEB
+        return True
+
+    assert _await(recovered), "front-ends did not re-attach to the overlay"
+
+    for shard in (0, 1):
+        status, health = fleet.http(shard, "GET", "/healthz")
+        assert status == 200
+        assert health["overlay_link"] == "connected"
+        assert health["overlay_nodes"] == NODES
+    stats = fleet.http(0, "GET", "/stats")[1]
+    assert stats["links"]["overlay"]["state"] == "connected"
+    assert stats["links"]["overlay"]["reconnects"] >= 1
+    assert stats["resilience"]["link_reconnects"] >= 1
+
+
+def test_back_to_back_failures_still_converge(fleet) -> None:
+    # The compound case: the cache restarts *and* every overlay session
+    # is cut before the plane has healed from either.
+    fleet.restart_cache()
+    fleet.reset_overlay_links()
+
+    def recovered() -> bool:
+        for shard in (0, 1):
+            status, body = fleet.http(
+                shard, "POST", "/query", {"query": COUNT_WEB}
+            )
+            if status != 200:
+                return False
+            assert body["value"] == WEB
+        stats = fleet.http(0, "GET", "/stats")[1]
+        return (
+            stats["links"]["overlay"]["state"] == "connected"
+            and stats["links"]["cache"]["state"] == "connected"
+        )
+
+    assert _await(recovered, timeout=15.0), "fleet did not self-heal"
+    # The ledger shows the journey: reconnects happened, answers never
+    # regressed to wrong values above.
+    resilience = fleet.http(0, "GET", "/stats")[1]["resilience"]
+    assert resilience["link_reconnects"] >= 1

@@ -1,0 +1,214 @@
+"""Unit tests for the resilience primitives.
+
+RetryPolicy (full-jitter backoff), CircuitBreaker (closed → open →
+half-open), and Deadline (budget arithmetic) are the shared vocabulary
+of every self-healing link in the serve plane; these tests pin their
+contracts in isolation, on fake clocks, with no sockets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.resilience import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.t = start
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+
+def test_retry_delays_stay_inside_the_jitter_envelope() -> None:
+    policy = RetryPolicy(base=0.1, max_delay=5.0, seed=42)
+    for attempt in range(20):
+        ceiling = min(5.0, 0.1 * (2**attempt))
+        for _ in range(50):
+            delay = policy.delay(attempt)
+            assert 0.0 <= delay <= ceiling
+
+
+def test_retry_ceiling_doubles_then_caps() -> None:
+    policy = RetryPolicy(base=0.5, max_delay=4.0)
+    assert policy.ceiling(0) == 0.5
+    assert policy.ceiling(1) == 1.0
+    assert policy.ceiling(2) == 2.0
+    assert policy.ceiling(3) == 4.0
+    assert policy.ceiling(10) == 4.0  # capped
+    assert policy.ceiling(1000) == 4.0  # no overflow at huge attempts
+
+
+def test_retry_is_deterministic_from_its_seed() -> None:
+    a = [RetryPolicy(base=0.1, seed=7).delay(i) for i in range(10)]
+    b = [RetryPolicy(base=0.1, seed=7).delay(i) for i in range(10)]
+    c = [RetryPolicy(base=0.1, seed=8).delay(i) for i in range(10)]
+    assert a == b
+    assert a != c
+
+
+def test_retry_attempts_generator_honours_max_attempts() -> None:
+    policy = RetryPolicy(base=0.01, max_attempts=3, seed=1)
+    assert len(list(policy.attempts())) == 3
+
+
+def test_retry_attempts_generator_stops_at_the_deadline() -> None:
+    clock = FakeClock()
+    deadline = Deadline(expires_at=clock.t + 1.0, clock=clock)
+    policy = RetryPolicy(base=0.1, seed=3)
+    pauses = []
+    for pause in policy.attempts(deadline=deadline):
+        pauses.append(pause)
+        clock.advance(0.4)
+    # 1.0s budget / 0.4s per attempt => bounded, not infinite.
+    assert 1 <= len(pauses) <= 4
+
+
+def test_retry_env_knobs(monkeypatch: pytest.MonkeyPatch) -> None:
+    monkeypatch.setenv("MOARA_SERVE_RETRY_BASE", "0.25")
+    monkeypatch.setenv("MOARA_SERVE_RETRY_MAX_DELAY", "2.0")
+    monkeypatch.setenv("MOARA_SERVE_RETRY_ATTEMPTS", "5")
+    policy = RetryPolicy()
+    assert policy.base == 0.25
+    assert policy.max_delay == 2.0
+    assert policy.max_attempts == 5
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker
+# ---------------------------------------------------------------------------
+
+
+def test_breaker_trips_after_consecutive_failures() -> None:
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=3, reset_after=2.0, clock=clock)
+    assert breaker.state == CircuitBreaker.CLOSED
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    assert breaker.trips == 1
+    assert not breaker.allow()
+
+
+def test_breaker_success_resets_the_failure_streak() -> None:
+    breaker = CircuitBreaker(failure_threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED  # streak broken
+
+
+def test_breaker_half_open_admits_exactly_one_probe() -> None:
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_after=2.0, clock=clock)
+    breaker.record_failure()
+    assert not breaker.allow()
+    clock.advance(2.5)
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    assert breaker.allow()  # the probe
+    assert not breaker.allow()  # everyone else still blocked
+
+
+def test_breaker_probe_success_closes_it() -> None:
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_after=1.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(1.5)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.allow()
+
+
+def test_breaker_probe_failure_reopens_and_rearms_the_timer() -> None:
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_after=1.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(1.5)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow()  # timer re-armed
+    clock.advance(1.5)
+    assert breaker.allow()  # next probe window
+
+
+def test_breaker_retry_after_counts_down() -> None:
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_after=2.0, clock=clock)
+    assert breaker.retry_after() == 0.0
+    breaker.record_failure()
+    assert breaker.retry_after() == pytest.approx(2.0)
+    clock.advance(1.5)
+    assert breaker.retry_after() == pytest.approx(0.5)
+    clock.advance(1.0)
+    assert breaker.retry_after() == 0.0
+
+
+def test_breaker_snapshot_shape() -> None:
+    breaker = CircuitBreaker(failure_threshold=1)
+    breaker.record_failure()
+    snap = breaker.snapshot()
+    assert snap["state"] == CircuitBreaker.OPEN
+    assert snap["trips"] == 1
+    assert snap["consecutive_failures"] == 1
+    assert snap["retry_after"] > 0
+
+
+def test_breaker_env_knobs(monkeypatch: pytest.MonkeyPatch) -> None:
+    monkeypatch.setenv("MOARA_SERVE_BREAKER_FAILURES", "5")
+    monkeypatch.setenv("MOARA_SERVE_BREAKER_RESET", "7.5")
+    breaker = CircuitBreaker()
+    assert breaker.failure_threshold == 5
+    assert breaker.reset_after == 7.5
+
+
+# ---------------------------------------------------------------------------
+# Deadline
+# ---------------------------------------------------------------------------
+
+
+def test_deadline_remaining_and_expiry() -> None:
+    clock = FakeClock()
+    deadline = Deadline.after(2.0, clock=clock)
+    assert deadline.remaining() == pytest.approx(2.0)
+    assert not deadline.expired
+    clock.advance(1.5)
+    assert deadline.remaining() == pytest.approx(0.5)
+    clock.advance(1.0)
+    assert deadline.expired
+    assert deadline.remaining() == 0.0  # clamped, never negative
+
+
+def test_deadline_caps_a_hop_timeout_to_the_remaining_budget() -> None:
+    clock = FakeClock()
+    deadline = Deadline.after(2.0, clock=clock)
+    assert deadline.cap(5.0) == pytest.approx(2.0)  # budget binds
+    assert deadline.cap(0.5) == pytest.approx(0.5)  # hop timeout binds
+    clock.advance(3.0)
+    assert deadline.cap(5.0) == 0.0
+
+
+def test_deadline_exceeded_is_a_connection_error() -> None:
+    # Callers already catch ConnectionError on every link; expiry rides
+    # the same handling rather than inventing a parallel hierarchy.
+    assert issubclass(DeadlineExceeded, ConnectionError)

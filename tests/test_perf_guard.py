@@ -116,7 +116,9 @@ def test_committed_baseline_is_healthy(perf_guard) -> None:
 # ----------------------------------------------------------------------
 
 
-def _stub_benchmarks(perf_guard, monkeypatch, campaign_violations=0) -> None:
+def _stub_benchmarks(
+    perf_guard, monkeypatch, campaign_violations=0, chaos_violations=0
+) -> None:
     """Replace the minutes-long benchmark functions with instant stubs."""
     rows = {
         "_time_fig17": {"wall_s": 1.0, "cached_msgs_per_query": 9.0},
@@ -130,6 +132,13 @@ def _stub_benchmarks(perf_guard, monkeypatch, campaign_violations=0) -> None:
             "messages": 100,
             "violations": campaign_violations,
             "p95_latency_sim": 0.0,
+        },
+        "_time_chaos": {
+            "wall_s": 0.4,
+            "campaign": "chaos-stub",
+            "queries": 10,
+            "failed_queries": 2,
+            "violations": chaos_violations,
         },
     }
     for name, row in rows.items():
@@ -149,7 +158,7 @@ def guarded_main(perf_guard, monkeypatch, tmp_path):
     return perf_guard
 
 
-def test_main_records_all_four_benchmarks(
+def test_main_records_all_five_benchmarks(
     guarded_main, monkeypatch, tmp_path
 ) -> None:
     _stub_benchmarks(guarded_main, monkeypatch)
@@ -158,11 +167,13 @@ def test_main_records_all_four_benchmarks(
     record = json.loads(guarded_main.BENCH_FILE.read_text())
     assert sorted(record["benchmarks"]) == [
         "campaign",
+        "chaos",
         "fig17_throughput",
         "scale",
         "shard_scaleout",
     ]
     assert record["benchmarks"]["campaign"]["violations"] == 0
+    assert record["benchmarks"]["chaos"]["violations"] == 0
 
 
 def test_main_fails_hard_on_campaign_violations(
@@ -173,6 +184,18 @@ def test_main_fails_hard_on_campaign_violations(
     assert guarded_main.main() == 1
     out = capsys.readouterr().out
     assert "::error title=campaign invariants::" in out
+
+
+def test_main_fails_hard_on_chaos_oracle_violations(
+    guarded_main, monkeypatch, capsys
+) -> None:
+    # Explicit failures under chaos are expected and fine; a *violation*
+    # (wrong answer, leaked in-flight state) fails the build.
+    _stub_benchmarks(guarded_main, monkeypatch, chaos_violations=1)
+    guarded_main.BENCH_FILE.write_text(json.dumps(VALID))
+    assert guarded_main.main() == 1
+    out = capsys.readouterr().out
+    assert "'chaos-stub'" in out
 
 
 def test_main_warns_on_wall_clock_regression_but_passes(
@@ -203,6 +226,7 @@ def test_main_fails_fast_on_corrupt_baseline(
         "_time_scale",
         "_time_shard_scaleout",
         "_time_campaign",
+        "_time_chaos",
     ):
         monkeypatch.setattr(guarded_main, name, exploding_benchmark)
     guarded_main.BENCH_FILE.write_text("{corrupt")
