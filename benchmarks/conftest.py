@@ -59,8 +59,14 @@ def run_once(benchmark, fn):
     With ``MOARA_PROFILE=1`` the run is additionally wrapped in
     :mod:`cProfile` and the top-30 cumulative entries are printed, so
     perf work starts from data instead of guesses (the paper-figure
-    output is unaffected).
+    output is unaffected).  With ``MOARA_TRACEMALLOC=1`` the run is
+    instead traced by :mod:`tracemalloc` and the top-20 allocation sites
+    are printed and archived under ``results/`` -- the allocation-side
+    counterpart of the profile (note tracing itself slows the run, so
+    the timing numbers of a traced run are not trajectory data).
     """
+    if os.environ.get("MOARA_TRACEMALLOC", "") not in ("", "0"):
+        return _run_tracemalloc(benchmark, fn)
     if os.environ.get("MOARA_PROFILE", "") in ("", "0"):
         return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
 
@@ -85,4 +91,38 @@ def run_once(benchmark, fn):
     path = RESULTS_DIR / f"profile_{name.replace('/', '_')}.txt"
     path.write_text(report)
     print(f"\n{report}\n[profile archived to {path}]")
+    return result
+
+
+def _run_tracemalloc(benchmark, fn):
+    """MOARA_TRACEMALLOC=1: trace allocations, archive the top-20 sites."""
+    import tracemalloc
+
+    tracemalloc.start(25)
+    try:
+        result = benchmark.pedantic(
+            fn, rounds=1, iterations=1, warmup_rounds=0
+        )
+        snapshot = tracemalloc.take_snapshot()
+        current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    lines = [
+        "===== MOARA_TRACEMALLOC: top 20 allocation sites (by size) =====",
+        f"traced at end: {current / 1e6:.1f} MB live, "
+        f"{peak / 1e6:.1f} MB peak",
+    ]
+    for stat in snapshot.statistics("lineno")[:20]:
+        frame = stat.traceback[0]
+        lines.append(
+            f"{stat.size / 1e6:>9.2f} MB {stat.count:>9d} blocks  "
+            f"{frame.filename}:{frame.lineno}"
+        )
+    report = "\n".join(lines)
+    name = getattr(benchmark, "name", None) or "benchmark"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"tracemalloc_{name.replace('/', '_')}.txt"
+    path.write_text(report + "\n")
+    print(f"\n{report}\n[allocation report archived to {path}]")
     return result

@@ -1,10 +1,11 @@
 """Wall-clock perf guard: time the headline benchmarks, track a trajectory.
 
-Runs the five timing-sensitive benchmarks -- Figure 17's concurrent
-front-end throughput, the 10k-node scale run, the sharded-query-plane
-scale-out sweep, a scenario campaign (flash crowd at full scale, the
-smoke campaign under ``MOARA_BENCH_TINY=1``), and the link-chaos
-campaign on the loopback plane -- under plain ``time.perf_counter``,
+Runs the six timing-sensitive benchmarks -- Figure 17's concurrent
+front-end throughput, the 10k-node scale run, the 100k-node capstone
+run, the sharded-query-plane scale-out sweep, a scenario campaign
+(flash crowd at full scale, the smoke campaign under
+``MOARA_BENCH_TINY=1``), and the link-chaos campaign on the loopback
+plane -- under plain ``time.perf_counter``,
 writes the numbers to ``BENCH_scale.json`` at the repo root, and
 compares against the committed baseline.  The campaign rows double as
 correctness gates: any invariant violation exits non-zero regardless
@@ -77,6 +78,24 @@ def _time_scale() -> dict:
 
     started = time.perf_counter()
     row = run_scale()
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 3),
+        "build_s": round(row["build_s"], 3),
+        "query_phase_s": round(row["wall_s"], 3),
+        "nodes": int(row["nodes"]),
+        "queries": int(row["queries"]),
+        "msgs_per_query": round(row["msgs_per_query"], 2),
+        "queries_per_wall_s": round(row["queries_per_wall_s"], 1),
+        "events_per_s": round(row["events_per_s"], 1),
+    }
+
+
+def _time_scale_100k() -> dict:
+    from bench_scale import run_scale_100k
+
+    started = time.perf_counter()
+    row = run_scale_100k()
     wall = time.perf_counter() - started
     return {
         "wall_s": round(wall, 3),
@@ -204,14 +223,26 @@ def _compare(name: str, new: dict, old: dict, threshold: float) -> list[str]:
     warnings = []
     old_wall = old.get("wall_s")
     new_wall = new.get("wall_s")
-    if not old_wall or not new_wall:
-        return warnings
-    ratio = new_wall / old_wall
-    if ratio > 1 + threshold:
+    if old_wall and new_wall:
+        ratio = new_wall / old_wall
+        if ratio > 1 + threshold:
+            warnings.append(
+                f"::warning title=perf regression::{name} wall-clock "
+                f"{new_wall:.2f}s is {ratio - 1:.0%} slower than the "
+                f"committed baseline {old_wall:.2f}s "
+                f"(threshold {threshold:.0%})"
+            )
+    # Throughput axis: wall_s covers build + warm-up + measurement, so a
+    # kernel regression can hide inside build noise.  events_per_s is the
+    # steady-state-only number (the tentpole metric), guarded directly.
+    old_eps = old.get("events_per_s")
+    new_eps = new.get("events_per_s")
+    if old_eps and new_eps and new_eps < old_eps * (1 - threshold):
         warnings.append(
-            f"::warning title=perf regression::{name} wall-clock "
-            f"{new_wall:.2f}s is {ratio - 1:.0%} slower than the committed "
-            f"baseline {old_wall:.2f}s (threshold {threshold:.0%})"
+            f"::warning title=perf regression::{name} throughput "
+            f"{new_eps:,.0f} events/s is {1 - new_eps / old_eps:.0%} below "
+            f"the committed baseline {old_eps:,.0f} events/s "
+            f"(threshold {threshold:.0%})"
         )
     return warnings
 
@@ -254,7 +285,13 @@ def main() -> int:
     scale = _time_scale()
     print(f"  scale: {scale['wall_s']:.2f}s wall "
           f"({scale['nodes']} nodes, {scale['queries']} queries, "
-          f"{scale['msgs_per_query']:.1f} msgs/query)")
+          f"{scale['msgs_per_query']:.1f} msgs/query, "
+          f"{scale['events_per_s']:,.0f} events/s)")
+    scale_100k = _time_scale_100k()
+    print(f"  scale_100k: {scale_100k['wall_s']:.2f}s wall "
+          f"({scale_100k['nodes']} nodes, {scale_100k['queries']} queries, "
+          f"{scale_100k['msgs_per_query']:.1f} msgs/query, "
+          f"{scale_100k['events_per_s']:,.0f} events/s)")
     shard = _time_shard_scaleout()
     print(f"  shard_scaleout: {shard['wall_s']:.2f}s wall "
           f"({shard['scaleout_x']:.1f}x qps at 8 front-ends vs 1)")
@@ -275,6 +312,7 @@ def main() -> int:
         "benchmarks": {
             "fig17_throughput": fig17,
             "scale": scale,
+            "scale_100k": scale_100k,
             "shard_scaleout": shard,
             "campaign": campaign,
             "chaos": chaos,

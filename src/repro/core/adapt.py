@@ -73,6 +73,11 @@ class Adaptor:
     config: AdaptationConfig = field(default_factory=AdaptationConfig)
     update: bool = field(init=False)
     _events: "deque[str]" = field(init=False, repr=False, compare=False)
+    #: hot-path copies of the (immutable) config knobs, resolved once:
+    #: :meth:`record_query` runs per query per receiving node.
+    _adaptive: bool = field(init=False, repr=False, compare=False)
+    _k_update: int = field(init=False, repr=False, compare=False)
+    _k_no_update: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         # Paper Procedure 2: "Initial Value: update <- 0 // in the
@@ -80,6 +85,9 @@ class Adaptor:
         self.update = self.config.policy is MaintenancePolicy.ALWAYS_UPDATE
         maxlen = max(self.config.k_update, self.config.k_no_update)
         self._events: deque[str] = deque(maxlen=maxlen)
+        self._adaptive = self.config.policy is MaintenancePolicy.ADAPTIVE
+        self._k_update = self.config.k_update
+        self._k_no_update = self.config.k_no_update
 
     # ------------------------------------------------------------------
     # event recording (each returns True when the update flag flipped)
@@ -88,14 +96,49 @@ class Adaptor:
     def record_query(self, contributing: bool, missed: int = 0) -> bool:
         """Account for one received query, plus ``missed`` earlier queries
         inferred from a sequence-number gap (those arrived while this node
-        was pruned out, hence counted as non-contributing)."""
+        was pruned out, hence counted as non-contributing).
+
+        This runs once per query per receiving node, so Procedure 2's
+        re-evaluation is inlined (kept decision-identical with
+        :meth:`_reevaluate`, which the colder paths still call), with a
+        short-cut for the common ``k == 1`` window: only the event just
+        appended matters.
+        """
         events = self._events
         if missed:
             cap = events.maxlen or 0
             for _ in range(min(missed, cap)):
                 events.append(_QUERY_NOSAT)
         events.append(_QUERY_SAT if contributing else _QUERY_NOSAT)
-        return self._reevaluate()
+        if not self._adaptive:
+            return False  # pinned
+        update = self.update
+        k = self._k_update if update else self._k_no_update
+        if k == 1:
+            # The window is exactly the event appended above (a query
+            # event, never a change): qn = not contributing, c = 0.
+            if contributing:
+                return False  # 2*0 < 0 and 2*0 > 0 both false: no flip
+            new_update = True  # 2*1 > 0
+        else:
+            qn = c = 0
+            for event in reversed(events):
+                if k <= 0:
+                    break
+                k -= 1
+                if event == _QUERY_NOSAT:
+                    qn += 1
+                elif event == _CHANGE:
+                    c += 1
+            new_update = update
+            if 2 * qn < c:
+                new_update = False
+            elif 2 * qn > c:
+                new_update = True
+        if new_update == update:
+            return False
+        self.update = new_update
+        return True
 
     def record_change(self) -> bool:
         """Account for one satisfiability / updateSet change."""

@@ -49,12 +49,16 @@ class MoaraCluster:
         num_frontends: int = 1,
         detailed_bytes: bool = False,
         shared_size_cache: bool = True,
+        kernel: Optional[str] = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("cluster needs at least one node")
         if num_frontends < 0:
             raise ValueError("num_frontends must be >= 0")
-        self.engine = Engine()
+        # ``kernel`` selects the engine's scheduler ("wheel" or "heap");
+        # None defers to MOARA_SIM_KERNEL / the wheel default.  Exposed so
+        # differential tests can run the same cluster under both kernels.
+        self.engine = Engine(kernel=kernel)
         # Counts-only stats by default; pass detailed_bytes=True to restore
         # per-message byte estimation for bandwidth analysis (slower).
         self.stats = MessageStats(detailed_bytes=detailed_bytes)

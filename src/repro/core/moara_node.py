@@ -204,6 +204,10 @@ class MoaraNode:
         #: direct engine binding (self.network.engine, hoisted: read on
         #: every handled message for the clock and for timer scheduling).
         self._engine = network.engine
+        #: the overlay's id index, hoisted (its identity is stable for the
+        #: overlay's lifetime; only ``.version`` changes): every message
+        #: handler reads the membership version to gate its memos.
+        self._oindex = overlay.index
         #: predicate canonical key -> tree state
         self.states: dict[str, PredicateTreeState] = {}
         self._pending: dict[tuple[str, str], _PendingQuery] = {}
@@ -362,6 +366,7 @@ class MoaraNode:
         targets = state.forward_targets(children)
         state.fwd_targets_key = key
         state.fwd_targets = targets
+        state.fwd_targets_sorted = None
         return targets
 
     def _subtree_recv(self, state: PredicateTreeState, is_root: bool) -> int:
@@ -539,16 +544,120 @@ class MoaraNode:
         )
 
     def _handle_query(self, message: Message) -> None:
+        """Tree-internal QUERY receipt: the single hottest handler.
+
+        This is :meth:`_process_query` specialized for the in-tree case
+        (``reply_mtype = QUERY_RESPONSE``, no ``exec_key``) with the
+        per-message memo probes inlined: state lookup, forward-target and
+        sorted-fan-out memos.  Any behavioral change here MUST be mirrored
+        in :meth:`_process_query` (the root/front-end path) -- the two are
+        decision-identical by construction.
+        """
         payload = message.payload
-        state = self.get_state(payload["predicate"])
-        self._process_query(
-            state,
-            payload["qid"],
-            payload["seq"],
-            payload["query"],
-            message.src,
-            mt.QUERY_RESPONSE,
+        predicate = payload["predicate"]
+        pred_key = predicate.__dict__.get("_canonical_cache")
+        state = self.states.get(pred_key) if pred_key is not None else None
+        if state is None:
+            state = self.get_state(predicate)
+            pred_key = state.pred_key
+        qid = payload["qid"]
+        qkey = (qid, pred_key)
+        now = self._engine._now
+        reply_to = message.src
+        if qkey in self._pending or self._seen_queries.get(qkey, -1.0) >= now:
+            # Duplicate delivery (stale forwarding state): answer empty so
+            # the sender's aggregation completes; our value already flows
+            # through the other path.
+            self._send_reply(state, qid, reply_to, mt.QUERY_RESPONSE, None, 0)
+            return
+        self._seen_queries[qkey] = now + self._answered_ttl
+        if (
+            len(self._answered) > self._answered_limit
+            or len(self._seen_queries) > self._seen_limit
+        ):
+            self._prune_caches(now)
+        if self._gc_enabled:
+            self.gc_policy.on_query(self, pred_key, now)
+            for candidate in self.gc_policy.collect(self, now):
+                if candidate != pred_key:
+                    self.garbage_collect(candidate)
+
+        # Sequence accounting: queries missed while pruned count as qn.
+        seq = payload["seq"]
+        missed = seq - state.last_seen_seq - 1
+        if missed < 0:
+            missed = 0
+        if seq > state.last_seen_seq:
+            state.last_seen_seq = seq
+        contributing = self.node_id in state.computed_update_set
+        adaptor = state.adaptor
+        flipped = adaptor.record_query(contributing, missed)
+        if flipped:
+            self._after_adaptation(state, flipped)
+        if adaptor.update:
+            self._maybe_send_status(state)
+
+        # Forward-target memo probe (see _forward_targets), inlined with
+        # the sorted-order memo: the fan-out set AND its deterministic
+        # send order are both stable between report/membership changes.
+        version = self._oindex.version
+        if state.cached_children_version == version:
+            children = state.cached_children
+        else:
+            children = self._dht_children(state)
+        fkey = (state.report_version, state.cached_children_version)
+        if state.fwd_targets_key == fkey:
+            targets = state.fwd_targets
+        else:
+            targets = state.forward_targets(children)
+            state.fwd_targets_key = fkey
+            state.fwd_targets = targets
+            state.fwd_targets_sorted = None
+        live_targets = self.network.filter_alive(targets) if targets else targets
+
+        query = payload["query"]
+        partial, contributed = self._local_contribution(qid, query, now)
+        if not live_targets:
+            self._send_reply(
+                state, qid, reply_to, mt.QUERY_RESPONSE, partial, int(contributed)
+            )
+            return
+        if live_targets is targets:
+            ordered = state.fwd_targets_sorted
+            if ordered is None:
+                ordered = sorted(targets)
+                state.fwd_targets_sorted = ordered
+        else:
+            ordered = sorted(live_targets)
+
+        pending = _PendingQuery(
+            qid=qid,
+            pred_key=pred_key,
+            query=query,
+            reply_to=reply_to,
+            reply_mtype=mt.QUERY_RESPONSE,
+            waiting=set(live_targets),
+            partial=partial,
+            contributors=int(contributed),
         )
+        self._pending[qkey] = pending
+        # One shared payload for the whole fan-out (receivers are
+        # read-only); sorted for deterministic send order.
+        self.network.send_many(
+            self.node_id,
+            ordered,
+            mt.QUERY,
+            {
+                "qid": qid,
+                "seq": seq,
+                "query": query,
+                "predicate": state.predicate,
+            },
+        )
+        if self._child_timeout is not None:
+            pending.timeout_handle = self._engine.schedule(
+                self._child_timeout, self._on_timeout, qkey
+            )
 
     def _process_query(
         self,
@@ -669,18 +778,26 @@ class MoaraNode:
         payload = message.payload
         pred_key = payload["pred_key"]
         state = self.states.get(pred_key)
+        src = message.src
         if state is not None and "subtree_recv" in payload:
             # Piggybacked np maintenance (Section 6.3) -- only reports from
-            # our actual DHT children describe subtrees we own.
-            if message.src in self._dht_children(state):
-                state.record_child_report(
-                    message.src, None, payload["subtree_recv"]
-                )
+            # our actual DHT children describe subtrees we own.  Children
+            # memo probe and the no-change report (steady state: every
+            # reply re-piggybacks the same estimate) are inlined.
+            if state.cached_children_version == self._oindex.version:
+                children = state.cached_children
+            else:
+                children = self._dht_children(state)
+            if src in children:
+                sr = payload["subtree_recv"]
+                info = state.children.get(src)
+                if info is None or sr != info.subtree_recv:
+                    state.record_child_report(src, None, sr)
         key = (payload["qid"], pred_key)
         pending = self._pending.get(key)
-        if pending is None or message.src not in pending.waiting:
+        if pending is None or src not in pending.waiting:
             return  # late response after timeout/failure resolution
-        pending.waiting.discard(message.src)
+        pending.waiting.discard(src)
         part = payload["partial"]
         if part is not None:
             # merge() treats None as the identity; skip the call for the
@@ -779,8 +896,26 @@ class MoaraNode:
         cache_age: Optional[float] = None,
         subscribed: bool = False,
     ) -> None:
-        is_root = self._is_root(state)
-        subtree_recv = self._subtree_recv(state, is_root)
+        # Inlined _is_root + _subtree_recv memo probes (one reply per
+        # query per node flows through here): on a warm state neither
+        # helper frame is entered.
+        version = self._oindex.version
+        if state.cached_parent_version == version:
+            is_root = state.cached_parent is None
+        else:
+            is_root = self._dht_parent(state) is None
+        skey = state.subtree_recv_key
+        if (
+            skey is not None
+            and skey[1] == state.recv_version
+            and skey[0] == state.report_version
+            and skey[2] == version
+            and skey[3] == is_root
+            and skey[4] == state.sent_update_set
+        ):
+            subtree_recv = state.subtree_recv_value
+        else:
+            subtree_recv = self._subtree_recv(state, is_root)
         payload = {
             "qid": qid,
             "pred_key": state.pred_key,

@@ -92,6 +92,10 @@ class PredicateTreeState:
     recv_version: int = 0
     fwd_targets_key: Optional[tuple] = None
     fwd_targets: Optional[set[int]] = None
+    #: ``sorted(fwd_targets)`` memoized alongside the set (the query path
+    #: sorts the fan-out for deterministic send order on every receipt;
+    #: invalidated whenever ``fwd_targets`` is recomputed).
+    fwd_targets_sorted: Optional[list] = None
     subtree_recv_key: Optional[tuple] = None
     subtree_recv_value: int = 0
 

@@ -1,41 +1,108 @@
-"""Deterministic discrete-event engine.
+"""Deterministic discrete-event engine with two interchangeable kernels.
 
 Every node in the reproduction runs on top of one :class:`Engine`.  Events
 are callbacks scheduled at simulated timestamps; ties are broken by a
 monotonically increasing sequence number so that runs are fully
 deterministic for a given seed and call order.
 
-Hot-path design (this module is the simulator's innermost loop):
+Two kernels implement the same contract (selected by the ``kernel``
+constructor argument or the ``MOARA_SIM_KERNEL`` environment variable):
 
-* the heap holds ``(time, seq, handle, callback, args)`` tuples, so
-  ordering is decided by C-level tuple comparison instead of a Python
-  ``__lt__`` per sift step (``seq`` is unique, so comparison never reaches
-  the non-comparable elements);
-* :meth:`Engine.post_at` schedules *fire-and-forget* events with
-  ``handle=None`` -- no :class:`EventHandle` allocation.  The network uses
-  it for message deliveries (never cancelled), which is the bulk of all
-  events in a query-heavy run;
+* ``wheel`` (the default) -- a calendar-queue hybrid tuned for the
+  message-dominated workloads of the query plane.  Fire-and-forget events
+  land in one of three structures chosen at post time:
+
+  - a plain FIFO deque for events due *exactly now* (the dominant case in
+    zero-latency bandwidth runs, where every delivery happens at the
+    current tick): O(1) append, O(1) pop, no comparisons;
+  - a ring of time buckets (the timer wheel) for events inside the
+    horizon (``num_buckets * bucket_width`` seconds ahead): O(1) append
+    into the bucket, one ``sort`` per bucket when the clock reaches it;
+  - a binary-heap overflow for far-future events, and for *every*
+    cancellable :meth:`schedule_at` event (so lazy cancellation and heap
+    compaction live in exactly one place).
+
+  Popping compares the heads of the three structures by ``(time, seq)``,
+  which is what makes the wheel's fire order *bit-identical* to the heap
+  kernel's: the data structure changes, the total order does not.  Spent
+  wheel entries are recycled through free-lists (see below).
+
+* ``heap`` -- the original single binary heap of
+  ``(time, seq, tag, callback, payload)`` tuples, kept as the reference
+  kernel for differential testing (``MOARA_SIM_KERNEL=heap``).
+
+Hot-path design notes (this module is the simulator's innermost loop):
+
+* heap entries are plain tuples so ordering is decided by C-level tuple
+  comparison instead of a Python ``__lt__`` per sift step (``seq`` is
+  unique, so comparison never reaches the non-comparable elements);
+* :meth:`Engine.post_at` / :meth:`Engine.post1_at` schedule
+  *fire-and-forget* events -- no :class:`EventHandle` allocation.  The
+  network uses them for message deliveries (never cancelled), which is
+  the bulk of all events in a query-heavy run;
+* :meth:`Engine.post_batch_at` schedules N same-tick callbacks as *one*
+  queue entry that consumes N sequence numbers: a k-way fan-out costs one
+  scheduler operation instead of k, while ``events_processed`` still
+  advances once per delivered item so burst accounting (the network's
+  ``burst_seq``) is unchanged.  A mid-batch stop or budget exhaustion
+  re-queues the unfired remainder under its original sequence numbers,
+  so observable fire order is independent of batching;
+* the wheel kernel recycles its 5-slot list entries (and batch item
+  lists) through bounded free-lists, cutting the allocate-and-discard
+  churn of one list per event;
 * :attr:`Engine.pending` is a maintained live-event counter, not an O(n)
-  scan of the heap;
-* cancellation stays lazy (cancelled entries are skipped at pop time), but
-  when cancelled entries outnumber live ones the heap is compacted in one
-  O(n) pass, so a workload that schedules-and-cancels (per-query child
-  timeouts) cannot grow the queue without bound;
+  scan of the queues;
+* cancellation stays lazy (cancelled entries are skipped at pop time),
+  but when cancelled entries outnumber live ones in the heap it is
+  compacted in one O(n) pass, so a workload that schedules-and-cancels
+  (per-query child timeouts) cannot grow the queue without bound;
 * :meth:`Engine.request_stop` lets an event callback end the current
   :meth:`run` right after it returns -- the wake-up primitive behind the
-  cluster's event-driven query completion (no per-event predicate polling).
+  cluster's event-driven query completion (no per-event predicate
+  polling);
+* both kernels share one drive loop (:meth:`Engine._run_core`): the
+  bounded (``until``) and unbounded paths are the same code, and a
+  kernel only has to provide :meth:`_pop_due`.
 """
 
 from __future__ import annotations
 
-import heapq
+import os
+from collections import deque
+from heapq import heappop, heappush, heapify
 from typing import Any, Callable, Optional
 
-__all__ = ["Engine", "EventHandle"]
+__all__ = ["Engine", "EventHandle", "HeapEngine", "WheelEngine"]
 
 #: below this queue size compaction is pointless (the scan costs more than
 #: the dead entries ever will).
 _COMPACT_MIN_QUEUE = 64
+
+#: free-list bounds: big enough to absorb a query wave's fan-out churn,
+#: small enough that an idle engine pins only a few KB.
+_ENTRY_POOL_MAX = 1024
+_BATCH_POOL_MAX = 64
+
+_INF = float("inf")
+
+
+class _Tag:
+    """Entry-kind sentinel stored in an entry's third slot (compared by
+    identity on the pop path, never by value)."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self._name
+
+
+#: single-argument fire-and-forget event: fires ``callback(payload)``.
+_ONE = _Tag("<one>")
+#: batched same-tick events: fires ``callback(item)`` per payload item.
+_BATCH = _Tag("<batch>")
 
 
 class EventHandle:
@@ -86,12 +153,20 @@ class EventHandle:
 
 
 class Engine:
-    """A priority-queue discrete-event simulator.
+    """A discrete-event simulator with pluggable scheduling kernels.
 
     The engine owns the simulated clock.  Components schedule work with
     :meth:`schedule` / :meth:`schedule_at` (cancellable, returns an
-    :class:`EventHandle`) or :meth:`post_at` (fire-and-forget, cheaper),
-    and the driver advances time with :meth:`run` / :meth:`run_until_idle`.
+    :class:`EventHandle`), :meth:`post_at` / :meth:`post1_at`
+    (fire-and-forget, cheaper), or :meth:`post_batch_at` (N same-tick
+    events as one entry), and the driver advances time with :meth:`run` /
+    :meth:`run_until_idle`.
+
+    ``Engine(...)`` dispatches to :class:`WheelEngine` (default) or
+    :class:`HeapEngine` per the ``kernel`` argument, falling back to the
+    ``MOARA_SIM_KERNEL`` environment variable.  Both kernels fire the
+    same events in the same ``(time, seq)`` order -- the differential
+    suite in ``tests/sim/test_kernel_differential.py`` pins that.
     """
 
     __slots__ = (
@@ -100,23 +175,54 @@ class Engine:
         "_seq",
         "_events_processed",
         "_live",
+        "_dead",
         "_stop_requested",
         "compactions",
+        "_pool",
+        "_batch_pool",
     )
 
-    def __init__(self) -> None:
-        #: heap of (time, seq, EventHandle | None, callback, args).
+    #: kernel name ("heap" / "wheel"), overridden by subclasses.
+    kernel = "?"
+    #: empty stand-ins for the wheel kernel's structures so the shared
+    #: drive loop can probe them on any kernel (WheelEngine shadows both
+    #: with real slots; on HeapEngine they are always falsy).
+    _fifo: Any = ()
+    _cur: Any = ()
+
+    def __new__(cls, kernel: Optional[str] = None, **kwargs: Any) -> "Engine":
+        if cls is Engine:
+            name = kernel or os.environ.get("MOARA_SIM_KERNEL") or "wheel"
+            try:
+                cls = _KERNELS[name]
+            except KeyError:
+                raise ValueError(
+                    f"unknown simulation kernel {name!r} "
+                    f"(valid: {sorted(_KERNELS)})"
+                ) from None
+        return object.__new__(cls)
+
+    def __init__(self, kernel: Optional[str] = None) -> None:
+        #: overflow / cancellable heap of (time, seq, tag, callback,
+        #: payload) tuples, where tag is None (args tuple), _ONE (single
+        #: arg), _BATCH (item list), or an EventHandle.
         self._queue: list[tuple] = []
         self._now = 0.0
         self._seq = 0
         self._events_processed = 0
-        #: number of non-cancelled entries currently in the heap.
+        #: number of non-cancelled events currently queued (all structures).
         self._live = 0
+        #: number of cancelled entries still physically in the heap.
+        self._dead = 0
         #: set by :meth:`request_stop`; ends the current :meth:`run` after
         #: the in-flight callback returns.
         self._stop_requested = False
         #: total heap compactions performed (observability / tests).
         self.compactions = 0
+        #: free-list of spent 5-slot entry lists (wheel kernel).
+        self._pool: list[list] = []
+        #: free-list of spent batch item lists (see :meth:`batch_list`).
+        self._batch_pool: list[list] = []
 
     @property
     def now(self) -> float:
@@ -125,13 +231,18 @@ class Engine:
 
     @property
     def events_processed(self) -> int:
-        """Total number of events that have fired."""
+        """Total number of events that have fired (batch items count
+        individually, so burst accounting is batching-independent)."""
         return self._events_processed
 
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued.  O(1)."""
         return self._live
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -144,7 +255,11 @@ class Engine:
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
     ) -> EventHandle:
-        """Schedule ``callback(*args)`` to fire at absolute time ``time``."""
+        """Schedule ``callback(*args)`` to fire at absolute time ``time``.
+
+        Cancellable events always live in the heap (both kernels), so
+        lazy cancellation and compaction have exactly one home.
+        """
         if time < self._now:
             raise ValueError(
                 f"cannot schedule in the past: {time} < now {self._now}"
@@ -154,7 +269,7 @@ class Engine:
         handle = EventHandle(time, seq, callback, args)
         handle.engine = self
         handle.in_heap = True
-        heapq.heappush(self._queue, (time, seq, handle, callback, args))
+        heappush(self._queue, (time, seq, handle, callback, args))
         self._live += 1
         return handle
 
@@ -164,17 +279,37 @@ class Engine:
         """Schedule a *fire-and-forget* event at absolute time ``time``.
 
         Like :meth:`schedule_at` but returns no handle and allocates none:
-        the event cannot be cancelled.  Message deliveries -- the vast
-        majority of all events -- use this path.
+        the event cannot be cancelled.
         """
-        if time < self._now:
-            raise ValueError(
-                f"cannot schedule in the past: {time} < now {self._now}"
-            )
-        seq = self._seq
-        self._seq = seq + 1
-        heapq.heappush(self._queue, (time, seq, None, callback, args))
-        self._live += 1
+        raise NotImplementedError  # pragma: no cover - kernel implements
+
+    def post1_at(
+        self, time: float, callback: Callable[[Any], None], arg: Any
+    ) -> None:
+        """:meth:`post_at` specialised to one argument: fires
+        ``callback(arg)`` with no args-tuple allocation.  Message
+        deliveries -- the vast majority of all events -- use this path.
+        """
+        raise NotImplementedError  # pragma: no cover - kernel implements
+
+    def post_batch_at(
+        self, time: float, callback: Callable[[Any], None], items: list
+    ) -> None:
+        """Schedule ``callback(item)`` for every item, all at ``time``.
+
+        One queue entry consuming ``len(items)`` sequence numbers; each
+        item fires as its own event (``events_processed`` advances per
+        item) in list order, exactly as ``len(items)`` consecutive
+        :meth:`post1_at` calls would.  The engine takes ownership of
+        ``items`` (obtain it from :meth:`batch_list` to recycle).
+        """
+        raise NotImplementedError  # pragma: no cover - kernel implements
+
+    def batch_list(self) -> list:
+        """An empty list for :meth:`post_batch_at`, recycled from the
+        batch free-list when available."""
+        pool = self._batch_pool
+        return pool.pop() if pool else []
 
     def request_stop(self) -> None:
         """Make the current :meth:`run` return after the in-flight event.
@@ -193,10 +328,13 @@ class Engine:
 
     def _note_cancelled(self) -> None:
         """A live in-heap entry was just cancelled: keep counters exact and
-        compact the heap once dead entries outnumber live ones."""
+        compact the heap once dead entries outnumber live ones *in the
+        heap* (wheel structures never hold cancellable entries)."""
         self._live -= 1
+        dead = self._dead + 1
+        self._dead = dead
         queued = len(self._queue)
-        if queued > _COMPACT_MIN_QUEUE and (queued - self._live) > self._live:
+        if queued > _COMPACT_MIN_QUEUE and dead > queued - dead:
             self._compact()
 
     def _compact(self) -> None:
@@ -207,100 +345,131 @@ class Engine:
         pop order of live events -- and therefore the simulation -- is
         unchanged.  The list is compacted *in place*: compaction can be
         triggered from inside an event callback (a handler cancelling
-        timeouts), while :meth:`run`/:meth:`step` hold a local alias to
-        the queue list -- rebinding ``self._queue`` would strand their
+        timeouts), while the drive loop may hold a local alias to the
+        queue list -- rebinding ``self._queue`` would strand their
         alias on the stale list and lose every event pushed afterwards.
         """
         queue = self._queue
         kept = []
         for entry in queue:
-            handle = entry[2]
-            if handle is not None and handle.cancelled:
-                handle.in_heap = False
+            tag = entry[2]
+            if type(tag) is EventHandle and tag.cancelled:
+                tag.in_heap = False
             else:
                 kept.append(entry)
         queue[:] = kept
-        heapq.heapify(queue)
+        heapify(queue)
+        self._dead = 0
         self.compactions += 1
 
     # ------------------------------------------------------------------
-    # driving
+    # driving (one code path for both kernels and all drive modes)
     # ------------------------------------------------------------------
 
-    def step(self) -> bool:
-        """Fire the next pending event.  Returns False if the queue is empty."""
-        queue = self._queue
-        while queue:
-            time, _seq, handle, callback, args = heapq.heappop(queue)
-            if handle is not None:
-                handle.in_heap = False
-                if handle.cancelled:
-                    continue
-            self._live -= 1
-            self._now = time
-            self._events_processed += 1
-            callback(*args)
-            return True
-        return False
+    def _pop_due(self, limit: float) -> Optional[Any]:
+        """Pop and return the next live entry with ``time <= limit``, or
+        None (leaving any later entry queued).  Kernel-specific."""
+        raise NotImplementedError  # pragma: no cover - kernel implements
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    def _requeue_batch_front(
+        self, time: float, seq: int, callback: Callable[[Any], None], items: list
+    ) -> None:
+        """Re-queue the unfired remainder of a batch under its original
+        (time, seq) key -- it is, by construction, the globally smallest
+        key outstanding.  Kernel-specific."""
+        raise NotImplementedError  # pragma: no cover - kernel implements
+
+    def _run_core(self, until: Optional[float], max_events: Optional[int]) -> int:
+        """The single drive loop.  Fires due events in ``(time, seq)``
+        order until the queues drain (or pass ``until``), the event budget
+        is exhausted, or a callback requests a stop.  Returns the number
+        of events fired."""
+        limit = _INF if until is None else until
+        # Old-contract quirk kept: a non-positive budget still fires one
+        # event (the check runs after each event).
+        budget = -1 if max_events is None else (max_events if max_events > 0 else 1)
+        fired = 0
+        pop_due = self._pop_due
+        pool = self._pool
+        # The wheel kernel's same-tick FIFO (identity is stable for the
+        # engine's lifetime; () on the heap kernel).  When it alone holds
+        # entries, its head is the global minimum -- the current-slot heap
+        # and overflow heap are empty, and ring buckets hold strictly
+        # later times -- so the three-way compare in _pop_due is skipped.
+        fifo = self._fifo
+        while True:
+            if fifo and not self._cur and not self._queue:
+                head = fifo[0]
+                entry = fifo.popleft() if head[0] <= limit else None
+            else:
+                entry = pop_due(limit)
+            if entry is None:
+                if until is not None and until > self._now:
+                    self._now = until
+                return fired
+            tag = entry[2]
+            self._now = entry[0]
+            if tag is _BATCH:
+                callback = entry[3]
+                items = entry[4]
+                n = len(items)
+                i = 0
+                while i < n:
+                    item = items[i]
+                    i += 1
+                    self._live -= 1
+                    self._events_processed += 1
+                    callback(item)
+                    fired += 1
+                    if self._stop_requested or fired == budget:
+                        if i < n:
+                            self._requeue_batch_front(
+                                entry[0], entry[1] + i, callback, items[i:]
+                            )
+                        self._stop_requested = False
+                        return fired
+                items.clear()
+                batch_pool = self._batch_pool
+                if len(batch_pool) < _BATCH_POOL_MAX:
+                    batch_pool.append(items)
+            else:
+                self._live -= 1
+                self._events_processed += 1
+                if tag is _ONE:
+                    entry[3](entry[4])
+                else:
+                    if tag is not None:
+                        tag.in_heap = False  # EventHandle (dead ones were
+                        # already skipped by _pop_due)
+                    entry[3](*entry[4])
+                fired += 1
+                if self._stop_requested or fired == budget:
+                    self._stop_requested = False
+                    return fired
+            # Recycle spent entry lists (tuples come from the overflow
+            # heap and are not pooled).  Slots are NOT cleared: a pooled
+            # entry may pin its last callback/payload until reuse, which
+            # is bounded by the pool size and saves two stores per event.
+            if type(entry) is list and len(pool) < _ENTRY_POOL_MAX:
+                pool.append(entry)
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if nothing is queued."""
+        return self._run_core(None, 1) > 0
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
         """Run events until the queue drains, ``until`` passes, or the budget ends.
 
         ``until`` is an absolute simulated time; events scheduled at exactly
-        ``until`` still fire.  ``max_events`` bounds the number of events and
-        protects against livelock in tests.  An event callback may call
+        ``until`` still fire, and an idle engine's clock still advances to
+        ``until``.  ``max_events`` bounds the number of events and protects
+        against livelock in tests.  An event callback may call
         :meth:`request_stop` to end the run early (event-driven wake-up).
         """
         self._stop_requested = False
-        fired = 0
-        queue = self._queue
-        pop = heapq.heappop
-        if until is None:
-            # No time bound: pop directly (no peek) -- the common case for
-            # event-driven drives, which end via request_stop instead.
-            while queue:
-                time, _seq, handle, callback, args = pop(queue)
-                if handle is not None:
-                    handle.in_heap = False
-                    if handle.cancelled:
-                        continue
-                self._live -= 1
-                self._now = time
-                self._events_processed += 1
-                callback(*args)
-                if self._stop_requested:
-                    self._stop_requested = False
-                    return
-                fired += 1
-                if max_events is not None and fired >= max_events:
-                    return
-            return
-        while queue:
-            entry = queue[0]
-            handle = entry[2]
-            if handle is not None and handle.cancelled:
-                pop(queue)
-                handle.in_heap = False
-                continue
-            time = entry[0]
-            if time > until:
-                self._now = until
-                return
-            pop(queue)
-            if handle is not None:
-                handle.in_heap = False
-            self._live -= 1
-            self._now = time
-            self._events_processed += 1
-            entry[3](*entry[4])
-            if self._stop_requested:
-                self._stop_requested = False
-                return
-            fired += 1
-            if max_events is not None and fired >= max_events:
-                return
-        if until > self._now:
-            self._now = until
+        self._run_core(until, max_events)
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
         """Run until no events remain.  Raises if ``max_events`` is exceeded."""
@@ -312,7 +481,9 @@ class Engine:
                     f"simulation did not go idle within {max_events} events"
                 )
 
-    def run_until(self, predicate: Callable[[], bool], max_events: int = 10_000_000) -> bool:
+    def run_until(
+        self, predicate: Callable[[], bool], max_events: int = 10_000_000
+    ) -> bool:
         """Run until ``predicate()`` is true or the queue drains.
 
         Returns True if the predicate was satisfied.
@@ -337,3 +508,318 @@ class Engine:
                     f"predicate not satisfied within {max_events} events"
                 )
         return predicate()
+
+
+class HeapEngine(Engine):
+    """The reference kernel: one binary heap of plain tuples.
+
+    Retained behind ``MOARA_SIM_KERNEL=heap`` so the wheel kernel can be
+    differentially tested against it -- both kernels must fire the same
+    events in the same ``(time, seq)`` order.
+    """
+
+    __slots__ = ()
+
+    kernel = "heap"
+
+    def post_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (time, seq, None, callback, args))
+        self._live += 1
+
+    def post1_at(
+        self, time: float, callback: Callable[[Any], None], arg: Any
+    ) -> None:
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (time, seq, _ONE, callback, arg))
+        self._live += 1
+
+    def post_batch_at(
+        self, time: float, callback: Callable[[Any], None], items: list
+    ) -> None:
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        n = len(items)
+        if n == 0:
+            return
+        seq = self._seq
+        self._seq = seq + n
+        heappush(self._queue, (time, seq, _BATCH, callback, items))
+        self._live += n
+
+    def _requeue_batch_front(
+        self, time: float, seq: int, callback: Callable[[Any], None], items: list
+    ) -> None:
+        heappush(self._queue, (time, seq, _BATCH, callback, items))
+
+    def _pop_due(self, limit: float) -> Optional[tuple]:
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            tag = entry[2]
+            if type(tag) is EventHandle and tag.cancelled:
+                heappop(queue)
+                tag.in_heap = False
+                self._dead -= 1
+                continue
+            if entry[0] > limit:
+                return None
+            return heappop(queue)
+        return None
+
+
+class WheelEngine(Engine):
+    """The calendar-queue kernel (default).
+
+    Three structures, compared by head ``(time, seq)`` at pop time:
+
+    * ``_fifo`` -- events posted for *exactly now* (O(1) both ends).  The
+      clock cannot pass a FIFO entry (it always compares smallest-or-tied
+      against the other heads), so entries never go stale.
+    * ``_ring[slot(t) % num_buckets]`` -- events inside the wheel horizon.
+      A bucket is sorted once when the cursor reaches it and becomes the
+      *current-slot heap* ``_cur`` (a sorted list satisfies the heap
+      invariant, so later same-slot posts can ``heappush`` into it).
+      Events posted behind the cursor land directly in ``_cur``.
+    * ``_queue`` -- the shared overflow heap: far-future events and every
+      cancellable :meth:`schedule_at` entry.
+
+    Ring entries always live *ahead* of the cursor (inserts behind it go
+    to ``_cur``), and a bucket is emptied wholesale when visited, so a
+    physical bucket never mixes entries from different wheel wraps.
+    """
+
+    __slots__ = (
+        "_fifo",
+        "_cur",
+        "_ring",
+        "_cursor",
+        "_wheel_count",
+        "_width",
+        "_inv_width",
+        "_mask",
+        "_horizon_t",
+    )
+
+    kernel = "wheel"
+
+    def __init__(
+        self,
+        kernel: Optional[str] = None,
+        bucket_width: float = 0.001,
+        num_buckets: int = 2048,
+    ) -> None:
+        super().__init__()
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+        if num_buckets < 2:
+            raise ValueError(f"need at least 2 buckets, got {num_buckets}")
+        size = 1
+        while size < num_buckets:
+            size <<= 1
+        #: events due exactly at the current clock (list entries).
+        self._fifo: deque[list] = deque()
+        #: current-slot heap (list entries, heap-ordered by (time, seq)).
+        self._cur: list[list] = []
+        self._ring: list[list[list]] = [[] for _ in range(size)]
+        self._cursor = 0
+        #: entries currently in ring buckets (excludes _fifo/_cur/_queue).
+        self._wheel_count = 0
+        self._width = bucket_width
+        self._inv_width = 1.0 / bucket_width
+        self._mask = size - 1
+        #: absolute time beyond which posts overflow to the heap.
+        self._horizon_t = size * bucket_width
+
+    def post_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        now = self._now
+        if time < now:
+            raise ValueError(f"cannot schedule in the past: {time} < now {now}")
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        if time == now:
+            pool = self._pool
+            if pool:
+                entry = pool.pop()
+                entry[0] = time
+                entry[1] = seq
+                entry[2] = None
+                entry[3] = callback
+                entry[4] = args
+            else:
+                entry = [time, seq, None, callback, args]
+            self._fifo.append(entry)
+            return
+        self._wheel_insert(time, [time, seq, None, callback, args])
+
+    def post1_at(
+        self, time: float, callback: Callable[[Any], None], arg: Any
+    ) -> None:
+        now = self._now
+        if time < now:
+            raise ValueError(f"cannot schedule in the past: {time} < now {now}")
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        if time == now:
+            pool = self._pool
+            if pool:
+                entry = pool.pop()
+                entry[0] = time
+                entry[1] = seq
+                entry[2] = _ONE
+                entry[3] = callback
+                entry[4] = arg
+            else:
+                entry = [time, seq, _ONE, callback, arg]
+            self._fifo.append(entry)
+            return
+        self._wheel_insert(time, [time, seq, _ONE, callback, arg])
+
+    def post_batch_at(
+        self, time: float, callback: Callable[[Any], None], items: list
+    ) -> None:
+        now = self._now
+        if time < now:
+            raise ValueError(f"cannot schedule in the past: {time} < now {now}")
+        n = len(items)
+        if n == 0:
+            return
+        seq = self._seq
+        self._seq = seq + n
+        self._live += n
+        if time == now:
+            pool = self._pool
+            if pool:
+                entry = pool.pop()
+                entry[0] = time
+                entry[1] = seq
+                entry[2] = _BATCH
+                entry[3] = callback
+                entry[4] = items
+            else:
+                entry = [time, seq, _BATCH, callback, items]
+            self._fifo.append(entry)
+            return
+        self._wheel_insert(time, [time, seq, _BATCH, callback, items])
+
+    def _requeue_batch_front(
+        self, time: float, seq: int, callback: Callable[[Any], None], items: list
+    ) -> None:
+        # time == self._now (the batch was firing), so the FIFO front is
+        # the right home; its seq precedes every other queued same-time
+        # entry because batch sequence numbers are contiguous.
+        self._fifo.appendleft([time, seq, _BATCH, callback, items])
+
+    # ------------------------------------------------------------------
+    # wheel internals
+    # ------------------------------------------------------------------
+
+    def _wheel_insert(self, time: float, entry: list) -> None:
+        """Route a future-time entry to the current-slot heap, a ring
+        bucket, or the overflow heap."""
+        if time >= self._horizon_t and not self._wheel_count and not self._cur:
+            # The wheel is empty: re-anchor the cursor at the clock so the
+            # horizon tracks simulated time even after long idle jumps.
+            cursor = int(self._now * self._inv_width)
+            self._cursor = cursor
+            self._horizon_t = (cursor + self._mask + 1) * self._width
+        if time < self._horizon_t:
+            slot = int(time * self._inv_width)
+            if slot <= self._cursor:
+                heappush(self._cur, entry)
+            else:
+                self._ring[slot & self._mask].append(entry)
+                self._wheel_count += 1
+            return
+        # Far future: the overflow heap holds tuples only (it is shared
+        # with cancellable entries; mixed list/tuple keys don't compare).
+        heappush(self._queue, (entry[0], entry[1], entry[2], entry[3], entry[4]))
+
+    def _advance_wheel(self) -> None:
+        """Collect the next non-empty ring bucket into the (empty)
+        current-slot heap.  Only called while the ring holds entries, so
+        the scan terminates within one wrap."""
+        ring = self._ring
+        mask = self._mask
+        cursor = self._cursor
+        while True:
+            cursor += 1
+            bucket = ring[cursor & mask]
+            if bucket:
+                break
+        bucket.sort()
+        # Hand the bucket over as the new current-slot heap (a sorted list
+        # is a valid heap) and recycle the drained old one as the bucket.
+        ring[cursor & mask] = self._cur
+        self._cur = bucket
+        self._wheel_count -= len(bucket)
+        self._cursor = cursor
+        self._horizon_t = (cursor + mask + 1) * self._width
+
+    def _pop_due(self, limit: float) -> Optional[Any]:
+        fifo = self._fifo
+        cur = self._cur
+        if not cur and self._wheel_count:
+            self._advance_wheel()
+            cur = self._cur
+        queue = self._queue
+        while queue:
+            tag = queue[0][2]
+            if type(tag) is EventHandle and tag.cancelled:
+                heappop(queue)
+                tag.in_heap = False
+                self._dead -= 1
+                continue
+            break
+        if fifo:
+            best = fifo[0]
+            src = 1
+        else:
+            best = None
+            src = 0
+        if cur:
+            head = cur[0]
+            if (
+                best is None
+                or head[0] < best[0]
+                or (head[0] == best[0] and head[1] < best[1])
+            ):
+                best = head
+                src = 2
+        if queue:
+            head = queue[0]
+            if (
+                best is None
+                or head[0] < best[0]
+                or (head[0] == best[0] and head[1] < best[1])
+            ):
+                best = head
+                src = 3
+        if best is None or best[0] > limit:
+            return None
+        if src == 1:
+            return fifo.popleft()
+        if src == 2:
+            return heappop(cur)
+        return heappop(queue)
+
+
+_KERNELS: dict[str, type] = {"heap": HeapEngine, "wheel": WheelEngine}

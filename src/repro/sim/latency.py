@@ -53,6 +53,15 @@ class LatencyModel(ABC):
     #: (symmetric ``(min, max)`` id key -> delay) so the network can probe
     #: it inline; a miss (or no dict) falls back to :meth:`wire_delay`.
     pair_delay_cache: Optional[dict] = None
+    #: the send-time fused-delivery decision: models whose receive-side
+    #: service is a published constant may opt in, letting the network
+    #: compute the receiver-serialized ready time *at send time* and
+    #: schedule one fused delivery event instead of an arrive+deliver
+    #: pair.  Opt-in (False default) because fusing serializes the
+    #: receiver in *send* order rather than *arrival* order, and models
+    #: with per-message randomness (WAN stragglers) must keep drawing
+    #: their service times in arrival order to stay seed-stable.
+    fuse_delivery: bool = False
 
     @abstractmethod
     def wire_delay(self, src: int, dst: int) -> float:
@@ -76,6 +85,7 @@ class ZeroLatencyModel(LatencyModel):
 
     constant_send_service = 0.0
     constant_receive_service = 0.0
+    fuse_delivery = True
 
     def wire_delay(self, src: int, dst: int) -> float:
         return 0.0
@@ -90,6 +100,7 @@ class UniformLatencyModel(LatencyModel):
 
     constant_send_service = 0.0
     constant_receive_service = 0.0
+    fuse_delivery = True
 
     def __init__(self, low: float, high: float, seed: int = 0) -> None:
         if low < 0 or high < low:
@@ -150,6 +161,9 @@ class LANLatencyModel(LatencyModel):
         self.constant_send_service = service_time
         self.constant_receive_service = service_time / 2
         self.pair_delay_cache = self._wire.pair_delay_cache
+        # Deterministic constant receive service: the ready time is
+        # computable at send time, so arrive+deliver fuse into one event.
+        self.fuse_delivery = True
 
     def wire_delay(self, src: int, dst: int) -> float:
         return self._wire.wire_delay(src, dst)

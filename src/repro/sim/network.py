@@ -19,10 +19,9 @@ walks entirely, which is what the paper's message-count metrics need.
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import Any, Iterable, Optional, Protocol, runtime_checkable
 
-from repro.sim.engine import Engine
+from repro.sim.engine import _BATCH, _ONE, Engine
 from repro.sim.latency import LatencyModel, ZeroLatencyModel
 from repro.sim.stats import MessageStats
 
@@ -188,10 +187,22 @@ class Network:
         self._crashed: set[int] = set()
         self._sender_free: dict[int, float] = {}
         self._receiver_free: dict[int, float] = {}
+        #: the delivery callback bound ONCE: ``self._deliver`` creates a
+        #: fresh bound-method object per access, and it is scheduled once
+        #: per message.
+        self._deliver_cb = self._deliver
+        #: wheel kernel detected: the zero-latency fast path may append
+        #: pooled entries straight onto the engine's same-tick FIFO
+        #: (kept in sync with Engine.post1_at / post_batch_at).
+        self._wheel = engine.kernel == "wheel"
         self._fast_path = isinstance(self.latency_model, ZeroLatencyModel)
         self._const_send_service = self.latency_model.constant_send_service
         self._const_receive_service = self.latency_model.constant_receive_service
         self._pair_delay_cache = self.latency_model.pair_delay_cache
+        self._fused = bool(
+            self.latency_model.fuse_delivery
+            and self._const_receive_service is not None
+        )
 
     @property
     def now(self) -> float:
@@ -214,6 +225,12 @@ class Network:
         self._const_send_service = model.constant_send_service
         self._const_receive_service = model.constant_receive_service
         self._pair_delay_cache = model.pair_delay_cache
+        # Models with a deterministic constant receive service opt into
+        # fused delivery: the receiver-serialized ready time is computed
+        # at send time and the arrive+deliver event pair collapses to one.
+        self._fused = bool(
+            model.fuse_delivery and self._const_receive_service is not None
+        )
 
     def attach(self, process: Process) -> None:
         """Register a process under its ``node_id``."""
@@ -319,17 +336,33 @@ class Network:
         self._received_by_node[dst] += 1
         if tag is not None and tag not in self._closed_tags:
             self._per_query[tag] += 1
-        if src in self._crashed:
+        crashed = self._crashed
+        if crashed and src in crashed:
             # A crashed node cannot actually emit traffic.
             stats.record_drop()
             return message
-        # Inlined Engine.post_at (one scheduling per message; the delivery
-        # time is never in the past, so the guard is statically satisfied).
-        seq = engine._seq
-        engine._seq = seq + 1
-        engine._live += 1
         if self._fast_path:
-            heappush(engine._queue, (now, seq, None, self._deliver, (message,)))
+            # Zero-latency delivery lands at the current tick: the wheel
+            # kernel's FIFO absorbs it with no heap operation at all.
+            # Inlined Engine.post1_at (time == now always holds here;
+            # keep in sync with the engine).
+            if self._wheel:
+                seq = engine._seq
+                engine._seq = seq + 1
+                engine._live += 1
+                pool = engine._pool
+                if pool:
+                    entry = pool.pop()
+                    entry[0] = now
+                    entry[1] = seq
+                    entry[2] = _ONE
+                    entry[3] = self._deliver_cb
+                    entry[4] = message
+                else:
+                    entry = [now, seq, _ONE, self._deliver_cb, message]
+                engine._fifo.append(entry)
+            else:
+                engine.post1_at(now, self._deliver_cb, message)
             return message
         model = self.latency_model
         depart = self._sender_free.get(src, 0.0)
@@ -347,9 +380,25 @@ class Network:
                 delay = model.wire_delay(src, dst)
         else:
             delay = model.wire_delay(src, dst)
-        heappush(
-            engine._queue, (depart + delay, seq, None, self._arrive, (message,))
-        )
+        arrival = depart + delay
+        if self._fused:
+            # Fused arrive+deliver: the receive-side serialization is a
+            # published constant, so the ready time is computable here and
+            # the message schedules as ONE delivery event instead of an
+            # arrive event that re-schedules a deliver event.
+            stats.fused_deliveries += 1
+            rsvc = self._const_receive_service
+            if rsvc:
+                ready = self._receiver_free.get(dst, 0.0)
+                if ready < arrival:
+                    ready = arrival
+                ready += rsvc
+                self._receiver_free[dst] = ready
+                engine.post1_at(ready, self._deliver_cb, message)
+            else:
+                engine.post1_at(arrival, self._deliver_cb, message)
+        else:
+            engine.post1_at(arrival, self._arrive, message)
         return message
 
     def send_many(
@@ -381,33 +430,77 @@ class Network:
         received_by_node = self._received_by_node
         count_tag = tag is not None and tag not in self._closed_tags
         per_query = self._per_query
+        # Aggregate counters don't depend on the destination: bump them
+        # once per burst instead of once per message (nothing observes
+        # the stats mid-call, so the final counts are identical).
+        n = len(dsts)
+        if n == 0:
+            return
+        stats.total_messages += n
+        by_type[mtype] += n
+        sent_by_node[src] += n
+        if count_tag:
+            per_query[tag] += n
         if src in self._crashed:
             # Byte parity with send(): the per-message size is charged
             # even though a crashed sender's traffic never departs.
-            size = (
-                _BASE_HEADER_BYTES + estimate_size(payload) if detailed else 0
-            )
-            for _ in dsts:
-                stats.total_messages += 1
-                stats.total_bytes += size
-                stats.dropped_messages += 1
+            if detailed:
+                size = _BASE_HEADER_BYTES + estimate_size(payload)
+                stats.total_bytes += size * n
+            stats.dropped_messages += n
             for dst in dsts:
-                by_type[mtype] += 1
-                sent_by_node[src] += 1
                 received_by_node[dst] += 1
-                if count_tag:
-                    per_query[tag] += 1
             return
-        fast = self._fast_path
+        if self._fast_path:
+            # Same-tick fan-out: every delivery lands at `now`, so the
+            # whole burst schedules as ONE batch entry (the engine fires
+            # one event per item, in order, with per-item accounting --
+            # burst_seq advances exactly as it would for N single posts).
+            items = engine.batch_list()
+            for dst in dsts:
+                message = _new_message(Message)
+                message.mtype = mtype
+                message.src = src
+                message.dst = dst
+                message.payload = payload
+                message.sent_at = now
+                message._size = None
+                if detailed:
+                    stats.total_bytes += message.size
+                received_by_node[dst] += 1
+                items.append(message)
+            stats.batched_messages += n
+            # Inlined Engine.post_batch_at (time == now, n > 0; keep in
+            # sync with the engine).
+            if self._wheel:
+                seq = engine._seq
+                engine._seq = seq + n
+                engine._live += n
+                pool = engine._pool
+                if pool:
+                    entry = pool.pop()
+                    entry[0] = now
+                    entry[1] = seq
+                    entry[2] = _BATCH
+                    entry[3] = self._deliver_cb
+                    entry[4] = items
+                else:
+                    entry = [now, seq, _BATCH, self._deliver_cb, items]
+                engine._fifo.append(entry)
+            else:
+                engine.post_batch_at(now, self._deliver_cb, items)
+            return
         model = self.latency_model
         svc = self._const_send_service
         cache = self._pair_delay_cache
-        queue = engine._queue
-        depart = 0.0
-        if not fast:
-            depart = self._sender_free.get(src, 0.0)
-            if depart < now:
-                depart = now
+        fused = self._fused
+        rsvc = self._const_receive_service
+        receiver_free = self._receiver_free
+        post1 = engine.post1_at
+        deliver = self._deliver_cb
+        depart = self._sender_free.get(src, 0.0)
+        if depart < now:
+            depart = now
         for dst in dsts:
             message = _new_message(Message)
             message.mtype = mtype
@@ -416,20 +509,9 @@ class Network:
             message.payload = payload
             message.sent_at = now
             message._size = None
-            stats.total_messages += 1
             if detailed:
                 stats.total_bytes += message.size
-            by_type[mtype] += 1
-            sent_by_node[src] += 1
             received_by_node[dst] += 1
-            if count_tag:
-                per_query[tag] += 1
-            seq = engine._seq
-            engine._seq = seq + 1
-            engine._live += 1
-            if fast:
-                heappush(queue, (now, seq, None, self._deliver, (message,)))
-                continue
             depart += svc if svc is not None else model.send_service_time(src)
             if cache is not None:
                 delay = cache.get((src, dst) if src <= dst else (dst, src))
@@ -437,11 +519,22 @@ class Network:
                     delay = model.wire_delay(src, dst)
             else:
                 delay = model.wire_delay(src, dst)
-            heappush(
-                queue, (depart + delay, seq, None, self._arrive, (message,))
-            )
-        if not fast:
-            self._sender_free[src] = depart
+            arrival = depart + delay
+            if fused:
+                # Fused arrive+deliver, as in send().
+                stats.fused_deliveries += 1
+                if rsvc:
+                    ready = receiver_free.get(dst, 0.0)
+                    if ready < arrival:
+                        ready = arrival
+                    ready += rsvc
+                    receiver_free[dst] = ready
+                    post1(ready, deliver, message)
+                else:
+                    post1(arrival, deliver, message)
+            else:
+                post1(arrival, self._arrive, message)
+        self._sender_free[src] = depart
 
     def _arrive(self, message: Message) -> None:
         """Arrival at the destination NIC: queue behind earlier arrivals."""
@@ -459,16 +552,13 @@ class Network:
         if ready <= now:
             self._deliver(message)
         else:
-            # Inlined Engine.post_at (ready > now by construction).
-            engine = self.engine
-            seq = engine._seq
-            engine._seq = seq + 1
-            engine._live += 1
-            heappush(engine._queue, (ready, seq, None, self._deliver, (message,)))
+            self.engine.post1_at(ready, self._deliver_cb, message)
 
     def _deliver(self, message: Message) -> None:
-        process = self._processes.get(message.dst)
-        if process is None or message.dst in self._crashed:
+        dst = message.dst
+        process = self._processes.get(dst)
+        crashed = self._crashed
+        if process is None or (crashed and dst in crashed):
             self.stats.record_drop()
             return
         process.handle_message(message)

@@ -131,6 +131,14 @@ class MessageStats:
     #: queries that completed with an explicit link-failure NULL
     #: resolution (QueryResult.failed).
     failed_queries: int = 0
+    #: event-wheel kernel observability (see repro.sim.network): messages
+    #: whose arrive+deliver pair was fused into a single scheduled event
+    #: (constant-receive-service models), and messages delivered through a
+    #: batched same-tick fan-out entry (one scheduler operation for a
+    #: whole ``send_many``).  Pure diagnostics -- the protocol-visible
+    #: message counters above are independent of either optimization.
+    fused_deliveries: int = 0
+    batched_messages: int = 0
     #: opt-in byte accounting: when True the network estimates every
     #: message's wire size (recursive payload walk) and feeds
     #: :attr:`total_bytes`; when False (the default, counts-only mode) it
@@ -263,6 +271,8 @@ class MessageStats:
         self.breaker_trips = 0
         self.deadline_expired = 0
         self.failed_queries = 0
+        self.fused_deliveries = 0
+        self.batched_messages = 0
         self._closed_tags.clear()
 
     def messages_per_node(self, num_nodes: int) -> float:

@@ -123,7 +123,10 @@ def _stub_benchmarks(
     rows = {
         "_time_fig17": {"wall_s": 1.0, "cached_msgs_per_query": 9.0},
         "_time_scale": {"wall_s": 2.0, "nodes": 1, "queries": 1,
-                        "msgs_per_query": 1.0},
+                        "msgs_per_query": 1.0, "events_per_s": 1000.0},
+        "_time_scale_100k": {"wall_s": 2.5, "nodes": 2, "queries": 1,
+                             "msgs_per_query": 1.0,
+                             "events_per_s": 900.0},
         "_time_shard_scaleout": {"wall_s": 3.0, "scaleout_x": 4.0},
         "_time_campaign": {
             "wall_s": 0.5,
@@ -158,7 +161,7 @@ def guarded_main(perf_guard, monkeypatch, tmp_path):
     return perf_guard
 
 
-def test_main_records_all_five_benchmarks(
+def test_main_records_all_six_benchmarks(
     guarded_main, monkeypatch, tmp_path
 ) -> None:
     _stub_benchmarks(guarded_main, monkeypatch)
@@ -170,6 +173,7 @@ def test_main_records_all_five_benchmarks(
         "chaos",
         "fig17_throughput",
         "scale",
+        "scale_100k",
         "shard_scaleout",
     ]
     assert record["benchmarks"]["campaign"]["violations"] == 0
@@ -212,6 +216,42 @@ def test_main_warns_on_wall_clock_regression_but_passes(
     assert "::warning title=perf regression::" in capsys.readouterr().out
 
 
+def test_main_warns_on_events_per_s_regression_but_passes(
+    guarded_main, monkeypatch, capsys
+) -> None:
+    """Throughput is guarded directly: a steady-state events/s drop warns
+    even when total wall clock looks fine (build noise can mask it)."""
+    _stub_benchmarks(guarded_main, monkeypatch)
+    baseline = {
+        "schema": 1,
+        "tiny": False,
+        "benchmarks": {
+            # stub reports wall_s=2.0 (no wall regression) but only
+            # 1000 events/s against a 2000 events/s baseline: -50%.
+            "scale": {"wall_s": 2.0, "events_per_s": 2000.0},
+        },
+    }
+    guarded_main.BENCH_FILE.write_text(json.dumps(baseline))
+    assert guarded_main.main() == 0
+    out = capsys.readouterr().out
+    assert "::warning title=perf regression::" in out
+    assert "events/s" in out
+
+
+def test_compare_tolerates_rows_without_events_per_s(guarded_main) -> None:
+    """Older trajectory rows (pre-wheel) have no events_per_s key; the
+    comparison must not warn or crash on them."""
+    assert (
+        guarded_main._compare(
+            "scale",
+            {"wall_s": 1.0, "events_per_s": 500.0},
+            {"wall_s": 1.0},
+            threshold=0.25,
+        )
+        == []
+    )
+
+
 def test_main_fails_fast_on_corrupt_baseline(
     guarded_main, monkeypatch
 ) -> None:
@@ -224,6 +264,7 @@ def test_main_fails_fast_on_corrupt_baseline(
     for name in (
         "_time_fig17",
         "_time_scale",
+        "_time_scale_100k",
         "_time_shard_scaleout",
         "_time_campaign",
         "_time_chaos",
