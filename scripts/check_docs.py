@@ -23,7 +23,14 @@ resolves inside the repository:
 * campaign schema keys: every backticked key in a ``docs/CAMPAIGNS.md``
   table row must be accepted by ``repro.campaigns.schema``, and every
   key the schema accepts must appear in such a row — the YAML reference
-  can neither invent keys nor silently omit one.
+  can neither invent keys nor silently omit one;
+* standing message types: every backticked UPPERCASE type in a
+  ``docs/STANDING_QUERIES.md`` table row must be a member of
+  ``repro.core.messages.STANDING_MESSAGES``, and every member must
+  appear in such a row — the wire-protocol table cannot drift;
+* orphan docs (default run only): every ``docs/*.md`` must be reachable
+  from ``README.md`` through file references / relative links, so a new
+  document cannot silently go unlinked.
 
 Usage::
 
@@ -55,6 +62,11 @@ _EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
 CAMPAIGN_DOC = "CAMPAIGNS.md"
 #: a markdown table row whose first cell is a backticked schema key
 KEY_ROW_RE = re.compile(r"^\|\s*`([a-z][a-z0-9_]*)`", re.MULTILINE)
+#: the standing-query reference; its wire-protocol table is validated
+#: against repro.core.messages.STANDING_MESSAGES in both directions.
+STANDING_DOC = "STANDING_QUERIES.md"
+#: a markdown table row whose first cell is a backticked message type
+MSG_ROW_RE = re.compile(r"^\|\s*`([A-Z][A-Z0-9_]*)`", re.MULTILINE)
 
 
 def campaign_schema_keys() -> frozenset[str]:
@@ -82,6 +94,68 @@ def check_campaign_keys(path: Path, text: str, rel_name) -> list[str]:
             f"reference tables"
         )
     return errors
+
+
+def standing_message_types() -> frozenset[str]:
+    """The standing-plane wire protocol (stdlib-only import)."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.core.messages import STANDING_MESSAGES
+
+    return frozenset(STANDING_MESSAGES)
+
+
+def check_standing_messages(path: Path, text: str, rel_name) -> list[str]:
+    errors: list[str] = []
+    documented = set(MSG_ROW_RE.findall(text))
+    wire = standing_message_types()
+    for mtype in sorted(documented - wire):
+        errors.append(
+            f"{rel_name}: documents standing message type {mtype!r} that "
+            f"is not in repro.core.messages STANDING_MESSAGES"
+        )
+    for mtype in sorted(wire - documented):
+        errors.append(
+            f"{rel_name}: standing message type {mtype!r} is missing from "
+            f"the wire-protocol table"
+        )
+    return errors
+
+
+def md_references(path: Path, text: str) -> set[Path]:
+    """Markdown files this file references (repo-relative paths in
+    prose/backticks plus relative markdown links)."""
+    refs: set[Path] = set()
+    for match in PATH_RE.finditer(text):
+        ref = match.group().rstrip("./")
+        if ref.endswith(".md") and (REPO / ref).is_file():
+            refs.add((REPO / ref).resolve())
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL_SCHEMES) or target.startswith("#"):
+            continue
+        target = target.split("#", 1)[0]
+        if target.endswith(".md") and (path.parent / target).is_file():
+            refs.add((path.parent / target).resolve())
+    return refs
+
+
+def orphan_docs() -> list[str]:
+    """Every docs/*.md must be reachable from README.md via references."""
+    start = (REPO / "README.md").resolve()
+    seen = {start}
+    queue = [start]
+    while queue:
+        current = queue.pop()
+        for ref in md_references(current, current.read_text(encoding="utf-8")):
+            if ref not in seen:
+                seen.add(ref)
+                queue.append(ref)
+    return [
+        f"{doc.relative_to(REPO)}: orphan document — not reachable from "
+        f"README.md through any reference or link"
+        for doc in sorted((REPO / "docs").glob("*.md"))
+        if doc.resolve() not in seen
+    ]
 
 
 def module_resolves(dotted: str) -> bool:
@@ -145,6 +219,8 @@ def check_file(path: Path, env_vars: set[str]) -> list[str]:
             )
     if path.name == CAMPAIGN_DOC:
         errors.extend(check_campaign_keys(path, text, rel_name))
+    if path.name == STANDING_DOC:
+        errors.extend(check_standing_messages(path, text, rel_name))
     return errors
 
 
@@ -160,6 +236,8 @@ def main(argv: list[str]) -> int:
         return 2
     env_vars = known_env_vars()
     errors = [error for f in files for error in check_file(f, env_vars)]
+    if not argv:
+        errors.extend(orphan_docs())
     for error in errors:
         print(f"check_docs: {error}", file=sys.stderr)
     if errors:

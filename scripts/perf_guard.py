@@ -1,11 +1,12 @@
 """Wall-clock perf guard: time the headline benchmarks, track a trajectory.
 
-Runs the six timing-sensitive benchmarks -- Figure 17's concurrent
+Runs the seven timing-sensitive benchmarks -- Figure 17's concurrent
 front-end throughput, the 10k-node scale run, the 100k-node capstone
 run, the sharded-query-plane scale-out sweep, a scenario campaign
 (flash crowd at full scale, the smoke campaign under
-``MOARA_BENCH_TINY=1``), and the link-chaos campaign on the loopback
-plane -- under plain ``time.perf_counter``,
+``MOARA_BENCH_TINY=1``), the link-chaos campaign on the loopback
+plane, and the standing-query churn run -- under plain
+``time.perf_counter``,
 writes the numbers to ``BENCH_scale.json`` at the repo root, and
 compares against the committed baseline.  The campaign rows double as
 correctness gates: any invariant violation exits non-zero regardless
@@ -179,6 +180,29 @@ def _time_chaos() -> dict:
     }
 
 
+def _time_standing_churn() -> dict:
+    """Time the standing-vs-repolling churn run (bench_standing_churn).
+
+    The wall clock and the message ratio are trajectory data; the
+    differential mismatch count and the standing-cheaper-than-polling
+    claim are *correctness* signals ``main`` turns into hard failures.
+    """
+    from bench_standing_churn import run_standing_churn
+
+    started = time.perf_counter()
+    row = run_standing_churn()
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 3),
+        "nodes": row["nodes"],
+        "rounds": row["rounds"],
+        "standing_msgs": row["standing_msgs"],
+        "polling_msgs": row["polling_msgs"],
+        "ratio": round(row["ratio"], 4),
+        "mismatches": row["mismatches"],
+    }
+
+
 class BaselineError(RuntimeError):
     """The committed baseline is unusable and reseeding was not requested."""
 
@@ -304,6 +328,12 @@ def main() -> int:
           f"{chaos['wall_s']:.2f}s wall ({chaos['queries']} queries, "
           f"{chaos['failed_queries']} explicit failures, "
           f"{chaos['violations']} violations)")
+    standing = _time_standing_churn()
+    print(f"  standing_churn: {standing['wall_s']:.2f}s wall "
+          f"({standing['standing_msgs']} standing vs "
+          f"{standing['polling_msgs']} polling msgs, "
+          f"ratio {standing['ratio']:.3f}, "
+          f"{standing['mismatches']} mismatches)")
 
     record = {
         "schema": 1,
@@ -316,6 +346,7 @@ def main() -> int:
             "shard_scaleout": shard,
             "campaign": campaign,
             "chaos": chaos,
+            "standing_churn": standing,
         },
     }
 
@@ -348,6 +379,20 @@ def main() -> int:
                 f"{row['violations']} invariant violation(s)"
             )
             failed = True
+    if standing["mismatches"]:
+        print(
+            f"::error title=standing differential::standing churn run "
+            f"finished with {standing['mismatches']} folded-vs-centralized "
+            f"mismatch(es)"
+        )
+        failed = True
+    if standing["standing_msgs"] >= standing["polling_msgs"]:
+        print(
+            f"::error title=standing efficiency::standing delta traffic "
+            f"({standing['standing_msgs']} msgs) is not below naive "
+            f"re-polling ({standing['polling_msgs']} msgs)"
+        )
+        failed = True
     return 1 if failed else 0
 
 

@@ -7,7 +7,8 @@ deterministic, fully seeded execution against a
 1. **Build** the cluster state the campaign declares: rack labels,
    group membership (sampled with the campaign seed), value attributes.
 2. **Compile** each phase into a single sorted event timeline --
-   failures, churn-wave firings, and query *batches* (arrivals from
+   failures, standing-query registrations/cancels (``standing:``),
+   churn-wave firings, and query *batches* (arrivals from
    each mix's Poisson/uniform process, bucketed into ``batch_window``
    buckets so co-arriving queries enter the plane as one concurrent
    burst, which is what exercises probe dedup and sub-query sharing).
@@ -35,7 +36,7 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Optional
+from typing import Any, Optional
 
 from repro.core.frontend import FrontendConfig
 from repro.core.moara_node import MoaraConfig
@@ -47,8 +48,10 @@ from repro.campaigns.schema import CampaignSpec, PhaseSpec, QueryMixSpec
 
 __all__ = ["CampaignRunner", "run_campaign"]
 
-#: timeline event priorities at equal timestamps
-_FAILURE, _CHURN, _BATCH = 0, 1, 2
+#: timeline event priorities at equal timestamps (standing
+#: registrations/cancels land after churn but before query batches, so
+#: a batch always runs alongside the standing set the scenario declared)
+_FAILURE, _CHURN, _STANDING, _BATCH = 0, 1, 2, 3
 
 
 class CampaignRunner:
@@ -73,6 +76,11 @@ class CampaignRunner:
         #: window, so the runner refuses to.
         self._detection_horizon = 0.0
         self._phase_reports: list[dict] = []
+        #: standing-query handles, in registration order; entries with
+        #: no scripted ``cancel_at`` live until the campaign's final
+        #: teardown.  Keyed lookups for cancels go via (phase, index).
+        self._standing_handles: list = []
+        self._standing_by_key: dict[tuple[str, int], Any] = {}
         if any(phase.faults for phase in spec.phases):
             if not plane.supports_link_faults:
                 raise ValueError(
@@ -154,6 +162,22 @@ class CampaignRunner:
         for failure in phase.failures:
             events.append((failure.at, _FAILURE, seq, "failure", failure))
             seq += 1
+        for index, sq in enumerate(phase.standing):
+            events.append(
+                (sq.at, _STANDING, seq, "standing", ("register", index, sq))
+            )
+            seq += 1
+            if sq.cancel_at is not None:
+                events.append(
+                    (
+                        sq.cancel_at,
+                        _STANDING,
+                        seq,
+                        "standing",
+                        ("cancel", index, sq),
+                    )
+                )
+                seq += 1
         # Link faults apply at failure priority: a batch firing at the
         # same instant must see the degraded wire, not race past it.
         for fault in phase.faults:
@@ -308,6 +332,18 @@ class CampaignRunner:
                         "duration": payload.duration,
                     }
                 )
+            elif kind == "standing":
+                action, index, sspec = payload
+                if action == "register":
+                    handle = plane.register_standing(
+                        sspec.text, lease=sspec.lease
+                    )
+                    self._standing_by_key[(phase.name, index)] = handle
+                    self._standing_handles.append(handle)
+                else:  # cancel
+                    handle = self._standing_by_key.get((phase.name, index))
+                    if handle is not None and handle.active:
+                        plane.cancel_standing(handle)
             elif kind == "churn":
                 self._apply_churn(payload)
             else:  # batch
@@ -331,6 +367,7 @@ class CampaignRunner:
         plane.quiesce()
         self._stable = True
         checker.check_phase_end(phase.name)
+        checker.check_standing(phase.name, self._standing_handles)
         return phase_report(
             phase,
             results,
@@ -338,6 +375,9 @@ class CampaignRunner:
             plane.stats.delta_since(before),
             checker.violations[violations_before:],
             applied_failures,
+            standing_active=sum(
+                1 for h in self._standing_handles if h.active
+            ),
         )
 
     def run(self) -> dict:
@@ -345,6 +385,16 @@ class CampaignRunner:
         self.setup()
         for phase in self.spec.phases:
             self._phase_reports.append(self._run_phase(phase))
+        # Campaign teardown: cancel every surviving standing query,
+        # drain the cancels, and re-run the leak invariant -- a clean
+        # campaign must end with empty subscription tables everywhere.
+        survivors = [h for h in self._standing_handles if h.active]
+        if survivors:
+            for handle in survivors:
+                self.plane.cancel_standing(handle)
+            self.plane.quiesce()
+        if self._standing_handles:
+            self.checker.check_phase_end("campaign-teardown")
         return final_report(
             self.spec,
             self.plane,

@@ -2,7 +2,7 @@
 
 Every campaign run is also a test run.  After each query batch (and at
 every phase boundary) the :class:`InvariantChecker` validates the system
-against four invariants, recording a violation dict for each breach:
+against five invariants, recording a violation dict for each breach:
 
 ``differential``
     Sampled query answers must match the centralized oracle
@@ -29,6 +29,15 @@ against four invariants, recording a violation dict for each breach:
 ``staleness``
     The TTL contract: a root-cached answer's ``cache_age`` must never
     exceed the configured result-cache TTL.
+
+``standing``
+    The standing-query contract: at every quiesced phase boundary the
+    folded answer of each active :class:`~repro.standing.manager.
+    StandingHandle` must equal the centralized recompute over live
+    membership (no in-flight deltas exist at quiesce, so eventual
+    consistency collapses to equality).  The companion leak check rides
+    the ``inflight`` invariant: ``standing_orphans`` counts node-side
+    subscription entries no front-end still considers active.
 
 Violations don't abort the run -- they are collected into the report
 (and the CLI exits non-zero if any exist), so one campaign surfaces
@@ -100,6 +109,8 @@ class InvariantChecker:
         self.violations: list[dict] = []
         self.checked = 0
         self.sampled = 0
+        #: standing-handle differential checks run at phase boundaries.
+        self.standing_checked = 0
         self.skipped_epoch = 0
         #: queries that resolved as *explicit* failures (link chaos):
         #: allowed under the contract -- a failed answer is never a
@@ -252,6 +263,34 @@ class InvariantChecker:
         if leaked:
             self._record("inflight", {"phase": phase, "leaked": leaked})
 
+    def check_standing(self, phase: str, handles: list) -> None:
+        """Differentially validate every active standing query at a
+        quiesced phase boundary: with no deltas in flight, each handle's
+        folded answer must equal the centralized recompute over live
+        membership -- the standing plane's whole correctness claim."""
+        if not self.spec.check_differential:
+            return
+        for handle in handles:
+            if not handle.active:
+                continue
+            self.standing_checked += 1
+            expected = self._ground_truth(handle.query)
+            got = handle.current_value()
+            if values_equal(got, expected, self.spec.tolerance):
+                continue
+            self._record(
+                "standing",
+                {
+                    "phase": phase,
+                    "query": handle.query.canonical(),
+                    "sub_id": handle.sub_id,
+                    "got": got,
+                    "expected": expected,
+                    "update_seq": handle.update_seq,
+                    "cover": list(handle.cover),
+                },
+            )
+
     # ------------------------------------------------------------------
 
     def summary(self) -> dict:
@@ -262,6 +301,7 @@ class InvariantChecker:
         return {
             "checked": self.checked,
             "sampled": self.sampled,
+            "standing_checked": self.standing_checked,
             "skipped_epoch": self.skipped_epoch,
             "explicit_failures": self.explicit_failures,
             "violations": len(self.violations),

@@ -73,6 +73,11 @@ class CampaignPlane:
 
     def __init__(self, cluster: MoaraCluster) -> None:
         self.cluster = cluster
+        #: round-robin cursor for standing-query registration, plus the
+        #: owning front-end per handle (cancel must go back to the
+        #: manager that registered the subscription).
+        self._standing_rr = 0
+        self._standing_owner: dict[str, Frontend] = {}
 
     # -- time ----------------------------------------------------------
 
@@ -95,6 +100,24 @@ class CampaignPlane:
         self, queries: list[Union[str, Query]]
     ) -> list[QueryResult]:
         raise NotImplementedError
+
+    # -- standing queries ----------------------------------------------
+
+    def register_standing(self, text: str, lease: float = 0.0):
+        """Register a standing query, round-robin across front-ends
+        (standing load spreads over shards exactly like one-shots)."""
+        fes = self.frontends
+        frontend = fes[self._standing_rr % len(fes)]
+        self._standing_rr += 1
+        handle = frontend.subscribe(text, lease=lease)
+        self._standing_owner[handle.sub_id] = frontend
+        return handle
+
+    def cancel_standing(self, handle) -> None:
+        """Cancel a standing query at its owning front-end."""
+        frontend = self._standing_owner.pop(handle.sub_id, None)
+        if frontend is not None:
+            frontend.standing.cancel(handle)
 
     # -- membership and state ------------------------------------------
 
@@ -161,13 +184,37 @@ class CampaignPlane:
     def shared_sizes(self):
         raise NotImplementedError
 
+    def standing_stats(self) -> dict[str, int]:
+        """Plane-wide standing-query counters.
+
+        Front-end-side counters (registered/updates/...) accrue on each
+        front-end's transport ledger, node-side ones (expired) on the
+        backend ledger; on the sim plane those are the *same* object, so
+        sum distinct ledgers only."""
+        ledgers = {id(self.stats): self.stats}
+        for fe in self.frontends:
+            ledger = fe.network.stats
+            ledgers.setdefault(id(ledger), ledger)
+        totals = {}
+        for key in (
+            "standing_registered",
+            "standing_updates",
+            "standing_replans",
+            "standing_expired",
+            "standing_cancelled",
+        ):
+            totals[key[len("standing_"):]] = sum(
+                getattr(ledger, key) for ledger in ledgers.values()
+            )
+        return totals
+
     def inflight_leaks(self) -> dict[str, int]:
         """Entries still held in any in-flight table.
 
         At a quiesced phase boundary every one of these must be zero:
-        a non-zero count means a query, probe, share, or execution was
-        opened and never closed -- the bug class the in-flight table
-        refactors are most prone to.
+        a non-zero count means a query, probe, share, execution, or
+        standing subscription was opened and never closed -- the bug
+        class the in-flight table refactors are most prone to.
         """
         pending = probes = waits = shares = 0
         for fe in self.frontends:
@@ -181,6 +228,22 @@ class CampaignPlane:
         shared_probes = 0
         if self.shared_sizes is not None:
             shared_probes = len(self.shared_sizes._probes)
+        # Standing-subscription hygiene: every node-side subscription
+        # entry on a *live* node must belong to a standing query some
+        # front-end still considers active (dead nodes' tables are
+        # unreachable until recovery, when the hygiene cancels fire).
+        active_subs: set[str] = set()
+        for fe in self.frontends:
+            active_subs |= fe.standing.active_sub_ids()
+        cluster = self.cluster
+        standing_orphans = sum(
+            1
+            for node_id, node in cluster.nodes.items()
+            if node_id in cluster.overlay
+            and cluster.network.is_alive(node_id)
+            for sub_id in node.standing.sub_ids()
+            if sub_id not in active_subs
+        )
         return {
             "frontend_pending": pending,
             "frontend_probes": probes,
@@ -188,6 +251,7 @@ class CampaignPlane:
             "frontend_shares": shares,
             "node_executions": executions,
             "shared_cache_probes": shared_probes,
+            "standing_orphans": standing_orphans,
         }
 
     # -- link faults (loopback plane only) ------------------------------

@@ -13,12 +13,12 @@ Layout::
     phases: [
       { name, duration, batches, queries, latency{...},
         messages{total, by_type}, cache{...}, failed_queries,
-        failures[...], violations[...] }
+        standing_active, failures[...], violations[...] }
     ],
     totals:     { queries, batches, messages, failed_queries,
-                  violations },
-    invariants: { checked, sampled, skipped_epoch, explicit_failures,
-                  violations, by_invariant },
+                  standing{...}, violations },
+    invariants: { checked, sampled, standing_checked, skipped_epoch,
+                  explicit_failures, violations, by_invariant },
     ok
 """
 
@@ -76,6 +76,7 @@ def phase_report(
     delta: StatsSnapshot,
     violations: list[dict],
     failures: list[dict],
+    standing_active: int = 0,
 ) -> dict:
     """The per-phase section of the campaign report."""
     return {
@@ -90,6 +91,7 @@ def phase_report(
         },
         "cache": _cache_summary(results),
         "failed_queries": sum(1 for r in results if r.failed),
+        "standing_active": standing_active,
         "failures": failures,
         "violations": violations,
     }
@@ -123,6 +125,7 @@ def final_report(
             "root_cache_misses": stats.root_cache_misses,
             "root_subscriptions": stats.root_subscriptions,
             "shared_probe_joins": stats.shared_probe_joins,
+            "standing": plane.standing_stats(),
             "failed_queries": sum(p["failed_queries"] for p in phases),
             "violations": invariants["violations"],
         },

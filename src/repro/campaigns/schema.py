@@ -39,6 +39,7 @@ __all__ = [
     "ORACLE_KEYS",
     "PHASE_KEYS",
     "QUERY_KEYS",
+    "STANDING_KEYS",
     "AttributeSpec",
     "CampaignSpec",
     "CampaignSchemaError",
@@ -49,6 +50,7 @@ __all__ = [
     "OracleSpec",
     "PhaseSpec",
     "QueryMixSpec",
+    "StandingSpec",
     "all_schema_keys",
     "campaign_from_dict",
     "load_campaign",
@@ -95,6 +97,21 @@ class QueryMixSpec:
     arrival: str = "poisson"  # poisson | uniform
     start: float = 0.0  # offset into the phase
     stop: Optional[float] = None  # offset; None = phase end
+
+
+@dataclass(frozen=True)
+class StandingSpec:
+    """One standing query inside a phase: registered at ``at`` and, if
+    ``cancel_at`` is set, cancelled at that phase-relative time;
+    otherwise it lives until the end of the campaign (the runner
+    cancels all survivors and re-checks the leak invariant).  ``lease``
+    > 0 arms root-side lease expiry (the runner never renews, so an
+    expiring lease is a scripted way to exercise the expiry path)."""
+
+    text: str
+    at: float = 0.0
+    cancel_at: Optional[float] = None
+    lease: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -145,6 +162,7 @@ class PhaseSpec:
     name: str
     duration: float
     queries: tuple[QueryMixSpec, ...] = ()
+    standing: tuple[StandingSpec, ...] = ()
     churn: tuple[ChurnSpec, ...] = ()
     failures: tuple[FailureSpec, ...] = ()
     faults: tuple[LinkFaultSpec, ...] = ()
@@ -212,9 +230,10 @@ ATTRIBUTE_KEYS = frozenset(
     {"name", "distribution", "value", "low", "high", "choices"}
 )
 PHASE_KEYS = frozenset(
-    {"name", "duration", "queries", "churn", "failures", "faults"}
+    {"name", "duration", "queries", "standing", "churn", "failures", "faults"}
 )
 QUERY_KEYS = frozenset({"text", "rate", "count", "arrival", "start", "stop"})
+STANDING_KEYS = frozenset({"text", "at", "cancel_at", "lease"})
 CHURN_KEYS = frozenset({"attr", "churn", "interval"})
 FAILURE_KEYS = frozenset({"kind", "at", "count", "rack", "detection_delay"})
 LINK_FAULT_KEYS = frozenset(
@@ -258,6 +277,7 @@ FRONTEND_CONFIG_KEYS = frozenset(
         "share_subqueries",
         "dedupe_probes",
         "piggyback_sizes",
+        "standing_replan_every",
     }
 )
 
@@ -277,6 +297,7 @@ def all_schema_keys() -> frozenset[str]:
         | ATTRIBUTE_KEYS
         | PHASE_KEYS
         | QUERY_KEYS
+        | STANDING_KEYS
         | CHURN_KEYS
         | FAILURE_KEYS
         | LINK_FAULT_KEYS
@@ -375,6 +396,23 @@ def _parse_query(data: Any, where: str) -> QueryMixSpec:
     return spec
 
 
+def _parse_standing(data: Any, where: str) -> StandingSpec:
+    data = _require_mapping(data, where)
+    _check_keys(data, STANDING_KEYS, where)
+    spec = _build(StandingSpec, data, where)
+    if not spec.text:
+        raise CampaignSchemaError(f"{where}: 'text' is required")
+    if spec.at < 0:
+        raise CampaignSchemaError(f"{where}: 'at' must be >= 0")
+    if spec.cancel_at is not None and spec.cancel_at <= spec.at:
+        raise CampaignSchemaError(
+            f"{where}: 'cancel_at' must be after 'at'"
+        )
+    if spec.lease < 0:
+        raise CampaignSchemaError(f"{where}: 'lease' must be >= 0")
+    return spec
+
+
 def _parse_churn(data: Any, where: str) -> ChurnSpec:
     data = _require_mapping(data, where)
     _check_keys(data, CHURN_KEYS, where)
@@ -451,6 +489,10 @@ def _parse_phase(data: Any, where: str) -> PhaseSpec:
         _parse_query(entry, f"{where}.queries[{i}]")
         for i, entry in enumerate(data.get("queries", ()))
     )
+    standing = tuple(
+        _parse_standing(entry, f"{where}.standing[{i}]")
+        for i, entry in enumerate(data.get("standing", ()))
+    )
     churn = tuple(
         _parse_churn(entry, f"{where}.churn[{i}]")
         for i, entry in enumerate(data.get("churn", ()))
@@ -467,6 +509,7 @@ def _parse_phase(data: Any, where: str) -> PhaseSpec:
         name=str(data.get("name", "")),
         duration=float(data.get("duration", 0.0)),
         queries=queries,
+        standing=standing,
         churn=churn,
         failures=failures,
         faults=faults,
@@ -486,6 +529,17 @@ def _parse_phase(data: Any, where: str) -> PhaseSpec:
             raise CampaignSchemaError(
                 f"{where}.faults[{i}]: 'at' {fault.at} is past the "
                 f"phase duration {spec.duration}"
+            )
+    for i, sq in enumerate(standing):
+        if sq.at > spec.duration:
+            raise CampaignSchemaError(
+                f"{where}.standing[{i}]: 'at' {sq.at} is past the "
+                f"phase duration {spec.duration}"
+            )
+        if sq.cancel_at is not None and sq.cancel_at > spec.duration:
+            raise CampaignSchemaError(
+                f"{where}.standing[{i}]: 'cancel_at' {sq.cancel_at} is "
+                f"past the phase duration {spec.duration}"
             )
     return spec
 

@@ -59,6 +59,11 @@ from repro.core.query import Query, QueryResult
 from repro.pastry.overlay import Overlay
 from repro.sim.network import FrontendTransport, Message
 from repro.sim.stats import QueryRecord
+from repro.standing.manager import (
+    StandingHandle,
+    StandingQueryManager,
+    UpdateCallback,
+)
 
 __all__ = ["Frontend", "FrontendConfig", "ProbePolicy"]
 
@@ -110,6 +115,10 @@ class FrontendConfig:
     dedupe_probes: bool = True
     #: Feed the size cache from the cost piggybacked on sub-query answers.
     piggyback_sizes: bool = True
+    #: Re-run cover choice for each standing query every N folded
+    #: updates (churn shifts group sizes; the size cache is kept warm by
+    #: the cost piggybacked on standing updates).  0 disables replans.
+    standing_replan_every: int = 64
 
     @classmethod
     def uncached(cls) -> "FrontendConfig":
@@ -266,6 +275,9 @@ class Frontend:
         #: of re-scanning ``results`` after every event (the old
         #: ``run_until`` slow path).
         self.on_query_complete: Optional[Callable[[str], None]] = None
+        #: standing-query plane: registration, delta folding, leases,
+        #: and enmeshed cover replans (see repro.standing.manager).
+        self.standing = StandingQueryManager(self)
         network.attach(self)
 
     # ------------------------------------------------------------------
@@ -357,6 +369,22 @@ class Frontend:
         Identical queries in the batch share sub-queries and probes.
         """
         return [self.submit(query) for query in queries]
+
+    def subscribe(
+        self,
+        query: Union[str, Query],
+        on_update: Optional[UpdateCallback] = None,
+        lease: float = 0.0,
+    ) -> StandingHandle:
+        """Register a standing query; returns its live handle.
+
+        Unlike :meth:`submit`, the query stays resident: delta
+        subscriptions are installed down the cover trees and every
+        subsequent churn event folds into the handle's answer stream
+        (see :mod:`repro.standing` for the ordering/staleness
+        contract).  Cancel with ``frontend.standing.cancel(handle)``.
+        """
+        return self.standing.register(query, on_update=on_update, lease=lease)
 
     def _plan(self, predicate: Predicate) -> tuple[QueryPlan, bool]:
         if self.plan_cache is not None:
@@ -679,6 +707,8 @@ class Frontend:
             self._handle_size_response(message)
         elif message.mtype == mt.FRONTEND_RESPONSE:
             self._handle_frontend_response(message)
+        elif message.mtype == mt.STANDING_UPDATE:
+            self.standing.on_update(message)
         else:
             raise ValueError(
                 f"front-end received unexpected message {message.mtype!r}"
@@ -716,6 +746,11 @@ class Frontend:
             # TTLs.  (With a shared tier the cluster feeds churn into the
             # tier once, not once per shard.)
             self._size_ttl_policy.observe_global(now)
+        # Standing subscriptions survive churn by re-installing their
+        # covers (idempotent; pushes are suppressed when unchanged) --
+        # for joins too: new nodes hold no subscription state until an
+        # install sweep reaches them.
+        self.standing.on_membership_change(joined, left)
         if not left:
             return
         for probe in [

@@ -63,6 +63,46 @@ Payload schemas
     :attr:`~repro.core.query.QueryResult.root_cached`,
     :attr:`~repro.core.query.QueryResult.cache_age`, and
     :attr:`~repro.core.query.QueryResult.root_shared`.
+
+Standing-query plane (:mod:`repro.standing`)
+--------------------------------------------
+
+Standing subscriptions are *long-lived*: their payloads deliberately key
+the subscription id as ``sub_id`` -- **never** ``qid``/``probe_id`` --
+so the network's per-query tag accounting ignores them (a tag that is
+never drained by ``pop_tag`` would otherwise grow without bound).
+
+``SUB_INSTALL`` (front-end -> cover-tree root, then fanned down the raw
+    DHT tree for the group's attribute):
+    ``sub_id``, ``query`` the full standing :class:`~repro.core.query.
+    Query`, ``predicate`` the cover group this tree serves, ``cover``
+    the full chosen cover (tuple of group :class:`~repro.core.
+    predicates.Predicate` objects, for enmeshed OR-dedup), ``lease``
+    the root-enforced lease in seconds (0 = no expiry), ``frontend``
+    the subscribing front-end's node id.
+
+``SUB_DELTA`` (child -> DHT parent, replacement subtree partial):
+    ``sub_id``, ``pred_key``, ``partial`` the child's whole recomputed
+    subtree partial (state-based replacement, not an invertible
+    increment -- correct for MIN/MAX/TOP-K), ``contributors``, plus the
+    full install schema (``query``/``cover``/``lease``/``frontend``) so
+    a parent that never saw the install (post-churn re-rooting) can
+    install itself lazily and keep propagating.
+
+``STANDING_UPDATE`` (tree root -> front-end):
+    ``sub_id``, ``pred_key``, ``partial``, ``contributors``, ``seq`` the
+    root's per-subscription monotone delta sequence number (the
+    front-end drops reordered/duplicate updates), ``cost`` the same
+    ``2 * np`` estimate a ``SIZE_RESPONSE`` carries (feeds the size
+    cache for standing replans), and optionally ``expired: True`` when
+    the root dropped the subscription because its lease ran out.
+
+``SUB_CANCEL`` (front-end -> root, fanned down like the install):
+    ``sub_id``, ``predicate`` -- removes the subscription state at every
+    node of that cover tree.
+
+``SUB_RENEW`` (front-end -> root): ``sub_id``, ``predicate``,
+    ``lease`` -- extends the root's lease without reinstalling.
 """
 
 from __future__ import annotations
@@ -74,8 +114,14 @@ __all__ = [
     "QUERY_RESPONSE",
     "SIZE_PROBE",
     "SIZE_RESPONSE",
+    "STANDING_MESSAGES",
+    "STANDING_UPDATE",
     "STATE_SYNC",
     "STATUS_UPDATE",
+    "SUB_CANCEL",
+    "SUB_INSTALL",
+    "SUB_RENEW",
+    "SUB_DELTA",
 ]
 
 #: Query propagation down a group tree (root -> forwarding graph).
@@ -103,3 +149,33 @@ FRONTEND_QUERY = "FRONTEND_QUERY"
 #: Root returning the aggregated answer for one sub-query to the front-end
 #: (possibly from its result cache or a shared in-flight execution).
 FRONTEND_RESPONSE = "FRONTEND_RESPONSE"
+
+#: Standing subscription install, fanned down one cover tree
+#: (front-end -> root -> every node of the raw DHT tree).
+SUB_INSTALL = "SUB_INSTALL"
+
+#: Replacement subtree partial pushed child -> parent when a
+#: subscription's subtree changed (join/leave/attribute write).
+SUB_DELTA = "SUB_DELTA"
+
+#: Subscription teardown, fanned down the cover tree like the install.
+SUB_CANCEL = "SUB_CANCEL"
+
+#: Lease extension for a live subscription (front-end -> root).
+SUB_RENEW = "SUB_RENEW"
+
+#: Folded root delta (root -> front-end) with a per-subscription
+#: monotone ``seq``; the front-end merges one of these per cover group
+#: into the standing query's live answer.
+STANDING_UPDATE = "STANDING_UPDATE"
+
+#: The standing-plane wire protocol, in install-to-teardown order
+#: (docs/STANDING_QUERIES.md documents exactly these types; the docs
+#: checker cross-checks both directions).
+STANDING_MESSAGES = (
+    SUB_INSTALL,
+    SUB_DELTA,
+    STANDING_UPDATE,
+    SUB_RENEW,
+    SUB_CANCEL,
+)

@@ -258,6 +258,13 @@ class MoaraNode:
         )
         #: in-flight executions rooted here, joinable by identical requests.
         self.inflight = InflightTable()
+        # Deferred import: repro.standing.agent imports this module for
+        # group_attribute, so binding it at module scope would cycle.
+        from repro.standing.agent import StandingAgent
+
+        #: node-side standing-subscription state machine (push-based
+        #: deltas; see repro.standing).
+        self.standing = StandingAgent(self)
 
     # ------------------------------------------------------------------
     # state management
@@ -416,6 +423,9 @@ class MoaraNode:
             if new_sat != state.local_sat:
                 state.local_sat = new_sat
                 self._recompute(state)
+        # Standing subscriptions push a delta the instant an attribute
+        # they depend on changes (no TTL window to wait out).
+        self.standing.on_attribute_change(name)
 
     # ------------------------------------------------------------------
     # Sections 4 + 5: recompute / adapt / notify parent
@@ -985,6 +995,22 @@ class MoaraNode:
         )
 
     # ------------------------------------------------------------------
+    # standing subscriptions (delegated to repro.standing.agent)
+    # ------------------------------------------------------------------
+
+    def _handle_sub_install(self, message: Message) -> None:
+        self.standing.handle_install(message)
+
+    def _handle_sub_delta(self, message: Message) -> None:
+        self.standing.handle_delta(message)
+
+    def _handle_sub_cancel(self, message: Message) -> None:
+        self.standing.handle_cancel(message)
+
+    def _handle_sub_renew(self, message: Message) -> None:
+        self.standing.handle_renew(message)
+
+    # ------------------------------------------------------------------
     # reconfiguration (Section 7)
     # ------------------------------------------------------------------
 
@@ -1014,6 +1040,9 @@ class MoaraNode:
                     pending.waiting -= gone
                     if not pending.waiting:
                         self._finalize(key)
+        # Standing subscriptions re-derive their raw-tree parents and
+        # children (and clear themselves if we left the overlay).
+        self.standing.on_membership_change(joined, left)
         if self.node_id not in self.overlay:
             return  # we ourselves left; nothing further to maintain
         for state in list(self.states.values()):
@@ -1043,6 +1072,10 @@ _DISPATCH: dict[str, Callable[[MoaraNode, Message], None]] = {
     mt.STATE_SYNC: MoaraNode._handle_status,
     mt.SIZE_PROBE: MoaraNode._handle_size_probe,
     mt.FRONTEND_QUERY: MoaraNode._handle_frontend_query,
+    mt.SUB_INSTALL: MoaraNode._handle_sub_install,
+    mt.SUB_DELTA: MoaraNode._handle_sub_delta,
+    mt.SUB_CANCEL: MoaraNode._handle_sub_cancel,
+    mt.SUB_RENEW: MoaraNode._handle_sub_renew,
 }
 
 

@@ -13,6 +13,14 @@ package provides both SDIMS roles:
   subtree and pushes changes toward the root, so reads are answered by the
   root instantly.  Used by the ablation benchmark comparing one-shot
   querying against continuous aggregation under varying update rates.
+
+With the standing-query plane (:mod:`repro.standing`) in the tree, this
+package is the **ablation baseline** among the repo's three execution
+modes (one-shot / continuous / standing; see docs/STANDING_QUERIES.md):
+continuous mode is push *without* group predicates, planner-chosen
+covers, leases, or an ordering contract -- one attribute per
+installation over the single global tree.  What the standing plane adds
+over this substrate is precisely what the comparison table documents.
 """
 
 from repro.sdims.continuous import (

@@ -10,6 +10,16 @@ Moara deliberately chose one-shot on-demand aggregation instead; the
 ablation benchmark ``benchmarks/bench_ablation_continuous.py`` quantifies
 the trade-off the paper argues informally: continuous aggregation wins when
 reads vastly outnumber writes, and loses badly under write-heavy churn.
+
+This module is also the seed the standing-query plane
+(:mod:`repro.standing`) grew from, and remains its **ablation
+baseline**: both push deltas up a tree instead of polling, but
+continuous mode has no group predicates (one attribute per installation,
+every node contributes), no planner or enmeshed multi-group covers, no
+leases, and no per-query ordering/staleness contract -- the root just
+holds the latest partial.  Keep this module frozen as-is: the
+one-shot / continuous / standing comparison (docs/STANDING_QUERIES.md)
+is only meaningful while the middle mode stays the simple substrate.
 """
 
 from __future__ import annotations

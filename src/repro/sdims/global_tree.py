@@ -11,6 +11,12 @@ maintenance policy.  No node ever reports PRUNE/NO-PRUNE, so every query
 reaches every node in the system and the answer aggregates back up the full
 DHT tree.  Size probes are pointless (no cost differentiation), so the
 front-end never sends them.
+
+(Of the repo's three execution modes -- one-shot, continuous ablation,
+standing; docs/STANDING_QUERIES.md -- this class belongs to the
+*one-shot* column: it changes tree maintenance, not the execution
+model.  The aggregate-on-write comparison lives in
+:mod:`repro.sdims.continuous`.)
 """
 
 from __future__ import annotations

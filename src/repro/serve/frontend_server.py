@@ -7,7 +7,9 @@ sharing the simulator exercises — behind two wires:
 * **north**: a deliberately small HTTP/1.1 server (stdlib asyncio
   streams; the repo adds no dependencies, so this mirrors the shape an
   aiohttp app would have without importing one) exposing the public
-  JSON API — ``POST /query``, ``GET /groups/{name}/size``,
+  JSON API — ``POST /query``, ``POST /subscribe`` and the
+  ``/subscriptions/{sid}`` family (standing queries, see
+  ``docs/STANDING_QUERIES.md``), ``GET /groups/{name}/size``,
   ``GET /healthz``, ``GET /stats``, ``GET /ring``.  See ``docs/API.md``
   for the full contract.
 * **south**: a :class:`repro.serve.transport.RemoteNetwork` link to the
@@ -36,6 +38,7 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import urllib.parse
 from typing import Any, Optional
 
 from repro.core.errors import (
@@ -140,6 +143,8 @@ class FrontendServer:
         self.ring: Optional[RingClient] = None
         self.queries_served = 0
         self.queries_failed = 0
+        #: standing subscriptions owned by HTTP clients, by sid.
+        self.subscriptions: dict[str, Any] = {}
         self._server: Optional[asyncio.base_events.Server] = None
 
     # -- lifecycle -----------------------------------------------------
@@ -298,11 +303,30 @@ class FrontendServer:
     async def _dispatch(
         self, method: str, path: str, body: bytes
     ) -> tuple[int, dict[str, Any]]:
-        path = path.split("?", 1)[0]
+        path, _, query_string = path.partition("?")
         if path == "/query":
             if method != "POST":
                 return 405, {"error": "POST /query"}
             return await self._handle_query(body)
+        if path == "/subscribe":
+            if method != "POST":
+                return 405, {"error": "POST /subscribe"}
+            return self._handle_subscribe(body)
+        if path.startswith("/subscriptions/"):
+            rest = path[len("/subscriptions/") :]
+            if rest.endswith("/updates"):
+                if method != "GET":
+                    return 405, {"error": "GET /subscriptions/{sid}/updates"}
+                return self._handle_updates(
+                    rest[: -len("/updates")], query_string
+                )
+            if rest.endswith("/renew"):
+                if method != "POST":
+                    return 405, {"error": "POST /subscriptions/{sid}/renew"}
+                return self._handle_renew(rest[: -len("/renew")], body)
+            if method != "DELETE":
+                return 405, {"error": "DELETE /subscriptions/{sid}"}
+            return self._handle_unsubscribe(rest)
         if path.startswith("/groups/") and path.endswith("/size"):
             if method != "GET":
                 return 405, {"error": "GET /groups/{name}/size"}
@@ -387,6 +411,115 @@ class FrontendServer:
             }
         self.queries_served += 1
         return 200, result_to_json(qid, result)
+
+    # -- standing subscriptions ---------------------------------------
+
+    def _handle_subscribe(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        """``POST /subscribe``: register a standing query.
+
+        Registration is synchronous (cover choice uses cached sizes
+        only), so the response carries the subscription id immediately;
+        folded updates accumulate server-side and are pulled with
+        ``GET /subscriptions/{sid}/updates``.  See docs/API.md and
+        docs/STANDING_QUERIES.md.
+        """
+        assert self.frontend is not None and self.network is not None
+        try:
+            request = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": f"request body is not JSON: {exc}"}
+        text = request.get("query")
+        if not isinstance(text, str) or not text.strip():
+            return 400, {"error": 'body must be {"query": "SELECT ..."}'}
+        lease = float(request.get("lease", 0.0))
+        if lease < 0:
+            return 400, {"error": '"lease" must be >= 0'}
+        if not self.network.connected:
+            return 503, {"error": "overlay link down; retry after reconnect"}
+        try:
+            handle = self.frontend.subscribe(text, lease=lease)
+        except (ParseError, PlanningError) as exc:
+            return 400, {"error": str(exc), "kind": type(exc).__name__}
+        self.subscriptions[handle.sub_id] = handle
+        return 200, {
+            "sid": handle.sub_id,
+            "query": text,
+            "cover": list(handle.cover),
+            "lease": lease,
+            "static": handle.static,
+            "seq": handle.update_seq,
+        }
+
+    def _handle_updates(
+        self, sid: str, query_string: str
+    ) -> tuple[int, dict[str, Any]]:
+        """``GET /subscriptions/{sid}/updates?since=N``: drain folds.
+
+        Returns every retained fold with ``seq > since`` (the handle
+        keeps a bounded history; ``dropped`` counts folds that aged out
+        before any poll — a consumer seeing it grow is polling too
+        slowly for its gap-free replay to be possible).
+        """
+        handle = self.subscriptions.get(sid)
+        if handle is None:
+            return 404, {"error": f"unknown subscription {sid!r}"}
+        params = urllib.parse.parse_qs(query_string)
+        try:
+            since = int(params.get("since", ["0"])[0])
+        except ValueError:
+            return 400, {"error": '"since" must be an integer'}
+        updates = [
+            {
+                "seq": seq,
+                "value": jsonable(result.value),
+                "cover": list(result.cover),
+                "contributors": result.contributors,
+                "latency": result.latency,
+            }
+            for seq, result in handle.updates_since(since)
+        ]
+        return 200, {
+            "sid": sid,
+            "active": handle.active,
+            "expired": handle.expired,
+            "seq": handle.update_seq,
+            "dropped": handle.updates_dropped,
+            "updates": updates,
+        }
+
+    def _handle_renew(
+        self, sid: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        """``POST /subscriptions/{sid}/renew``: extend the lease."""
+        assert self.frontend is not None
+        handle = self.subscriptions.get(sid)
+        if handle is None:
+            return 404, {"error": f"unknown subscription {sid!r}"}
+        if not handle.active:
+            return 400, {
+                "error": f"subscription {sid!r} is no longer active",
+                "expired": handle.expired,
+            }
+        try:
+            request = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": f"request body is not JSON: {exc}"}
+        lease = request.get("lease")
+        if lease is not None:
+            lease = float(lease)
+            if lease < 0:
+                return 400, {"error": '"lease" must be >= 0'}
+        self.frontend.standing.renew(handle, lease=lease)
+        return 200, {"sid": sid, "lease": handle.lease}
+
+    def _handle_unsubscribe(self, sid: str) -> tuple[int, dict[str, Any]]:
+        """``DELETE /subscriptions/{sid}``: cancel and forget."""
+        assert self.frontend is not None
+        handle = self.subscriptions.pop(sid, None)
+        if handle is None:
+            return 404, {"error": f"unknown subscription {sid!r}"}
+        self.frontend.standing.cancel(handle)
+        return 200, {"sid": sid, "cancelled": True}
 
     async def _handle_group_size(
         self, name: str

@@ -139,6 +139,15 @@ class MessageStats:
     #: message counters above are independent of either optimization.
     fused_deliveries: int = 0
     batched_messages: int = 0
+    #: standing-query plane counters (see repro.standing): subscriptions
+    #: registered at front-ends, folded live-answer updates emitted,
+    #: planner cover re-evaluations triggered by churned group sizes,
+    #: root-side lease expiries, and explicit cancels.
+    standing_registered: int = 0
+    standing_updates: int = 0
+    standing_replans: int = 0
+    standing_expired: int = 0
+    standing_cancelled: int = 0
     #: opt-in byte accounting: when True the network estimates every
     #: message's wire size (recursive payload walk) and feeds
     #: :attr:`total_bytes`; when False (the default, counts-only mode) it
@@ -273,6 +282,11 @@ class MessageStats:
         self.failed_queries = 0
         self.fused_deliveries = 0
         self.batched_messages = 0
+        self.standing_registered = 0
+        self.standing_updates = 0
+        self.standing_replans = 0
+        self.standing_expired = 0
+        self.standing_cancelled = 0
         self._closed_tags.clear()
 
     def messages_per_node(self, num_nodes: int) -> float:

@@ -244,3 +244,49 @@ def test_memory_pressure_campaign_hot_eviction_beats_lru() -> None:
     # The hot dashboard keeps its entry resident under "hot" eviction;
     # plain LRU lets the one-off scan queries evict it every cycle.
     assert hot["totals"]["root_cache_hits"] > lru["totals"]["root_cache_hits"]
+
+
+# ----------------------------------------------------------------------
+# the standing-query plane under a scripted social scenario
+# ----------------------------------------------------------------------
+
+
+def test_standing_campaign_on_both_planes() -> None:
+    spec = load_campaign(REPO / "campaigns" / "standing_social.yaml")
+    for plane in ("sim", "loopback"):
+        report = run_campaign(spec, plane=plane)
+        assert report["ok"], (plane, report["invariants"])
+        assert report["invariants"]["standing_checked"] > 0
+        totals = report["totals"]["standing"]
+        assert totals["registered"] == 4
+        assert totals["updates"] > 0
+        assert totals["expired"] >= 1, "the never-renewed lease must lapse"
+        assert totals["cancelled"] >= 1
+        for phase in report["phases"]:
+            assert "standing_active" in phase
+
+
+def test_campaign_catches_corrupted_standing_folds(monkeypatch) -> None:
+    """Mutation: a front-end that folds deltas into the wrong value must
+    trip the ``standing`` invariant at the next quiesced checkpoint."""
+    import dataclasses
+
+    from repro.standing.manager import StandingQueryManager
+
+    original = StandingQueryManager._fold
+
+    def corrupt(self, sub, now):
+        original(self, sub, now)
+        seq, result = sub.handle.updates[-1]
+        if isinstance(result.value, (int, float)):
+            sub.handle.updates[-1] = (
+                seq, dataclasses.replace(result, value=result.value + 17)
+            )
+
+    monkeypatch.setattr(StandingQueryManager, "_fold", corrupt)
+    report = run_campaign(
+        load_campaign(REPO / "campaigns" / "standing_social.yaml"),
+        plane="sim",
+    )
+    assert not report["ok"]
+    assert report["invariants"]["by_invariant"].get("standing", 0) > 0

@@ -148,6 +148,7 @@ def test_every_shipped_campaign_validates() -> None:
         "flash_crowd",
         "memory_pressure",
         "smoke",
+        "standing_social",
         "write_heavy_churn",
     }
     assert names == expected
@@ -164,5 +165,9 @@ def test_schema_key_union_is_complete() -> None:
         "sample_rate",
         "result_cache_eviction",
         "dedupe_probes",
+        "standing",
+        "cancel_at",
+        "lease",
+        "standing_replan_every",
     ):
         assert expected in keys

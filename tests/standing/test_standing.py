@@ -1,0 +1,243 @@
+"""Unit tests for the standing-query plane (repro.standing).
+
+Covers the lifecycle contract documented in docs/STANDING_QUERIES.md:
+register → deltas → cancel / lease expiry, the ordering contract
+(monotone ``update_seq``), enmeshed OR-cover dedup, planner-degenerate
+covers (global, unsatisfiable), churn (crash/join/leave) convergence,
+and subscription-table hygiene (no leaks anywhere after teardown).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import centralized_answer
+from repro.campaigns import values_equal
+from repro.core import MoaraCluster
+
+NUM_NODES = 30
+
+
+def _live_stores(cluster: MoaraCluster):
+    return [
+        (node_id, node.attributes)
+        for node_id, node in cluster.nodes.items()
+        if node_id in cluster.overlay and cluster.network.is_alive(node_id)
+    ]
+
+
+def _assert_matches(cluster: MoaraCluster, handle) -> None:
+    expected = centralized_answer(handle.query, _live_stores(cluster))
+    assert values_equal(handle.current_value(), expected), handle.query.canonical()
+
+
+def _node_leaks(cluster: MoaraCluster) -> dict:
+    return {
+        node_id: node.standing.sub_ids()
+        for node_id, node in cluster.nodes.items()
+        if len(node.standing)
+    }
+
+
+@pytest.fixture
+def cluster() -> MoaraCluster:
+    cluster = MoaraCluster(NUM_NODES, seed=11)
+    for index, node_id in enumerate(cluster.node_ids):
+        cluster.set_attribute(node_id, "load", float(index % 9))
+        cluster.set_attribute(
+            node_id, "dc", "east" if index % 3 == 0 else "west"
+        )
+    cluster.run_until_idle()
+    return cluster
+
+
+def test_register_folds_to_centralized_answer(cluster) -> None:
+    frontend = cluster.frontends[0]
+    handle = frontend.subscribe("SELECT COUNT(*) WHERE load >= 4")
+    cluster.run_until_idle()
+    assert handle.active and handle.update_seq >= 1
+    _assert_matches(cluster, handle)
+
+
+def test_attribute_churn_pushes_deltas(cluster) -> None:
+    frontend = cluster.frontends[0]
+    handle = frontend.subscribe("SELECT SUM(load) WHERE dc = 'east'")
+    cluster.run_until_idle()
+    seq_before = handle.update_seq
+    for node_id in cluster.node_ids[:5]:
+        cluster.set_attribute(node_id, "load", 7.5)
+    cluster.run_until_idle()
+    assert handle.update_seq > seq_before
+    _assert_matches(cluster, handle)
+
+
+def test_update_seq_is_strictly_monotone(cluster) -> None:
+    frontend = cluster.frontends[0]
+    handle = frontend.subscribe("SELECT AVG(load) WHERE dc = 'west'")
+    for step in range(8):
+        cluster.set_attribute(
+            cluster.node_ids[step], "load", float(step * 2)
+        )
+        cluster.run_until_idle()
+    seqs = [seq for seq, _ in handle.updates]
+    assert seqs == sorted(set(seqs)), "update_seq must be strictly monotone"
+
+
+def test_enmeshed_or_cover_deduplicates_contributions(cluster) -> None:
+    # Nodes satisfying both disjuncts must contribute exactly once.
+    frontend = cluster.frontends[0]
+    handle = frontend.subscribe(
+        "SELECT COUNT(*) WHERE dc = 'east' OR load >= 3"
+    )
+    cluster.run_until_idle()
+    assert len(handle.cover) == 2
+    _assert_matches(cluster, handle)
+
+
+def test_global_group_cover(cluster) -> None:
+    frontend = cluster.frontends[0]
+    handle = frontend.subscribe("SELECT AVG(load)")
+    cluster.run_until_idle()
+    _assert_matches(cluster, handle)
+
+
+def test_unsatisfiable_predicate_is_static(cluster) -> None:
+    frontend = cluster.frontends[0]
+    handle = frontend.subscribe(
+        "SELECT COUNT(*) WHERE load < 2 AND load > 8"
+    )
+    cluster.run_until_idle()
+    assert handle.static
+    assert handle.current().short_circuited
+    assert handle.current_value() == 0
+    assert _node_leaks(cluster) == {}, "static handles install nothing"
+    frontend.standing.cancel(handle)
+    assert not handle.active
+
+
+def test_cancel_clears_every_node_table(cluster) -> None:
+    frontend = cluster.frontends[0]
+    handle = frontend.subscribe("SELECT COUNT(*) WHERE dc = 'east'")
+    cluster.run_until_idle()
+    assert any(len(node.standing) for node in cluster.nodes.values())
+    frontend.standing.cancel(handle)
+    cluster.run_until_idle()
+    assert not handle.active
+    assert _node_leaks(cluster) == {}
+    assert frontend.standing.active_sub_ids() == set()
+
+
+def test_crash_and_join_converge(cluster) -> None:
+    frontend = cluster.frontends[0]
+    handle = frontend.subscribe(
+        "SELECT SUM(load) WHERE dc = 'east' OR load > 5"
+    )
+    cluster.run_until_idle()
+    for node_id in cluster.node_ids[3:6]:
+        cluster.crash_node(node_id, detection_delay=0.5)
+    cluster.run_until_idle()
+    _assert_matches(cluster, handle)
+    joined = cluster.join_node()
+    cluster.set_attribute(joined, "dc", "east")
+    cluster.set_attribute(joined, "load", 9.0)
+    cluster.run_until_idle()
+    _assert_matches(cluster, handle)
+
+
+def test_graceful_leave_converges(cluster) -> None:
+    frontend = cluster.frontends[0]
+    handle = frontend.subscribe("SELECT COUNT(*) WHERE load >= 2")
+    cluster.run_until_idle()
+    for node_id in list(cluster.node_ids)[2:5]:
+        if node_id != frontend.node_id:
+            cluster.leave_node(node_id)
+    cluster.run_until_idle()
+    _assert_matches(cluster, handle)
+
+
+def test_lease_expires_lazily_and_cleans_up(cluster) -> None:
+    frontend = cluster.frontends[0]
+    handle = frontend.subscribe("SELECT COUNT(*) WHERE load > 3", lease=5.0)
+    cluster.run_until_idle()
+    assert handle.active
+    cluster.run(10.0)
+    # Lazy enforcement: the root notices on its next standing message.
+    for node_id in cluster.node_ids[:3]:
+        cluster.set_attribute(node_id, "load", 8.0)
+    cluster.run_until_idle()
+    assert handle.expired and not handle.active
+    assert _node_leaks(cluster) == {}
+    assert cluster.stats.standing_expired >= 1
+
+
+def test_renew_extends_the_lease(cluster) -> None:
+    frontend = cluster.frontends[0]
+    handle = frontend.subscribe("SELECT COUNT(*) WHERE load > 3", lease=5.0)
+    cluster.run_until_idle()
+    cluster.run(4.0)
+    frontend.standing.renew(handle)
+    cluster.run_until_idle()
+    cluster.run(4.0)  # past the original deadline, inside the renewed one
+    for node_id in cluster.node_ids[:3]:
+        cluster.set_attribute(node_id, "load", 8.0)
+    cluster.run_until_idle()
+    assert handle.active and not handle.expired
+    _assert_matches(cluster, handle)
+
+
+def test_replan_switches_cover_and_stays_correct() -> None:
+    cluster = MoaraCluster(NUM_NODES, seed=5)
+    for index, node_id in enumerate(cluster.node_ids):
+        cluster.set_attribute(node_id, "load", float(index % 9))
+        cluster.set_attribute(
+            node_id, "dc", "east" if index % 2 == 0 else "west"
+        )
+    cluster.run_until_idle()
+    frontend = cluster.frontends[0]
+    frontend.config = dataclasses.replace(
+        frontend.config, standing_replan_every=4
+    )
+    handle = frontend.subscribe(
+        "SELECT SUM(load) WHERE dc = 'east' AND load > 2"
+    )
+    cluster.run_until_idle()
+    ids = cluster.node_ids
+    for step in range(120):
+        cluster.set_attribute(ids[(step * 7) % len(ids)], "load",
+                              float((step * 3) % 9))
+        if step % 10 == 0:
+            cluster.run_until_idle()
+    cluster.run_until_idle()
+    assert cluster.stats.standing_replans >= 1
+    _assert_matches(cluster, handle)
+    frontend.standing.cancel(handle)
+    cluster.run_until_idle()
+    assert _node_leaks(cluster) == {}
+
+
+def test_on_update_callback_fires(cluster) -> None:
+    seen: list = []
+    frontend = cluster.frontends[0]
+    frontend.subscribe(
+        "SELECT COUNT(*) WHERE dc = 'east'", on_update=seen.append
+    )
+    cluster.run_until_idle()
+    assert seen, "registration pushes must produce at least one fold"
+    assert seen[-1].value == centralized_answer(
+        seen[-1].query, _live_stores(cluster)
+    )
+
+
+def test_standing_messages_stay_untagged(cluster) -> None:
+    # Standing payloads carry sub_id, never qid: the per-query accounting
+    # tags are drained by pop_tag at query completion, which standing
+    # subscriptions never reach -- a tagged standing message would grow
+    # per_query unboundedly.
+    frontend = cluster.frontends[0]
+    handle = frontend.subscribe("SELECT COUNT(*) WHERE dc = 'east'")
+    cluster.run_until_idle()
+    assert not cluster.stats.per_query, "standing traffic must be untagged"
+    frontend.standing.cancel(handle)
+    cluster.run_until_idle()

@@ -1,0 +1,129 @@
+"""Property-based differential testing of the standing-query plane.
+
+Hypothesis generates churn schedules -- interleaved attribute writes,
+group flips, crashes, joins, and graceful leaves -- and after every
+quiesce the folded standing answers must equal the centralized
+recompute over live membership (the campaign oracle's ``standing``
+invariant), for several simultaneously registered enmeshed queries.
+Teardown extends the PR 7 leak invariant to subscription tables: after
+cancelling every handle, no node-side subscription entry survives on
+any live node and no front-end considers anything active.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import centralized_answer
+from repro.campaigns import values_equal
+from repro.core import MoaraCluster
+
+NUM_NODES = 24
+
+QUERIES = [
+    "SELECT COUNT(*) WHERE svc = true",
+    "SELECT SUM(cpu) WHERE svc = true OR cpu >= 60",
+    "SELECT AVG(cpu) WHERE svc = true AND cpu < 80",
+    "SELECT MAX(cpu)",
+]
+
+#: one churn step: (kind, node-rank, value-rank)
+_STEPS = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "flip", "crash", "join", "leave"]),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=100),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _live_stores(cluster: MoaraCluster):
+    return [
+        (node_id, node.attributes)
+        for node_id, node in cluster.nodes.items()
+        if node_id in cluster.overlay and cluster.network.is_alive(node_id)
+    ]
+
+
+def _live_ids(cluster: MoaraCluster) -> list[int]:
+    return [
+        node_id
+        for node_id in cluster.node_ids
+        if node_id in cluster.overlay and cluster.network.is_alive(node_id)
+    ]
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=10_000), steps=_STEPS)
+def test_folded_answers_track_centralized_under_generated_churn(
+    seed: int, steps: list[tuple[str, int, int]]
+) -> None:
+    cluster = MoaraCluster(NUM_NODES, seed=31)
+    rng = random.Random(f"standing-{seed}")
+    for node_id in cluster.node_ids:
+        cluster.set_attribute(node_id, "cpu", float(rng.randrange(0, 100)))
+        cluster.set_attribute(node_id, "svc", rng.random() < 0.4)
+    cluster.run_until_idle()
+
+    frontends = cluster.frontends
+    handles = [
+        frontends[index % len(frontends)].subscribe(text)
+        for index, text in enumerate(QUERIES)
+    ]
+    cluster.run_until_idle()
+
+    frontend_ids = {fe.node_id for fe in frontends}
+    for kind, node_rank, value_rank in steps:
+        live = [n for n in _live_ids(cluster) if n not in frontend_ids]
+        if kind == "write" and live:
+            cluster.set_attribute(
+                live[node_rank % len(live)], "cpu", float(value_rank)
+            )
+        elif kind == "flip" and live:
+            node_id = live[node_rank % len(live)]
+            current = bool(
+                cluster.nodes[node_id].attributes.get("svc", False)
+            )
+            cluster.set_attribute(node_id, "svc", not current)
+        elif kind == "crash" and len(live) > 3:
+            cluster.crash_node(
+                live[node_rank % len(live)],
+                detection_delay=(value_rank % 3) * 0.25,
+            )
+        elif kind == "join":
+            joined = cluster.join_node()
+            cluster.set_attribute(joined, "cpu", float(value_rank))
+            cluster.set_attribute(joined, "svc", value_rank % 2 == 0)
+        elif kind == "leave" and len(live) > 3:
+            cluster.leave_node(live[node_rank % len(live)])
+        cluster.run_until_idle()
+        # Quiesced checkpoint: folded == centralized for every handle.
+        stores = _live_stores(cluster)
+        for handle in handles:
+            expected = centralized_answer(handle.query, stores)
+            assert values_equal(handle.current_value(), expected), (
+                handle.query.canonical(),
+                handle.current_value(),
+                expected,
+            )
+
+    # Teardown: the subscription-leak extension of the oracle invariant.
+    for index, handle in enumerate(handles):
+        frontends[index % len(frontends)].standing.cancel(handle)
+    cluster.run_until_idle()
+    for node_id, node in cluster.nodes.items():
+        if node_id in cluster.overlay and cluster.network.is_alive(node_id):
+            assert len(node.standing) == 0, (
+                f"node {node_id} leaked {node.standing.sub_ids()}"
+            )
+    for fe in frontends:
+        assert fe.standing.active_sub_ids() == set()

@@ -62,3 +62,60 @@ def test_key_rows_only_match_table_cells(check_docs) -> None:
 def test_full_run_over_committed_docs_is_clean(check_docs, capsys) -> None:
     assert check_docs.main([]) == 0
     assert "OK" in capsys.readouterr().out
+
+STANDING = REPO / "docs" / "STANDING_QUERIES.md"
+
+
+def test_committed_protocol_table_matches_the_wire(check_docs) -> None:
+    errors = check_docs.check_standing_messages(
+        STANDING,
+        STANDING.read_text(encoding="utf-8"),
+        "docs/STANDING_QUERIES.md",
+    )
+    assert errors == []
+
+
+def test_invented_message_type_is_flagged(check_docs) -> None:
+    text = STANDING.read_text(encoding="utf-8") + (
+        "\n| `SUB_TELEPORT` | nowhere | nothing |\n"
+    )
+    errors = check_docs.check_standing_messages(
+        STANDING, text, "docs/STANDING_QUERIES.md"
+    )
+    assert len(errors) == 1
+    assert "SUB_TELEPORT" in errors[0]
+    assert "not in" in errors[0]
+
+
+def test_omitted_message_type_is_flagged(check_docs) -> None:
+    text = STANDING.read_text(encoding="utf-8").replace("`SUB_RENEW`", "(gone)")
+    errors = check_docs.check_standing_messages(
+        STANDING, text, "docs/STANDING_QUERIES.md"
+    )
+    assert len(errors) == 1
+    assert "SUB_RENEW" in errors[0]
+    assert "missing from" in errors[0]
+
+
+def test_committed_docs_have_no_orphans(check_docs) -> None:
+    assert check_docs.orphan_docs() == []
+
+
+def test_orphan_doc_is_flagged(check_docs, tmp_path, monkeypatch) -> None:
+    """A docs/*.md nothing references — directly or transitively — from
+    README must be reported."""
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "Start with `docs/LINKED.md`.\n", encoding="utf-8"
+    )
+    # Transitive reachability: README -> LINKED -> DEEP.
+    (tmp_path / "docs" / "LINKED.md").write_text(
+        "Continue in [the deep dive](DEEP.md).\n", encoding="utf-8"
+    )
+    (tmp_path / "docs" / "DEEP.md").write_text("depths\n", encoding="utf-8")
+    (tmp_path / "docs" / "LONELY.md").write_text("unlinked\n", encoding="utf-8")
+    monkeypatch.setattr(check_docs, "REPO", tmp_path)
+    errors = check_docs.orphan_docs()
+    assert len(errors) == 1
+    assert "LONELY.md" in errors[0]
+    assert "orphan" in errors[0]

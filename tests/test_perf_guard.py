@@ -117,7 +117,11 @@ def test_committed_baseline_is_healthy(perf_guard) -> None:
 
 
 def _stub_benchmarks(
-    perf_guard, monkeypatch, campaign_violations=0, chaos_violations=0
+    perf_guard,
+    monkeypatch,
+    campaign_violations=0,
+    chaos_violations=0,
+    standing_mismatches=0,
 ) -> None:
     """Replace the minutes-long benchmark functions with instant stubs."""
     rows = {
@@ -143,6 +147,14 @@ def _stub_benchmarks(
             "failed_queries": 2,
             "violations": chaos_violations,
         },
+        "_time_standing_churn": {
+            "wall_s": 0.1,
+            "standing_msgs": 30,
+            "polling_msgs": 1000,
+            "ratio": 0.03,
+            "mismatches": standing_mismatches,
+            "updates": 12,
+        },
     }
     for name, row in rows.items():
         monkeypatch.setattr(perf_guard, name, lambda row=row: dict(row))
@@ -161,7 +173,7 @@ def guarded_main(perf_guard, monkeypatch, tmp_path):
     return perf_guard
 
 
-def test_main_records_all_six_benchmarks(
+def test_main_records_all_seven_benchmarks(
     guarded_main, monkeypatch, tmp_path
 ) -> None:
     _stub_benchmarks(guarded_main, monkeypatch)
@@ -175,9 +187,11 @@ def test_main_records_all_six_benchmarks(
         "scale",
         "scale_100k",
         "shard_scaleout",
+        "standing_churn",
     ]
     assert record["benchmarks"]["campaign"]["violations"] == 0
     assert record["benchmarks"]["chaos"]["violations"] == 0
+    assert record["benchmarks"]["standing_churn"]["mismatches"] == 0
 
 
 def test_main_fails_hard_on_campaign_violations(
@@ -200,6 +214,19 @@ def test_main_fails_hard_on_chaos_oracle_violations(
     assert guarded_main.main() == 1
     out = capsys.readouterr().out
     assert "'chaos-stub'" in out
+
+
+def test_main_fails_hard_on_standing_mismatches(
+    guarded_main, monkeypatch, capsys
+) -> None:
+    # The standing-churn run's answer differential is a correctness
+    # gate, not a perf number: any folded-vs-centralized mismatch
+    # fails the build.
+    _stub_benchmarks(guarded_main, monkeypatch, standing_mismatches=2)
+    guarded_main.BENCH_FILE.write_text(json.dumps(VALID))
+    assert guarded_main.main() == 1
+    out = capsys.readouterr().out
+    assert "::error title=standing differential::" in out
 
 
 def test_main_warns_on_wall_clock_regression_but_passes(
@@ -268,6 +295,7 @@ def test_main_fails_fast_on_corrupt_baseline(
         "_time_shard_scaleout",
         "_time_campaign",
         "_time_chaos",
+        "_time_standing_churn",
     ):
         monkeypatch.setattr(guarded_main, name, exploding_benchmark)
     guarded_main.BENCH_FILE.write_text("{corrupt")
